@@ -1,0 +1,26 @@
+"""Helpers shared by the benchmark harnesses."""
+
+from __future__ import annotations
+
+import os
+
+
+def scale() -> int:
+    """The REPRO_SCALE factor controlling how far parameter sweeps extend."""
+    try:
+        return max(1, int(os.environ.get("REPRO_SCALE", "1")))
+    except ValueError:
+        return 1
+
+
+def print_table(title: str, header: list[str], rows: list[list[object]]) -> None:
+    """Uniform plain-text rendering of a reproduced table/series."""
+    print()
+    print(f"== {title}")
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    print("  " + "  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  " + "  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,44 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(§6 and §7) and prints the reproduced rows/series so they can be compared
+with the published plots.  Absolute times are not expected to match the
+paper (this is a pure-Python reproduction of an OCaml tool running on a
+cluster); the *shape* — which scheme/backend wins, and how quickly cost
+grows — is the claim under test.
+
+Set the ``REPRO_SCALE`` environment variable (default 1) to grow the
+parameter sweeps, e.g. ``REPRO_SCALE=2 pytest benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from bench_utils import scale  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def repro_scale() -> int:
+    return scale()
+
+
+@pytest.fixture(scope="session")
+def ab_fattree_4():
+    from repro.topology import ab_fat_tree
+
+    return ab_fat_tree(4)
+
+
+@pytest.fixture(scope="session")
+def fattree_4():
+    from repro.topology import fat_tree
+
+    return fat_tree(4)
+
+

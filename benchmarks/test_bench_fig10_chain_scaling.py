@@ -1,0 +1,85 @@
+"""Figures 9/10 — backend comparison on the chain-of-diamonds topology.
+
+The paper compares McNetKAT's native backend, PRISM, and Bayonet on the
+probability that a packet crosses a chain of diamonds whose lower links
+fail with probability 1/1000.  This harness runs the native backend, the
+PRISM pipeline (translation + mini DTMC engine), and the Bayonet-style
+exact-inference baseline on growing chains.  The expected shape: all
+engines agree on the probability, the baseline is the first to become
+impractical, and the native backend scales furthest.
+"""
+
+from __future__ import annotations
+
+import time
+from fractions import Fraction
+
+import pytest
+
+from repro.backends.prism import PrismBackend
+from repro.baselines import ExactInferenceBaseline
+from repro.core.interpreter import Interpreter
+from repro.core.packet import DROP
+from repro.topology import chain_model
+
+from bench_utils import print_table, scale
+
+PFAIL = Fraction(1, 1000)
+NATIVE_SIZES = [1, 2, 4, 8, 16, 32][: 4 + scale()]
+PRISM_SIZES = [1, 2, 4, 8]
+BASELINE_SIZES = [1, 2, 4]
+
+RESULTS: list[list[object]] = []
+
+
+def expected_probability(diamonds: int) -> float:
+    return float((1 - PFAIL / 2) ** diamonds)
+
+
+def _native(chain):
+    out = Interpreter().run_packet(chain.policy, chain.ingress)
+    return float(out.prob_of(lambda o: o is not DROP and o.get("sw") == 4 * chain.diamonds))
+
+
+def _prism(chain):
+    return float(PrismBackend().probability(chain.policy, chain.ingress, chain.delivered))
+
+
+def _baseline(chain):
+    return ExactInferenceBaseline(max_states=500_000).delivery_probability(
+        chain.policy, chain.ingress, chain.delivered
+    )
+
+
+def _run(benchmark, engine, runner, diamonds):
+    chain = chain_model(diamonds, PFAIL)
+    start = time.perf_counter()
+    probability = benchmark.pedantic(runner, args=(chain,), rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+    RESULTS.append([engine, diamonds, 4 * diamonds, f"{probability:.6f}", f"{elapsed:.3f}s"])
+    assert probability == pytest.approx(expected_probability(diamonds), abs=1e-9)
+
+
+@pytest.mark.parametrize("diamonds", NATIVE_SIZES)
+def test_native_backend(benchmark, diamonds):
+    _run(benchmark, "native", _native, diamonds)
+
+
+@pytest.mark.parametrize("diamonds", PRISM_SIZES)
+def test_prism_backend(benchmark, diamonds):
+    _run(benchmark, "prism", _prism, diamonds)
+
+
+@pytest.mark.parametrize("diamonds", BASELINE_SIZES)
+def test_exact_inference_baseline(benchmark, diamonds):
+    _run(benchmark, "baseline", _baseline, diamonds)
+
+
+def test_report_figure10(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print_table(
+        "Figure 10 — chain topology: delivery probability H1 -> H2 and engine time",
+        ["engine", "diamonds", "switches", "P[deliver]", "time"],
+        RESULTS,
+    )
+    assert RESULTS

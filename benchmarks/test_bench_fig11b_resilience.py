@@ -1,0 +1,49 @@
+"""Figure 11(b) — k-resilience of the F10 schemes on an AB FatTree.
+
+Regenerates the paper's resilience table: ``F10_0`` is 0-resilient,
+``F10_3`` is 2-resilient, and ``F10_3,5`` is 3-resilient; none of them is
+resilient to unbounded failures.  The benchmark times the full table
+computation (structural certainty analysis for every scheme and bound).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.resilience import resilience_table
+from repro.routing import f10_model
+from repro.topology import ab_fat_tree
+
+from bench_utils import print_table
+
+SCHEMES = ["f10_0", "f10_3", "f10_3_5"]
+BOUNDS = [0, 1, 2, 3, 4, None]
+
+#: The table published in the paper (✓ = equivalent to teleport).
+EXPECTED = {
+    "f10_0": {0: True, 1: False, 2: False, 3: False, 4: False, None: False},
+    "f10_3": {0: True, 1: True, 2: True, 3: False, 4: False, None: False},
+    "f10_3_5": {0: True, 1: True, 2: True, 3: True, 4: False, None: False},
+}
+
+
+def compute_table():
+    topo = ab_fat_tree(4)
+
+    def factory(scheme, k):
+        return f10_model(topo, 1, scheme=scheme, failure_probability=1 / 4, max_failures=k)
+
+    return resilience_table(factory, SCHEMES, BOUNDS)
+
+
+def test_figure11b_resilience_table(benchmark):
+    table = benchmark.pedantic(compute_table, rounds=1, iterations=1)
+    rows = [
+        ["∞" if bound is None else bound]
+        + ["✓" if table[scheme][bound] else "✗" for scheme in SCHEMES]
+        for bound in BOUNDS
+    ]
+    print_table(
+        "Figure 11(b) — k-resilience (≡ teleport under at most k failures)",
+        ["k"] + SCHEMES,
+        rows,
+    )
+    assert table == EXPECTED

@@ -1,0 +1,46 @@
+"""Figure 11(c) — refinement relationships between the F10 schemes.
+
+Regenerates the paper's refinement table: under k failures the simpler
+scheme is strictly below the more resilient one exactly when the extra
+rerouting logic starts to matter (k ≥ 1 for F10_0 vs F10_3, k ≥ 3 for
+F10_3 vs F10_3,5, k ≥ 4 for F10_3,5 vs teleport).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.resilience import refinement_table
+from repro.routing import f10_model
+from repro.topology import ab_fat_tree
+
+from bench_utils import print_table
+
+PAIRS = [("f10_0", "f10_3"), ("f10_3", "f10_3_5"), ("f10_3_5", "teleport")]
+BOUNDS = [0, 1, 2, 3, 4]
+
+EXPECTED = {
+    ("f10_0", "f10_3"): {0: "≡", 1: "<", 2: "<", 3: "<", 4: "<"},
+    ("f10_3", "f10_3_5"): {0: "≡", 1: "≡", 2: "≡", 3: "<", 4: "<"},
+    ("f10_3_5", "teleport"): {0: "≡", 1: "≡", 2: "≡", 3: "≡", 4: "<"},
+}
+
+
+def compute_table():
+    topo = ab_fat_tree(4)
+
+    def factory(scheme, k):
+        return f10_model(topo, 1, scheme=scheme, failure_probability=1 / 4, max_failures=k)
+
+    return refinement_table(factory, PAIRS, BOUNDS)
+
+
+def test_figure11c_refinement_table(benchmark):
+    table = benchmark.pedantic(compute_table, rounds=1, iterations=1)
+    rows = [
+        [bound] + [table[pair][bound] for pair in PAIRS] for bound in BOUNDS
+    ]
+    print_table(
+        "Figure 11(c) — refinement relationships under k failures",
+        ["k"] + [f"{a} vs {b}" for a, b in PAIRS],
+        rows,
+    )
+    assert table == EXPECTED

@@ -1,0 +1,66 @@
+"""Figure 12(b) — fraction of traffic delivered within a hop budget.
+
+With the per-link failure probability fixed at 1/4, reports the CDF of
+hop counts for the three F10 schemes on the AB FatTree and for
+``F10_3,5`` on a standard FatTree.  Expected shape: all schemes deliver
+the same ~79% of traffic within 4 hops; the rerouting schemes deliver
+substantially more within 6 hops on the AB FatTree, while the standard
+FatTree needs 8 hops for the same recovery (its detours are longer).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import hop_count_cdf
+from repro.routing import f10_model
+from repro.topology import ab_fat_tree, fat_tree
+
+from bench_utils import print_table
+
+FAILURE_PROBABILITY = 1 / 4
+HOPS = [2, 4, 6, 8, 10, 12]
+SERIES = [
+    ("AB FatTree, F10_0", "ab", "f10_0"),
+    ("AB FatTree, F10_3", "ab", "f10_3"),
+    ("AB FatTree, F10_3,5", "ab", "f10_3_5"),
+    ("FatTree, F10_3,5", "ft", "f10_3_5"),
+]
+
+RESULTS: dict[str, dict[int, float]] = {}
+
+
+def compute_cdf(topology, scheme):
+    model = f10_model(
+        topology, 1, scheme=scheme, failure_probability=FAILURE_PROBABILITY,
+        count_hops=True, max_hops=14,
+    )
+    return hop_count_cdf(model, max_hops=max(HOPS))
+
+
+@pytest.mark.parametrize("label,topo_kind,scheme", SERIES, ids=[s[0] for s in SERIES])
+def test_hop_count_cdf(benchmark, label, topo_kind, scheme):
+    topology = ab_fat_tree(4) if topo_kind == "ab" else fat_tree(4)
+    cdf = benchmark.pedantic(compute_cdf, args=(topology, scheme), rounds=1, iterations=1)
+    RESULTS[label] = cdf
+    values = [cdf[h] for h in sorted(cdf)]
+    assert values == sorted(values)
+
+
+def test_report_figure12b(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        [label] + [f"{cdf[h]:.3f}" for h in HOPS] for label, cdf in RESULTS.items()
+    ]
+    print_table(
+        "Figure 12(b) — P[delivered within ≤ h hops] at pr = 1/4",
+        ["scheme"] + [f"h={h}" for h in HOPS],
+        rows,
+    )
+    ab = RESULTS["AB FatTree, F10_3,5"]
+    ft = RESULTS["FatTree, F10_3,5"]
+    base = RESULTS["AB FatTree, F10_0"]
+    assert ab[4] == pytest.approx(base[4], abs=1e-9)
+    assert ab[6] > base[4]          # 3-hop detours recover traffic at 6 hops
+    assert ft[6] == pytest.approx(ft[4], abs=1e-9)  # FatTree needs 8 hops instead
+    assert ft[8] > ft[6]

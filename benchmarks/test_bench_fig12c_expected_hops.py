@@ -1,0 +1,64 @@
+"""Figure 12(c) — expected hop count conditioned on delivery.
+
+Sweeps the link-failure probability and reports the expected path length
+of delivered traffic.  Expected shape: the rerouting schemes pay for
+their resilience with longer paths as failures become more common, the
+standard FatTree pays more than the AB FatTree, and ``F10_0``'s expected
+hop count *decreases* (only short intra-pod paths survive).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import expected_hop_count
+from repro.routing import f10_model
+from repro.topology import ab_fat_tree, fat_tree
+
+from bench_utils import print_table
+
+PROBABILITIES = [Fraction(1, 128), Fraction(1, 32), Fraction(1, 8), Fraction(1, 4)]
+SERIES = [
+    ("AB FatTree, F10_0", "ab", "f10_0"),
+    ("AB FatTree, F10_3", "ab", "f10_3"),
+    ("AB FatTree, F10_3,5", "ab", "f10_3_5"),
+    ("FatTree, F10_3,5", "ft", "f10_3_5"),
+]
+
+RESULTS: dict[str, list[float]] = {}
+
+
+def sweep(topology, scheme):
+    values = []
+    for pr in PROBABILITIES:
+        model = f10_model(
+            topology, 1, scheme=scheme, failure_probability=pr, count_hops=True, max_hops=14
+        )
+        values.append(expected_hop_count(model))
+    return values
+
+
+@pytest.mark.parametrize("label,topo_kind,scheme", SERIES, ids=[s[0] for s in SERIES])
+def test_expected_hop_count_sweep(benchmark, label, topo_kind, scheme):
+    topology = ab_fat_tree(4) if topo_kind == "ab" else fat_tree(4)
+    values = benchmark.pedantic(sweep, args=(topology, scheme), rounds=1, iterations=1)
+    RESULTS[label] = values
+    assert all(2.0 <= v <= 10.0 for v in values)
+
+
+def test_report_figure12c(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        [label] + [f"{value:.3f}" for value in values] for label, values in RESULTS.items()
+    ]
+    print_table(
+        "Figure 12(c) — expected hop count conditioned on delivery",
+        ["scheme"] + [str(pr) for pr in PROBABILITIES],
+        rows,
+    )
+    f10_0 = RESULTS["AB FatTree, F10_0"]
+    assert f10_0[-1] < f10_0[0]  # shifts towards short intra-pod paths
+    assert RESULTS["FatTree, F10_3,5"][-1] > RESULTS["AB FatTree, F10_3,5"][-1]
+    assert RESULTS["AB FatTree, F10_3,5"][-1] > RESULTS["AB FatTree, F10_0"][-1]

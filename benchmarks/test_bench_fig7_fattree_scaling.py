@@ -1,0 +1,92 @@
+"""Figure 7 — scalability of model construction on FatTree topologies.
+
+The paper measures the time to construct the stochastic-matrix model of a
+FatTree running ECMP, with and without link failures, using the native
+backend and the PRISM backend.  This harness reproduces the sweep at
+reduced sizes (Python constant factors) and reports per-configuration
+times; the expected shape is: the native backend scales to larger
+FatTrees than the PRISM pipeline, and failures make both slower.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.backends.prism import PrismBackend
+from repro.core.interpreter import Interpreter
+from repro.failure.models import independent_failure_program
+from repro.network.model import build_model
+from repro.routing import downward_failable_ports, ecmp_policy
+from repro.topology import fat_tree
+
+from bench_utils import print_table, scale
+
+#: FatTree parameters swept by the native backend (scaled by REPRO_SCALE).
+NATIVE_SIZES = [4, 6, 8][: 2 + scale()]
+#: The PRISM pipeline explores the full product state space and is kept small.
+PRISM_SIZES = [4]
+
+RESULTS: list[list[object]] = []
+
+
+def build(p: int, failure_probability: float | None):
+    topo = fat_tree(p)
+    failable = downward_failable_ports(topo) if failure_probability else None
+    failure = (
+        independent_failure_program(failable, failure_probability)
+        if failure_probability
+        else None
+    )
+    return build_model(
+        topo,
+        routing=ecmp_policy(topo, 1),
+        dest=1,
+        failure=failure,
+        failable=failable,
+    )
+
+
+def native_construct(p: int, failure_probability: float | None):
+    model = build(p, failure_probability)
+    interpreter = Interpreter()
+    return model.output_distributions(interpreter=interpreter)
+
+
+def prism_construct(p: int, failure_probability: float | None):
+    model = build(p, failure_probability)
+    backend = PrismBackend()
+    return backend.probability(model.policy, model.ingress_packets[0], model.delivered)
+
+
+@pytest.mark.parametrize("p", NATIVE_SIZES)
+@pytest.mark.parametrize("failure_probability", [None, 1 / 1000], ids=["f0", "f1000"])
+def test_native_backend_scaling(benchmark, p, failure_probability):
+    start = time.perf_counter()
+    outputs = benchmark.pedantic(native_construct, args=(p, failure_probability), rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+    switches = 5 * p * p // 4
+    RESULTS.append(["native", p, switches, "0" if failure_probability is None else "1/1000", f"{elapsed:.2f}s"])
+    assert len(outputs) > 0
+
+
+@pytest.mark.parametrize("p", PRISM_SIZES)
+@pytest.mark.parametrize("failure_probability", [None, 1 / 1000], ids=["f0", "f1000"])
+def test_prism_backend_scaling(benchmark, p, failure_probability):
+    start = time.perf_counter()
+    probability = benchmark.pedantic(prism_construct, args=(p, failure_probability), rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+    switches = 5 * p * p // 4
+    RESULTS.append(["prism", p, switches, "0" if failure_probability is None else "1/1000", f"{elapsed:.2f}s"])
+    assert float(probability) > 0.99
+
+
+def test_report_figure7(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print_table(
+        "Figure 7 — model construction time (native vs PRISM, with/without failures)",
+        ["backend", "p", "switches", "pr(fail)", "time"],
+        RESULTS,
+    )
+    assert RESULTS

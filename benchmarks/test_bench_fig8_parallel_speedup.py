@@ -1,0 +1,75 @@
+"""Figure 8 — speedup from parallelising per-switch model construction.
+
+McNetKAT parallelises compilation of the per-switch ``case`` branches
+over cores and machines.  The analogous parallel work here is computing
+the transition row of every loop-head state of a network model; this
+harness measures the wall-clock time with 1, 2, and 4 worker processes
+and reports the speedup.  Python's process start-up overhead means the
+speedup is visible only for models that are expensive enough, so the
+measured curve is flatter than the paper's — the expected shape is simply
+"more workers do not hurt, and help on the larger model".
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.backends.parallel import transition_rows
+from repro.core.interpreter import Interpreter, eval_predicate
+from repro.core import syntax as s
+from repro.routing import f10_model
+from repro.topology import ab_fat_tree
+
+from bench_utils import print_table
+
+WORKERS = [1, 2, 4]
+RESULTS: list[list[object]] = []
+
+
+def loop_head_states(model):
+    """All loop-head packet states reachable from the model's ingress set."""
+    loop = next(node for node in model.policy.walk() if isinstance(node, s.WhileDo))
+    interp = Interpreter()
+    for packet in model.ingress_packets:
+        interp.run_packet(model.policy, packet)
+    return loop.body, list(interp._loop_rows[id(loop)].keys())
+
+
+@pytest.fixture(scope="module")
+def workload():
+    topo = ab_fat_tree(4)
+    model = f10_model(topo, 1, scheme="f10_3_5", failure_probability=1 / 4, count_hops=True)
+    body, states = loop_head_states(model)
+    return body, states
+
+
+@pytest.mark.parametrize("workers", WORKERS)
+def test_parallel_row_computation(benchmark, workload, workers):
+    body, states = workload
+    if workers > (os.cpu_count() or 1):
+        pytest.skip("not enough cores")
+    start = time.perf_counter()
+    rows = benchmark.pedantic(
+        transition_rows, args=(body, states), kwargs={"workers": workers}, rounds=1, iterations=1
+    )
+    elapsed = time.perf_counter() - start
+    RESULTS.append([workers, len(states), f"{elapsed:.2f}s"])
+    assert len(rows) == len(states)
+
+
+def test_report_figure8(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = list(RESULTS)
+    if rows:
+        base = float(rows[0][2].rstrip("s"))
+        for row in rows:
+            row.append(f"{base / float(row[2].rstrip('s')):.2f}x")
+    print_table(
+        "Figure 8 — parallel speedup of per-switch row computation",
+        ["workers", "loop-head states", "time", "speedup"],
+        rows,
+    )
+    assert rows

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Path stretch analysis (§7, Figure 12(b) and 12(c)).
+
+Augments the F10 network models with a hop counter and compares the
+latency profile of the three schemes on an AB FatTree, and of ``F10_3,5``
+on a standard FatTree (which only has 5-hop detours available).
+
+Run with::
+
+    python examples/path_stretch.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import expected_hop_count, hop_count_cdf
+from repro.routing import f10_model
+from repro.topology import ab_fat_tree, fat_tree
+
+FAILURE_PROBABILITY = 1 / 4
+MAX_HOPS = 14
+
+
+def build_models():
+    abft, ft = ab_fat_tree(4), fat_tree(4)
+    return {
+        "AB FatTree, F10_0": f10_model(
+            abft, 1, "f10_0", FAILURE_PROBABILITY, count_hops=True, max_hops=MAX_HOPS
+        ),
+        "AB FatTree, F10_3": f10_model(
+            abft, 1, "f10_3", FAILURE_PROBABILITY, count_hops=True, max_hops=MAX_HOPS
+        ),
+        "AB FatTree, F10_3,5": f10_model(
+            abft, 1, "f10_3_5", FAILURE_PROBABILITY, count_hops=True, max_hops=MAX_HOPS
+        ),
+        "FatTree, F10_3,5": f10_model(
+            ft, 1, "f10_3_5", FAILURE_PROBABILITY, count_hops=True, max_hops=MAX_HOPS
+        ),
+    }
+
+
+def main() -> None:
+    models = build_models()
+
+    print(f"Figure 12(b) — fraction of traffic delivered within h hops (pr = {FAILURE_PROBABILITY}):")
+    hops = list(range(2, 13, 2))
+    header = "hops".ljust(22) + "".join(f"{h:>8d}" for h in hops)
+    print(header)
+    for label, model in models.items():
+        cdf = hop_count_cdf(model, max_hops=max(hops))
+        row = label.ljust(22) + "".join(f"{cdf[h]:8.3f}" for h in hops)
+        print(row)
+    print()
+
+    print("Figure 12(c) — expected hop count conditioned on delivery:")
+    for label, model in models.items():
+        print(f"  {label:22s}: {expected_hop_count(model):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""repro — a reproduction of McNetKAT (PLDI 2019).
+
+McNetKAT is a scalable verifier for the guarded, history-free fragment of
+Probabilistic NetKAT.  This package provides:
+
+* :mod:`repro.core` — the ProbNetKAT language, its Markov-chain semantics,
+  the probabilistic-FDD compiler, and the forward interpreter;
+* :mod:`repro.backends` — the native and PRISM backends;
+* :mod:`repro.topology`, :mod:`repro.routing`, :mod:`repro.failure`,
+  :mod:`repro.network` — data-center topologies, routing schemes (ECMP,
+  F10), failure models, and network model builders;
+* :mod:`repro.analysis` — delivery probability, resilience, and latency
+  queries;
+* :mod:`repro.baselines` — a Bayonet-style general-purpose exact
+  inference baseline used for performance comparisons.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

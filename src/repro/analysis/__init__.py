@@ -1,0 +1,31 @@
+"""Analyses over network models: delivery, resilience, and latency."""
+
+from repro.analysis.queries import (
+    delivery_probability,
+    expected_value,
+    field_distribution,
+    output_distribution,
+)
+from repro.analysis.resilience import (
+    compare_schemes,
+    refinement_table,
+    resilience_table,
+)
+from repro.analysis.latency import (
+    expected_hop_count,
+    hop_count_cdf,
+    hop_count_distribution,
+)
+
+__all__ = [
+    "compare_schemes",
+    "delivery_probability",
+    "expected_hop_count",
+    "expected_value",
+    "field_distribution",
+    "hop_count_cdf",
+    "hop_count_distribution",
+    "output_distribution",
+    "refinement_table",
+    "resilience_table",
+]

@@ -1,0 +1,102 @@
+"""Basic quantitative queries on program output distributions.
+
+These are the building blocks of the paper's analyses: the probability of
+reaching the destination (delivery / SLA queries of §2), marginal
+distributions of individual fields, and expectations of packet-derived
+quantities (e.g. hop counts).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.core import syntax as s
+from repro.core.distributions import Dist
+from repro.core.interpreter import Interpreter, Outcome, eval_predicate
+from repro.core.packet import DROP, Packet, _DropType
+from repro.network.model import NetworkModel
+
+
+def output_distribution(
+    model: NetworkModel | s.Policy,
+    inputs: Iterable[Packet] | Packet | None = None,
+    exact: bool = False,
+) -> Dist[Outcome]:
+    """Output distribution of a model (uniform over its ingress set by default)."""
+    policy, packets = _unpack(model, inputs)
+    interp = Interpreter(exact=exact)
+    return interp.run(policy, Dist.uniform(packets))
+
+
+def delivery_probability(
+    model: NetworkModel | s.Policy,
+    delivered: s.Predicate | Callable[[Packet], bool] | None = None,
+    inputs: Iterable[Packet] | Packet | None = None,
+    exact: bool = False,
+) -> float:
+    """Probability that a packet (uniform over the ingress set) is delivered."""
+    policy, packets = _unpack(model, inputs)
+    if delivered is None:
+        if not isinstance(model, NetworkModel):
+            raise ValueError("a delivered-predicate is required for bare policies")
+        delivered = model.delivered
+    dist = Interpreter(exact=exact).run(policy, Dist.uniform(packets))
+    return float(dist.prob_of(lambda out: _is_delivered(out, delivered)))
+
+
+def field_distribution(dist: Dist[Outcome], field: str) -> Dist[int | None]:
+    """Marginal distribution of one packet field (``None`` for dropped packets)."""
+    return dist.map(
+        lambda out: None if isinstance(out, _DropType) else out.get(field)
+    )
+
+
+def expected_value(
+    dist: Dist[Outcome],
+    value: Callable[[Packet], float],
+    condition: Callable[[Packet], bool] | None = None,
+) -> float:
+    """Expectation of ``value`` over delivered packets, optionally conditioned.
+
+    Dropped packets are always excluded; ``condition`` further restricts
+    the outcomes (the distribution is renormalised over the remaining
+    mass, matching "conditioned on delivery" quantities like Figure 12(c)).
+    """
+    total = 0.0
+    mass = 0.0
+    for outcome, prob in dist.items():
+        if isinstance(outcome, _DropType):
+            continue
+        if condition is not None and not condition(outcome):
+            continue
+        total += float(prob) * float(value(outcome))
+        mass += float(prob)
+    if mass == 0.0:
+        raise ZeroDivisionError("no probability mass satisfies the condition")
+    return total / mass
+
+
+def _is_delivered(
+    outcome: Outcome, delivered: s.Predicate | Callable[[Packet], bool]
+) -> bool:
+    if isinstance(outcome, _DropType):
+        return False
+    if isinstance(delivered, s.Predicate):
+        return eval_predicate(delivered, outcome)
+    return bool(delivered(outcome))
+
+
+def _unpack(
+    model: NetworkModel | s.Policy, inputs: Iterable[Packet] | Packet | None
+) -> tuple[s.Policy, list[Packet]]:
+    if isinstance(model, NetworkModel):
+        policy = model.policy
+        packets = model.ingress_packets if inputs is None else inputs
+    else:
+        policy = model
+        if inputs is None:
+            raise ValueError("input packets are required for bare policies")
+        packets = inputs
+    if isinstance(packets, Packet):
+        packets = [packets]
+    return policy, list(packets)

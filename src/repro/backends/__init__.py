@@ -1,0 +1,6 @@
+"""Analysis backends: native (FDD / forward interpreter) and PRISM (§5)."""
+
+from repro.backends.native import NativeBackend
+from repro.backends.parallel import ParallelInterpreter, transition_rows
+
+__all__ = ["NativeBackend", "ParallelInterpreter", "transition_rows"]

@@ -1,0 +1,174 @@
+"""A miniature DTMC engine for translated PRISM programs.
+
+The real PRISM binary cannot be bundled in this offline reproduction, so
+this module provides a small discrete-time Markov chain engine that
+executes :class:`PrismModel` programs directly: it explores the reachable
+variable valuations, classifies terminal states (no enabled command), and
+computes reachability probabilities with the same absorbing-chain solvers
+the native backend uses.  The state space it explores is exactly the one
+PRISM would build for the same model, so backend-to-backend performance
+comparisons keep their shape.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Mapping
+
+from repro.core import syntax as s
+from repro.core.distributions import Dist
+from repro.core.markov import reachable_states, solve_absorption, solve_absorption_exact
+from repro.backends.prism.model import Command, PrismModel
+
+Valuation = tuple[tuple[str, int], ...]
+
+
+def eval_guard(pred: s.Predicate, valuation: Mapping[str, int]) -> bool:
+    """Evaluate a predicate over a variable valuation."""
+    if isinstance(pred, s.TrueP):
+        return True
+    if isinstance(pred, s.FalseP):
+        return False
+    if isinstance(pred, s.Test):
+        return valuation.get(pred.field) == pred.value
+    if isinstance(pred, s.And):
+        return eval_guard(pred.left, valuation) and eval_guard(pred.right, valuation)
+    if isinstance(pred, s.Or):
+        return eval_guard(pred.left, valuation) or eval_guard(pred.right, valuation)
+    if isinstance(pred, s.Not):
+        return not eval_guard(pred.pred, valuation)
+    raise TypeError(f"not a predicate: {pred!r}")
+
+
+class MiniDtmc:
+    """Explicit-state engine for a :class:`PrismModel`.
+
+    Parameters
+    ----------
+    model:
+        The PRISM program to execute.
+    exact:
+        Solve reachability with exact rational arithmetic ("exact mode"
+        in the paper's Figure 10) instead of sparse float64 LU
+        ("approximate mode").
+    max_states:
+        Safety bound on the number of explored valuations.
+    """
+
+    def __init__(self, model: PrismModel, exact: bool = False, max_states: int = 5_000_000):
+        model.check_well_formed()
+        self.model = model
+        self.exact = exact
+        self.max_states = max_states
+        # Index commands by the pc value they test, when determinable, to
+        # avoid scanning every command in every state.
+        self._by_pc: dict[int, list[Command]] = {}
+        self._unindexed: list[Command] = []
+        for command in model.commands:
+            pc_value = _pc_test(command.guard)
+            if pc_value is None:
+                self._unindexed.append(command)
+            else:
+                self._by_pc.setdefault(pc_value, []).append(command)
+
+    # -- state handling ---------------------------------------------------------
+    def _freeze(self, valuation: Mapping[str, int]) -> Valuation:
+        return tuple(sorted(valuation.items()))
+
+    def _candidates(self, valuation: Mapping[str, int]) -> list[Command]:
+        pc = valuation.get("pc")
+        indexed = self._by_pc.get(pc, []) if pc is not None else []
+        return indexed + self._unindexed
+
+    def successors(self, state: Valuation) -> Dist[Valuation]:
+        """One-step transition distribution (point mass on ``state`` if terminal)."""
+        valuation = dict(state)
+        enabled = [
+            command
+            for command in self._candidates(valuation)
+            if eval_guard(command.guard, valuation)
+        ]
+        if not enabled:
+            return Dist.point(state)
+        if len(enabled) > 1:
+            raise ValueError(
+                "PRISM model is nondeterministic: multiple commands enabled in one state"
+            )
+        (command,) = enabled
+        weights: dict[Valuation, Fraction] = {}
+        for branch in command.branches:
+            updated = dict(valuation)
+            updated.update(branch.updates_dict())
+            successor = self._freeze(updated)
+            weights[successor] = weights.get(successor, Fraction(0)) + branch.probability
+        return Dist(weights)
+
+    def is_terminal(self, state: Valuation) -> bool:
+        valuation = dict(state)
+        return not any(
+            eval_guard(command.guard, valuation) for command in self._candidates(valuation)
+        )
+
+    # -- analysis ------------------------------------------------------------------
+    def explore(self, overrides: Mapping[str, int] | None = None) -> list[Valuation]:
+        """All valuations reachable from the initial state."""
+        start = self._freeze(self.model.initial_valuation(overrides))
+        states = reachable_states(
+            [start], lambda state: self.successors(state).support()
+        )
+        if len(states) > self.max_states:
+            raise RuntimeError(f"state space exceeded {self.max_states} states")
+        return states
+
+    def terminal_distribution(
+        self, overrides: Mapping[str, int] | None = None
+    ) -> Dist[Valuation]:
+        """Distribution over terminal valuations reached from the initial state."""
+        start = self._freeze(self.model.initial_valuation(overrides))
+        states = self.explore(overrides)
+        terminal = [state for state in states if self.is_terminal(state)]
+        transient = [state for state in states if not self.is_terminal(state)]
+        if start in terminal:
+            return Dist.point(start)
+        transitions = {
+            state: dict(self.successors(state).items()) for state in transient
+        }
+        solver = solve_absorption_exact if self.exact else solve_absorption
+        result = solver(transient, terminal, transitions)
+        row = dict(result.get(start, {}))
+        lost = result.lost_mass.get(start, 0)
+        if lost:
+            # Divergence: report the missing mass on a synthetic outcome.
+            row[(("__diverged__", 1),)] = lost
+        return Dist(row, check=False)
+
+    def probability(
+        self,
+        target: s.Predicate | Callable[[Mapping[str, int]], bool],
+        overrides: Mapping[str, int] | None = None,
+    ) -> float | Fraction:
+        """P[eventually reach a terminal state satisfying ``target``]."""
+        dist = self.terminal_distribution(overrides)
+        if isinstance(target, s.Predicate):
+            check = lambda valuation: eval_guard(target, valuation)  # noqa: E731
+        else:
+            check = target
+        total: Fraction | float = Fraction(0)
+        for state, mass in dist.items():
+            if dict(state).get("__diverged__"):
+                continue
+            if check(dict(state)):
+                total = total + mass
+        return total
+
+
+def _pc_test(pred: s.Predicate) -> int | None:
+    """Extract the ``pc = n`` conjunct of a guard, if syntactically present."""
+    if isinstance(pred, s.Test) and pred.field == "pc":
+        return pred.value
+    if isinstance(pred, s.And):
+        left = _pc_test(pred.left)
+        if left is not None:
+            return left
+        return _pc_test(pred.right)
+    return None

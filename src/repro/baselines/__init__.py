@@ -1,0 +1,5 @@
+"""Baselines used for performance comparisons (§6)."""
+
+from repro.baselines.exact_inference import ExactInferenceBaseline
+
+__all__ = ["ExactInferenceBaseline"]

@@ -1,0 +1,112 @@
+"""Core of the McNetKAT reproduction: language, semantics, and compiler.
+
+The most commonly used names are re-exported here so that user code can
+simply write::
+
+    from repro.core import test, assign, seq, ite, while_do, Packet
+"""
+
+from repro.core.packet import DROP, Packet, PacketUniverse
+from repro.core.distributions import Dist
+from repro.core.syntax import (
+    Assign,
+    Case,
+    Choice,
+    IfThenElse,
+    Not,
+    Policy,
+    Predicate,
+    Seq,
+    Star,
+    Test,
+    Union,
+    WhileDo,
+    assign,
+    assign_all,
+    case,
+    choice,
+    conj,
+    disj,
+    drop,
+    ite,
+    neg,
+    seq,
+    skip,
+    star,
+    test,
+    test_all,
+    uniform,
+    union,
+    while_do,
+)
+from repro.core.sugar import first_up, increment, local, locals_in, uniform_among_up
+from repro.core.pretty import pretty, pretty_multiline
+from repro.core.parser import parse, parse_predicate
+from repro.core.fields import FieldSpec, FieldTable
+from repro.core.compiler import Compiler, GuardedFragmentError, compile_policy
+from repro.core.interpreter import Interpreter, eval_predicate, output_distribution
+from repro.core.equivalence import (
+    compare,
+    fdd_equivalent,
+    output_equivalent,
+    refines,
+    strictly_refines,
+)
+
+__all__ = [
+    "Assign",
+    "Case",
+    "Choice",
+    "Compiler",
+    "DROP",
+    "Dist",
+    "FieldSpec",
+    "FieldTable",
+    "GuardedFragmentError",
+    "IfThenElse",
+    "Interpreter",
+    "Not",
+    "Packet",
+    "PacketUniverse",
+    "Policy",
+    "Predicate",
+    "Seq",
+    "Star",
+    "Test",
+    "Union",
+    "WhileDo",
+    "assign",
+    "assign_all",
+    "case",
+    "choice",
+    "compare",
+    "compile_policy",
+    "conj",
+    "disj",
+    "drop",
+    "eval_predicate",
+    "fdd_equivalent",
+    "first_up",
+    "increment",
+    "ite",
+    "local",
+    "locals_in",
+    "neg",
+    "output_distribution",
+    "output_equivalent",
+    "parse",
+    "parse_predicate",
+    "pretty",
+    "pretty_multiline",
+    "refines",
+    "seq",
+    "skip",
+    "star",
+    "strictly_refines",
+    "test",
+    "test_all",
+    "uniform",
+    "uniform_among_up",
+    "union",
+    "while_do",
+]

@@ -1,0 +1,152 @@
+"""Program equivalence and refinement checking.
+
+Corollary 3.2 of the paper reduces program equivalence to equality of the
+stochastic matrices ``B[[p]]`` and ``B[[q]]``; in the implementation this
+becomes equality of canonical FDDs (which, thanks to hash-consing, is a
+pointer comparison).  For large network models, where full compilation is
+impractical, equivalence and refinement are checked on the output
+distributions of a given set of input packets — which is exactly what the
+network properties of §2 and §7 require (the models are of the form
+``in ; …`` and only the ingress packets matter).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core import syntax as s
+from repro.core.compiler import Compiler
+from repro.core.distributions import Dist
+from repro.core.fdd.node import FddManager, FddNode
+from repro.core.interpreter import Interpreter, Outcome
+from repro.core.packet import DROP, Packet
+
+
+# ---------------------------------------------------------------------------
+# full (FDD-based) equivalence
+# ---------------------------------------------------------------------------
+
+def compile_pair(
+    p: s.Policy,
+    q: s.Policy,
+    manager: FddManager | None = None,
+    exact: bool = True,
+) -> tuple[FddNode, FddNode]:
+    """Compile two programs with a shared manager (required for comparison)."""
+    manager = manager if manager is not None else FddManager()
+    compiler = Compiler(manager=manager, exact=exact)
+    return compiler.compile(p), compiler.compile(q)
+
+
+def fdd_equivalent(
+    p: s.Policy,
+    q: s.Policy,
+    manager: FddManager | None = None,
+    exact: bool = True,
+) -> bool:
+    """Full program equivalence ``p ≡ q`` via canonical FDDs (Corollary 3.2).
+
+    With exact arithmetic, structurally identical FDDs are interned to the
+    same node, so the comparison is exact.
+    """
+    fdd_p, fdd_q = compile_pair(p, q, manager=manager, exact=exact)
+    return fdd_p is fdd_q
+
+
+# ---------------------------------------------------------------------------
+# input-restricted equivalence and refinement
+# ---------------------------------------------------------------------------
+
+def output_distributions(
+    p: s.Policy,
+    inputs: Sequence[Packet],
+    exact: bool = False,
+    interpreter: Interpreter | None = None,
+) -> dict[Packet, Dist[Outcome]]:
+    """Per-input output distributions of ``p`` (forward interpretation)."""
+    interp = interpreter if interpreter is not None else Interpreter(exact=exact)
+    return {packet: interp.run_packet(p, packet) for packet in inputs}
+
+
+def output_equivalent(
+    p: s.Policy,
+    q: s.Policy,
+    inputs: Iterable[Packet],
+    exact: bool = False,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Equivalence of ``p`` and ``q`` restricted to the given input packets."""
+    inputs = list(inputs)
+    dists_p = output_distributions(p, inputs, exact=exact)
+    dists_q = output_distributions(q, inputs, exact=exact)
+    for packet in inputs:
+        if exact:
+            if dists_p[packet] != dists_q[packet]:
+                return False
+        elif not dists_p[packet].close_to(dists_q[packet], tolerance=tolerance):
+            return False
+    return True
+
+
+def refines(
+    p: s.Policy,
+    q: s.Policy,
+    inputs: Iterable[Packet],
+    exact: bool = False,
+    tolerance: float = 1e-9,
+) -> bool:
+    """The refinement order ``p ≤ q`` restricted to the given inputs.
+
+    ``p ≤ q`` holds when, for every input, ``q`` produces each output
+    *packet* with probability at least that of ``p`` (the drop outcome is
+    excluded, following the paper: ``q`` delivers packets with higher
+    probability than ``p``).
+    """
+    inputs = list(inputs)
+    dists_p = output_distributions(p, inputs, exact=exact)
+    dists_q = output_distributions(q, inputs, exact=exact)
+    ignore = frozenset([DROP])
+    for packet in inputs:
+        if not dists_p[packet].dominated_by(
+            dists_q[packet], tolerance=tolerance, ignore=ignore
+        ):
+            return False
+    return True
+
+
+def strictly_refines(
+    p: s.Policy,
+    q: s.Policy,
+    inputs: Iterable[Packet],
+    exact: bool = False,
+    tolerance: float = 1e-9,
+) -> bool:
+    """The strict refinement ``p < q``: ``p ≤ q`` and not ``q ≤ p``."""
+    inputs = list(inputs)
+    return refines(p, q, inputs, exact=exact, tolerance=tolerance) and not refines(
+        q, p, inputs, exact=exact, tolerance=tolerance
+    )
+
+
+def compare(
+    p: s.Policy,
+    q: s.Policy,
+    inputs: Iterable[Packet],
+    exact: bool = False,
+    tolerance: float = 1e-9,
+) -> str:
+    """Classify the relationship between two programs on the given inputs.
+
+    Returns one of ``"≡"``, ``"<"``, ``">"``, or ``"incomparable"`` — the
+    entries used in Figure 11(c) of the paper.
+    """
+    inputs = list(inputs)
+    le = refines(p, q, inputs, exact=exact, tolerance=tolerance)
+    ge = refines(q, p, inputs, exact=exact, tolerance=tolerance)
+    if le and ge:
+        return "≡"
+    if le:
+        return "<"
+    if ge:
+        return ">"
+    return "incomparable"

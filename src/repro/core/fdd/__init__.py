@@ -1,0 +1,49 @@
+"""Probabilistic Forwarding Decision Diagrams (§5.1 of the paper)."""
+
+from repro.core.fdd.actions import DROP, IDENTITY, Action, ActionOrDrop, apply_action
+from repro.core.fdd.node import (
+    Branch,
+    FddManager,
+    FddNode,
+    Leaf,
+    evaluate,
+    iter_nodes,
+    leaves,
+    mentioned_values,
+    node_size,
+    output_distribution,
+)
+from repro.core.fdd.matrix import (
+    SymbolicPacket,
+    TransitionMatrix,
+    classify,
+    enumerate_classes,
+    fdd_to_matrix,
+    matrix_to_fdd,
+)
+from repro.core.fdd import ops
+
+__all__ = [
+    "Action",
+    "ActionOrDrop",
+    "Branch",
+    "DROP",
+    "FddManager",
+    "FddNode",
+    "IDENTITY",
+    "Leaf",
+    "SymbolicPacket",
+    "TransitionMatrix",
+    "apply_action",
+    "classify",
+    "enumerate_classes",
+    "evaluate",
+    "fdd_to_matrix",
+    "iter_nodes",
+    "leaves",
+    "matrix_to_fdd",
+    "mentioned_values",
+    "node_size",
+    "ops",
+    "output_distribution",
+]

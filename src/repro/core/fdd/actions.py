@@ -1,0 +1,87 @@
+"""Actions stored in the leaves of probabilistic FDDs.
+
+A leaf of a probabilistic FDD holds a distribution over *actions*, where
+an action is either a finite set of field modifications or the special
+``drop`` action (§5.1).  Applying an action to a packet yields the output
+packet (or the drop outcome).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.packet import DROP, Packet, _DropType
+
+
+@dataclass(frozen=True)
+class Action:
+    """A set of field modifications ``{f1 := n1, ..., fk := nk}``.
+
+    The empty action is the identity (the packet passes unchanged).
+    Actions compose left-to-right: ``a.then(b)`` first applies ``a`` and
+    then ``b``, so ``b``'s modifications win on conflicting fields.
+    """
+
+    mods: tuple[tuple[str, int], ...]
+
+    def __init__(self, mods: Mapping[str, int] | Iterable[tuple[str, int]] = ()):
+        items = mods.items() if isinstance(mods, Mapping) else mods
+        object.__setattr__(self, "mods", tuple(sorted(items)))
+
+    # -- queries -------------------------------------------------------------
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.mods)
+
+    def get(self, field: str) -> int | None:
+        """The value this action writes to ``field`` (None when untouched)."""
+        for name, value in self.mods:
+            if name == field:
+                return value
+        return None
+
+    def modifies(self, field: str) -> bool:
+        return any(name == field for name, _ in self.mods)
+
+    @property
+    def fields(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.mods)
+
+    def is_identity(self) -> bool:
+        return not self.mods
+
+    # -- operations -----------------------------------------------------------
+    def apply(self, packet: Packet) -> Packet:
+        """Apply the modifications to a packet."""
+        if not self.mods:
+            return packet
+        return packet.set_many(dict(self.mods))
+
+    def then(self, other: "Action | _DropType") -> "Action | _DropType":
+        """Compose with a later action (or drop)."""
+        if other is DROP or isinstance(other, _DropType):
+            return DROP
+        merged = dict(self.mods)
+        merged.update(other.mods)
+        return Action(merged)
+
+    def __repr__(self) -> str:
+        if not self.mods:
+            return "Action(id)"
+        inner = ", ".join(f"{f}:={v}" for f, v in self.mods)
+        return f"Action({inner})"
+
+
+IDENTITY = Action()
+"""The identity action (no modifications)."""
+
+
+ActionOrDrop = Action | _DropType
+"""Type alias for what an FDD leaf distribution ranges over."""
+
+
+def apply_action(action: ActionOrDrop, packet: Packet):
+    """Apply an action or drop to a packet, returning ``Packet`` or ``DROP``."""
+    if action is DROP or isinstance(action, _DropType):
+        return DROP
+    return action.apply(packet)

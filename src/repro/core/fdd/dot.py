@@ -1,0 +1,52 @@
+"""Graphviz (DOT) rendering of probabilistic FDDs, for debugging and docs."""
+
+from __future__ import annotations
+
+from repro.core.fdd.actions import Action
+from repro.core.fdd.node import Branch, FddNode, Leaf, iter_nodes
+from repro.core.packet import _DropType
+
+
+def _leaf_label(leaf: Leaf) -> str:
+    parts = []
+    for action, prob in sorted(leaf.dist.items(), key=lambda kv: repr(kv[0])):
+        if isinstance(action, _DropType):
+            desc = "drop"
+        elif isinstance(action, Action) and action.is_identity():
+            desc = "id"
+        else:
+            desc = ",".join(f"{f}:={v}" for f, v in action.mods)
+        parts.append(f"{desc} @ {prob}")
+    return "\\n".join(parts)
+
+
+def to_dot(node: FddNode, graph_name: str = "fdd") -> str:
+    """Render an FDD as a Graphviz DOT digraph.
+
+    Interior nodes are drawn as ellipses labelled with their test; solid
+    edges are the true branch and dashed edges the false branch, matching
+    Figure 5 of the paper.  Leaves are boxes showing their action
+    distribution.
+    """
+    lines = [f"digraph {graph_name} {{", "  rankdir=TB;"]
+    for current in iter_nodes(node):
+        if isinstance(current, Branch):
+            lines.append(
+                f'  n{current.uid} [shape=ellipse, label="{current.field}={current.value}"];'
+            )
+            lines.append(f"  n{current.uid} -> n{current.hi.uid} [style=solid];")
+            lines.append(f"  n{current.uid} -> n{current.lo.uid} [style=dashed];")
+        else:
+            assert isinstance(current, Leaf)
+            lines.append(
+                f'  n{current.uid} [shape=box, label="{_leaf_label(current)}"];'
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_dot(node: FddNode, path: str, graph_name: str = "fdd") -> None:
+    """Write the DOT rendering of an FDD to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_dot(node, graph_name=graph_name))
+        handle.write("\n")

@@ -1,0 +1,338 @@
+"""Conversion between probabilistic FDDs and sparse stochastic matrices.
+
+This module implements *dynamic domain reduction* (§5.1, Figure 5): rather
+than indexing matrices by the full packet space, packets are grouped into
+symbolic equivalence classes determined by the values each field is
+actually tested against or assigned to.  A :class:`SymbolicPacket` assigns
+every relevant field either one of those mentioned values or the wildcard
+``*`` ("any other value"), exactly like the symbolic packets
+``pt=1, pt=2, pt=3, pt=*`` of the paper's example.
+
+The main entry points are:
+
+* :func:`fdd_to_matrix` — convert an FDD into a sparse stochastic matrix
+  over symbolic packet classes (plus the drop outcome);
+* :func:`matrix_to_fdd` — convert class-indexed transition rows back into
+  a canonical FDD (used after solving loops);
+* :func:`enumerate_classes` — enumerate the symbolic domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from scipy.sparse import csr_matrix
+
+from repro.core.distributions import Dist
+from repro.core.fdd.actions import Action, ActionOrDrop
+from repro.core.fdd.node import Branch, FddManager, FddNode, Leaf, mentioned_values
+from repro.core.packet import DROP, Packet, _DropType
+
+#: Marker for "any value not explicitly mentioned by the program".
+WILDCARD: None = None
+
+
+@dataclass(frozen=True)
+class SymbolicPacket:
+    """An equivalence class of packets under dynamic domain reduction.
+
+    Each relevant field is mapped either to a concrete mentioned value or
+    to the wildcard ``None`` meaning "some value not mentioned anywhere in
+    the program".  Two concrete packets in the same class are treated
+    identically by the program the domain was derived from.
+    """
+
+    values: tuple[tuple[str, int | None], ...]
+
+    def __init__(self, values: Mapping[str, int | None] | Iterable[tuple[str, int | None]]):
+        items = values.items() if isinstance(values, Mapping) else values
+        object.__setattr__(self, "values", tuple(sorted(items)))
+
+    def value(self, field: str) -> int | None:
+        """The class value of ``field`` (``None`` for wildcard or unknown field)."""
+        for name, value in self.values:
+            if name == field:
+                return value
+        return None
+
+    @property
+    def fields(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.values)
+
+    def as_dict(self) -> dict[str, int | None]:
+        return dict(self.values)
+
+    def satisfies_test(self, field: str, value: int) -> bool:
+        """Whether packets in this class satisfy the test ``field = value``.
+
+        The test value is always one of the mentioned values, so the
+        wildcard class never satisfies it.
+        """
+        return self.value(field) == value
+
+    def apply_action(self, action: ActionOrDrop) -> "SymbolicPacket | _DropType":
+        """Apply an FDD action to the class (drop propagates)."""
+        if isinstance(action, _DropType):
+            return DROP
+        if action.is_identity():
+            return self
+        updated = dict(self.values)
+        for field, value in action.mods:
+            updated[field] = value
+        return SymbolicPacket(updated)
+
+    def representative(self, fresh: Mapping[str, int]) -> Packet:
+        """A concrete packet in this class.
+
+        ``fresh`` supplies, per field, a value *not* mentioned by the
+        program, used to instantiate wildcards.
+        """
+        concrete: dict[str, int] = {}
+        for field, value in self.values:
+            concrete[field] = fresh[field] if value is None else value
+        return Packet(concrete)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{f}={'*' if v is None else v}" for f, v in self.values
+        )
+        return f"SymbolicPacket({inner})"
+
+
+class DomainTooLargeError(RuntimeError):
+    """Raised when the symbolic domain exceeds the configured limit."""
+
+
+def fresh_values(domains: Mapping[str, Iterable[int]]) -> dict[str, int]:
+    """For each field, a value not contained in its mentioned-value set."""
+    result: dict[str, int] = {}
+    for field, values in domains.items():
+        mentioned = set(values)
+        candidate = 0
+        while candidate in mentioned:
+            candidate += 1
+        result[field] = candidate
+    return result
+
+
+def domain_size(domains: Mapping[str, Iterable[int]]) -> int:
+    """Number of symbolic classes in the product domain (wildcards included)."""
+    size = 1
+    for values in domains.values():
+        size *= len(set(values)) + 1
+    return size
+
+
+def enumerate_classes(
+    domains: Mapping[str, Iterable[int]],
+    limit: int | None = None,
+) -> list[SymbolicPacket]:
+    """Enumerate the symbolic packet classes of the product domain.
+
+    Each field ranges over its mentioned values plus the wildcard.  The
+    enumeration is deterministic (fields sorted, values sorted, wildcard
+    last).  Raises :class:`DomainTooLargeError` when the product exceeds
+    ``limit``.
+    """
+    normalised: dict[str, list[int | None]] = {
+        field: sorted(set(values)) + [WILDCARD]
+        for field, values in sorted(domains.items())
+    }
+    if limit is not None:
+        total = 1
+        for choices in normalised.values():
+            total *= len(choices)
+        if total > limit:
+            raise DomainTooLargeError(
+                f"symbolic domain has {total} classes, exceeding the limit {limit}; "
+                "use the forward interpreter for large programs"
+            )
+    fields = list(normalised)
+    classes: list[SymbolicPacket] = []
+
+    def rec(index: int, acc: dict[str, int | None]) -> None:
+        if index == len(fields):
+            classes.append(SymbolicPacket(dict(acc)))
+            return
+        field = fields[index]
+        for value in normalised[field]:
+            acc[field] = value
+            rec(index + 1, acc)
+        acc.pop(field, None)
+
+    rec(0, {})
+    return classes
+
+
+def classify(packet: Packet, domains: Mapping[str, Iterable[int]]) -> SymbolicPacket:
+    """The symbolic class of a concrete packet under the given domain."""
+    values: dict[str, int | None] = {}
+    for field, mentioned in domains.items():
+        value = packet.get(field)
+        values[field] = value if value in set(mentioned) else WILDCARD
+    return SymbolicPacket(values)
+
+
+def evaluate_class(node: FddNode, cls: SymbolicPacket) -> Dist[ActionOrDrop]:
+    """Evaluate an FDD on a symbolic class, returning its action distribution.
+
+    Well-defined because the class fixes the outcome of every test the FDD
+    can perform (the domain includes every mentioned value).
+    """
+    current = node
+    while isinstance(current, Branch):
+        if cls.satisfies_test(current.field, current.value):
+            current = current.hi
+        else:
+            current = current.lo
+    assert isinstance(current, Leaf)
+    return current.dist
+
+
+def class_transition(node: FddNode, cls: SymbolicPacket) -> Dist["SymbolicPacket | _DropType"]:
+    """The distribution over successor classes induced by an FDD."""
+    return evaluate_class(node, cls).map(cls.apply_action)
+
+
+@dataclass
+class TransitionMatrix:
+    """A sparse right-stochastic matrix over symbolic packet classes.
+
+    The last column/row index (``len(classes)``) represents the drop
+    outcome, which is absorbing by convention.
+    """
+
+    classes: list[SymbolicPacket]
+    matrix: csr_matrix
+    domains: dict[str, tuple[int, ...]]
+
+    @property
+    def drop_index(self) -> int:
+        return len(self.classes)
+
+    def index_of(self, cls: SymbolicPacket) -> int:
+        return self._index[cls]
+
+    def __post_init__(self) -> None:
+        self._index = {cls: i for i, cls in enumerate(self.classes)}
+
+    def row(self, cls: SymbolicPacket) -> Dist["SymbolicPacket | _DropType"]:
+        """The output distribution of one class as a :class:`Dist`."""
+        i = self._index[cls]
+        start, end = self.matrix.indptr[i], self.matrix.indptr[i + 1]
+        weights: dict[SymbolicPacket | _DropType, float] = {}
+        for idx in range(start, end):
+            j = self.matrix.indices[idx]
+            prob = float(self.matrix.data[idx])
+            outcome = DROP if j == self.drop_index else self.classes[j]
+            weights[outcome] = weights.get(outcome, 0.0) + prob
+        return Dist(weights, check=False)
+
+    def is_stochastic(self, tolerance: float = 1e-9) -> bool:
+        sums = self.matrix.sum(axis=1)
+        return bool(abs(sums - 1.0).max() <= tolerance)
+
+
+def fdd_to_matrix(
+    node: FddNode,
+    extra_values: Mapping[str, Iterable[int]] | None = None,
+    limit: int | None = 1_000_000,
+) -> TransitionMatrix:
+    """Convert an FDD to a sparse stochastic matrix over symbolic classes.
+
+    ``extra_values`` adds field values to the domain beyond those
+    mentioned by the FDD itself (used when several FDDs must share one
+    state space, e.g. a loop guard and its body).
+    """
+    domains: dict[str, set[int]] = {f: set(v) for f, v in mentioned_values(node).items()}
+    for field, values in (extra_values or {}).items():
+        domains.setdefault(field, set()).update(values)
+    classes = enumerate_classes(domains, limit=limit)
+    index = {cls: i for i, cls in enumerate(classes)}
+    drop_index = len(classes)
+
+    rows: list[int] = []
+    cols: list[int] = []
+    data: list[float] = []
+    for i, cls in enumerate(classes):
+        for outcome, prob in class_transition(node, cls).items():
+            j = drop_index if isinstance(outcome, _DropType) else index[outcome]
+            rows.append(i)
+            cols.append(j)
+            data.append(float(prob))
+    # The drop row is absorbing.
+    rows.append(drop_index)
+    cols.append(drop_index)
+    data.append(1.0)
+
+    size = len(classes) + 1
+    matrix = csr_matrix((data, (rows, cols)), shape=(size, size))
+    return TransitionMatrix(
+        classes=classes,
+        matrix=matrix,
+        domains={f: tuple(sorted(v)) for f, v in domains.items()},
+    )
+
+
+def matrix_to_fdd(
+    manager: FddManager,
+    domains: Mapping[str, Sequence[int]],
+    rows: Mapping[SymbolicPacket, Dist["SymbolicPacket | _DropType"]],
+    default: FddNode | None = None,
+) -> FddNode:
+    """Rebuild an FDD from class-indexed transition rows.
+
+    ``rows`` maps input classes to distributions over output classes (or
+    drop).  Classes absent from ``rows`` fall back to ``default``
+    (the drop leaf when not provided).  The output distribution of a class
+    is encoded as a leaf whose actions write every concretely-valued field
+    of the output class; wildcard output fields are left untouched (they
+    can only arise when the field was untouched by the program).
+    """
+    default_node = default if default is not None else manager.false_leaf
+    # Fields must be tested in the manager's global order or the resulting
+    # diagram would violate the ordering invariant that restriction and
+    # sequencing rely on.
+    fields = sorted(domains, key=manager.field_rank)
+
+    def leaf_for(dist: Dist["SymbolicPacket | _DropType"]) -> FddNode:
+        weights: dict[ActionOrDrop, Fraction | float] = {}
+        for outcome, prob in dist.items():
+            if isinstance(outcome, _DropType):
+                action: ActionOrDrop = DROP
+            else:
+                mods = {
+                    f: v for f, v in outcome.values if v is not None
+                }
+                action = Action(mods)
+            weights[action] = weights.get(action, Fraction(0)) + prob
+        return manager.leaf(Dist(weights, check=False))
+
+    def build(index: int, acc: dict[str, int | None]) -> FddNode:
+        if index == len(fields):
+            cls = SymbolicPacket(dict(acc))
+            row = rows.get(cls)
+            if row is None:
+                return default_node
+            return leaf_for(row)
+        field = fields[index]
+        values = sorted(set(domains[field]))
+
+        def chain(value_index: int) -> FddNode:
+            if value_index == len(values):
+                acc[field] = WILDCARD
+                result = build(index + 1, acc)
+                acc.pop(field, None)
+                return result
+            value = values[value_index]
+            acc[field] = value
+            hi = build(index + 1, acc)
+            acc.pop(field, None)
+            lo = chain(value_index + 1)
+            return manager.branch(field, value, hi, lo)
+
+        return chain(0)
+
+    return build(0, {})

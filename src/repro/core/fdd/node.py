@@ -1,0 +1,287 @@
+"""Hash-consed probabilistic Forwarding Decision Diagrams (FDDs).
+
+A probabilistic FDD (§5.1) is a rooted DAG whose interior nodes test a
+packet field against a value (with true/false branches) and whose leaves
+hold distributions over actions (field modifications or drop).  An FDD
+denotes a function ``Pk -> Dist(Pk + ∅)``, i.e. a stochastic matrix over
+the single-packet state space.
+
+Nodes are interned ("hash-consed") by an :class:`FddManager` so that
+structurally identical diagrams are represented by the same object; this
+enables constant-time equality checks and memoised algorithms, exactly as
+in BDD packages.  Diagrams respect a total order on tests
+``(field, value)`` (field rank first, then value) and never contain
+redundant tests, which keeps them canonical.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+
+from repro.core.distributions import Dist
+from repro.core.fdd.actions import DROP, IDENTITY, Action, ActionOrDrop
+from repro.core.packet import Packet, _DropType
+
+
+class FddNode:
+    """Base class of FDD nodes.  Instances are created via :class:`FddManager`."""
+
+    __slots__ = ("uid", "manager")
+
+    uid: int
+    manager: "FddManager"
+
+    def is_leaf(self) -> bool:
+        return isinstance(self, Leaf)
+
+    def __hash__(self) -> int:
+        return self.uid
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+class Leaf(FddNode):
+    """A leaf holding a distribution over actions."""
+
+    __slots__ = ("dist",)
+
+    def __init__(self, manager: "FddManager", uid: int, dist: Dist[ActionOrDrop]):
+        self.manager = manager
+        self.uid = uid
+        self.dist = dist
+
+    def __repr__(self) -> str:
+        return f"Leaf#{self.uid}({self.dist})"
+
+
+class Branch(FddNode):
+    """An interior node testing ``field = value``."""
+
+    __slots__ = ("field", "value", "hi", "lo")
+
+    def __init__(
+        self,
+        manager: "FddManager",
+        uid: int,
+        field: str,
+        value: int,
+        hi: FddNode,
+        lo: FddNode,
+    ):
+        self.manager = manager
+        self.uid = uid
+        self.field = field
+        self.value = value
+        self.hi = hi
+        self.lo = lo
+
+    @property
+    def test(self) -> tuple[str, int]:
+        return (self.field, self.value)
+
+    def __repr__(self) -> str:
+        return f"Branch#{self.uid}({self.field}={self.value})"
+
+
+class FddManager:
+    """Interning tables, test ordering, and operation caches for FDDs.
+
+    Parameters
+    ----------
+    field_order:
+        Optional explicit ordering of field names (earlier fields are
+        tested closer to the root).  Fields not listed are appended in
+        first-use order.  All FDDs participating in one analysis must be
+        built by the same manager.
+    """
+
+    def __init__(self, field_order: Sequence[str] = ()):  # noqa: D401
+        self._field_rank: dict[str, int] = {}
+        for field in field_order:
+            self._field_rank.setdefault(field, len(self._field_rank))
+        self._leaves: dict[tuple, Leaf] = {}
+        self._branches: dict[tuple, Branch] = {}
+        self._next_uid = 0
+        self.cache: dict[tuple, FddNode] = {}
+        # Frequently used constants.
+        self.true_leaf = self.leaf(Dist.point(IDENTITY))
+        self.false_leaf = self.leaf(Dist.point(DROP))
+
+    # -- field ordering --------------------------------------------------------
+    def field_rank(self, field: str) -> int:
+        """Rank of a field in the test order (registering it if new)."""
+        if field not in self._field_rank:
+            self._field_rank[field] = len(self._field_rank)
+        return self._field_rank[field]
+
+    def register_fields(self, fields: Iterable[str]) -> None:
+        """Register fields in a deterministic order before building FDDs."""
+        for field in fields:
+            self.field_rank(field)
+
+    def test_key(self, field: str, value: int) -> tuple[int, int]:
+        """Sort key of the test ``field = value``."""
+        return (self.field_rank(field), value)
+
+    @property
+    def fields(self) -> tuple[str, ...]:
+        return tuple(self._field_rank)
+
+    # -- interning constructors --------------------------------------------------
+    def _fresh_uid(self) -> int:
+        uid = self._next_uid
+        self._next_uid += 1
+        return uid
+
+    def leaf(self, dist: Dist[ActionOrDrop]) -> Leaf:
+        """Intern a leaf with the given action distribution."""
+        key = _dist_key(dist)
+        node = self._leaves.get(key)
+        if node is None:
+            node = Leaf(self, self._fresh_uid(), dist)
+            self._leaves[key] = node
+        return node
+
+    def branch(self, field: str, value: int, hi: FddNode, lo: FddNode) -> FddNode:
+        """Intern a branch, collapsing it when both children coincide."""
+        if hi is lo:
+            return hi
+        key = (field, value, hi.uid, lo.uid)
+        node = self._branches.get(key)
+        if node is None:
+            node = Branch(self, self._fresh_uid(), field, value, hi, lo)
+            self._branches[key] = node
+        return node
+
+    # -- primitive FDDs ----------------------------------------------------------
+    def const_true(self) -> Leaf:
+        """FDD of ``skip`` (identity with probability 1)."""
+        return self.true_leaf
+
+    def const_false(self) -> Leaf:
+        """FDD of ``drop``."""
+        return self.false_leaf
+
+    def from_test(self, field: str, value: int) -> FddNode:
+        """FDD of the predicate ``field = value``."""
+        self.field_rank(field)
+        return self.branch(field, value, self.true_leaf, self.false_leaf)
+
+    def from_assign(self, field: str, value: int) -> FddNode:
+        """FDD of the assignment ``field <- value``."""
+        self.field_rank(field)
+        return self.leaf(Dist.point(Action({field: value})))
+
+    def from_action_dist(self, dist: Dist[ActionOrDrop]) -> Leaf:
+        """FDD with a single leaf carrying an arbitrary action distribution."""
+        for action in dist.support():
+            if isinstance(action, Action):
+                for f in action.fields:
+                    self.field_rank(f)
+        return self.leaf(dist)
+
+    # -- statistics ---------------------------------------------------------------
+    def node_count(self) -> int:
+        """Total number of distinct nodes interned so far."""
+        return len(self._leaves) + len(self._branches)
+
+    def clear_caches(self) -> None:
+        """Drop memoisation caches (interning tables are kept)."""
+        self.cache.clear()
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def _action_key(action: ActionOrDrop) -> tuple:
+    if isinstance(action, _DropType):
+        return ("drop",)
+    return ("act", action.mods)
+
+
+def _dist_key(dist: Dist[ActionOrDrop]) -> tuple:
+    return tuple(sorted(
+        ((_action_key(action), _num_key(prob)) for action, prob in dist.items()),
+    ))
+
+
+def _num_key(value) -> tuple:
+    if isinstance(value, Fraction):
+        return ("frac", value.numerator, value.denominator)
+    return ("float", float(value))
+
+
+# ---------------------------------------------------------------------------
+# traversal / evaluation utilities (read-only, manager-independent)
+# ---------------------------------------------------------------------------
+
+def evaluate(node: FddNode, packet: Packet) -> Dist[ActionOrDrop]:
+    """Evaluate an FDD on a concrete packet, returning its action distribution.
+
+    A test on a field the packet does not carry is treated as false,
+    matching the interpreter and the reference semantics.
+    """
+    current = node
+    while isinstance(current, Branch):
+        if packet.get(current.field) == current.value:
+            current = current.hi
+        else:
+            current = current.lo
+    assert isinstance(current, Leaf)
+    return current.dist
+
+
+def output_distribution(node: FddNode, packet: Packet) -> Dist[Packet | _DropType]:
+    """The distribution over output packets (or drop) for a concrete input."""
+    from repro.core.fdd.actions import apply_action
+
+    return evaluate(node, packet).map(lambda action: apply_action(action, packet))
+
+
+def iter_nodes(node: FddNode) -> Iterator[FddNode]:
+    """Iterate over the distinct nodes reachable from ``node`` (pre-order)."""
+    seen: set[int] = set()
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current.uid in seen:
+            continue
+        seen.add(current.uid)
+        yield current
+        if isinstance(current, Branch):
+            stack.append(current.lo)
+            stack.append(current.hi)
+
+
+def node_size(node: FddNode) -> int:
+    """Number of distinct nodes in the diagram rooted at ``node``."""
+    return sum(1 for _ in iter_nodes(node))
+
+
+def leaves(node: FddNode) -> Iterator[Leaf]:
+    """Iterate over the distinct leaves of the diagram."""
+    for current in iter_nodes(node):
+        if isinstance(current, Leaf):
+            yield current
+
+
+def mentioned_values(node: FddNode) -> dict[str, set[int]]:
+    """Per-field values mentioned in tests or modifications.
+
+    This is the information used by dynamic domain reduction (§5.1) to
+    pick the symbolic packets when converting an FDD to a sparse matrix.
+    """
+    values: dict[str, set[int]] = {}
+    for current in iter_nodes(node):
+        if isinstance(current, Branch):
+            values.setdefault(current.field, set()).add(current.value)
+        else:
+            assert isinstance(current, Leaf)
+            for action in current.dist.support():
+                if isinstance(action, Action):
+                    for field, value in action.mods:
+                        values.setdefault(field, set()).add(value)
+    return values

@@ -1,0 +1,386 @@
+"""Algorithms on probabilistic FDDs.
+
+All operations preserve the canonical form (ordered tests, no redundant
+tests, interned nodes) by always splitting on the *smallest* test among
+the operands' roots, in the style of classic BDD ``apply`` algorithms.
+
+The operations provided here are exactly those needed to compile the
+guarded fragment of ProbNetKAT:
+
+* :func:`restrict_eq` / :func:`restrict_ne` — partial evaluation given
+  knowledge about one field;
+* :func:`convex` — convex combination (probabilistic choice);
+* :func:`ite` — conditional on a 0/1-valued predicate FDD;
+* :func:`negate`, :func:`conjoin`, :func:`disjoin` — predicate algebra;
+* :func:`sequence` — sequential composition (the Kleisli composition of
+  the underlying packet kernels);
+* :func:`map_leaves` — leaf-wise transformation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.distributions import Dist
+from repro.core.fdd.actions import DROP, Action, ActionOrDrop
+from repro.core.fdd.node import Branch, FddManager, FddNode, Leaf
+from repro.core.packet import _DropType
+
+
+# ---------------------------------------------------------------------------
+# restriction (partial evaluation)
+# ---------------------------------------------------------------------------
+
+def restrict_eq(node: FddNode, field: str, value: int) -> FddNode:
+    """Partially evaluate ``node`` under the knowledge ``field == value``.
+
+    Every test on ``field`` is resolved (to true when it tests ``value``,
+    to false otherwise).
+    """
+    manager = node.manager
+    key = ("req", node.uid, field, value)
+    cached = manager.cache.get(key)
+    if cached is not None:
+        return cached
+    if isinstance(node, Leaf):
+        result: FddNode = node
+    else:
+        assert isinstance(node, Branch)
+        if node.field == field:
+            if node.value == value:
+                result = restrict_eq(node.hi, field, value)
+            else:
+                result = restrict_eq(node.lo, field, value)
+        elif manager.field_rank(node.field) > manager.field_rank(field):
+            # Ordered diagrams cannot test `field` below this point.
+            result = node
+        else:
+            result = manager.branch(
+                node.field,
+                node.value,
+                restrict_eq(node.hi, field, value),
+                restrict_eq(node.lo, field, value),
+            )
+    manager.cache[key] = result
+    return result
+
+
+def restrict_ne(node: FddNode, field: str, value: int) -> FddNode:
+    """Partially evaluate ``node`` under the knowledge ``field != value``.
+
+    Only tests of exactly ``field = value`` are resolved (to false); other
+    tests on the same field remain undetermined.
+    """
+    manager = node.manager
+    key = ("rne", node.uid, field, value)
+    cached = manager.cache.get(key)
+    if cached is not None:
+        return cached
+    if isinstance(node, Leaf):
+        result: FddNode = node
+    else:
+        assert isinstance(node, Branch)
+        if node.field == field and node.value == value:
+            result = node.lo
+        elif node.field == field and node.value > value:
+            # Tests increase strictly along paths, so `field = value`
+            # cannot occur below.
+            result = node
+        elif node.field != field and manager.field_rank(node.field) > manager.field_rank(field):
+            result = node
+        else:
+            result = manager.branch(
+                node.field,
+                node.value,
+                restrict_ne(node.hi, field, value),
+                restrict_ne(node.lo, field, value),
+            )
+    manager.cache[key] = result
+    return result
+
+
+def restrict_action(node: FddNode, action: Action) -> FddNode:
+    """Partially evaluate ``node`` after the modifications of ``action``."""
+    result = node
+    for field, value in action.mods:
+        result = restrict_eq(result, field, value)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# structural helpers
+# ---------------------------------------------------------------------------
+
+def _min_test(manager: FddManager, nodes: Sequence[FddNode]) -> tuple[str, int] | None:
+    """The smallest root test among the given nodes (None when all leaves)."""
+    best: tuple[int, int] | None = None
+    best_test: tuple[str, int] | None = None
+    for node in nodes:
+        if isinstance(node, Branch):
+            key = manager.test_key(node.field, node.value)
+            if best is None or key < best:
+                best = key
+                best_test = (node.field, node.value)
+    return best_test
+
+
+# ---------------------------------------------------------------------------
+# convex combination and conditionals
+# ---------------------------------------------------------------------------
+
+def convex(manager: FddManager, parts: Sequence[tuple[FddNode, object]]) -> FddNode:
+    """Convex combination ``Σ_i w_i · d_i`` of FDDs (weights sum to 1)."""
+    parts = [(node, weight) for node, weight in parts if weight != 0]
+    if not parts:
+        raise ValueError("convex combination of an empty family")
+    if len(parts) == 1 and parts[0][1] == 1:
+        return parts[0][0]
+    key = ("convex",) + tuple(
+        (node.uid, _weight_key(weight)) for node, weight in parts
+    )
+    cached = manager.cache.get(key)
+    if cached is not None:
+        return cached
+    test = _min_test(manager, [node for node, _ in parts])
+    if test is None:
+        dists = [(node.dist, weight) for node, weight in parts]  # type: ignore[union-attr]
+        result: FddNode = manager.leaf(Dist.convex(dists, check=False))
+    else:
+        field, value = test
+        hi = convex(manager, [(restrict_eq(node, field, value), w) for node, w in parts])
+        lo = convex(manager, [(restrict_ne(node, field, value), w) for node, w in parts])
+        result = manager.branch(field, value, hi, lo)
+    manager.cache[key] = result
+    return result
+
+
+def _weight_key(weight) -> tuple:
+    from fractions import Fraction
+
+    if isinstance(weight, Fraction):
+        return ("frac", weight.numerator, weight.denominator)
+    return ("float", float(weight))
+
+
+def _is_true_leaf(manager: FddManager, node: FddNode) -> bool:
+    return node is manager.true_leaf
+
+
+def _is_false_leaf(manager: FddManager, node: FddNode) -> bool:
+    return node is manager.false_leaf
+
+
+def ite(guard: FddNode, then: FddNode, otherwise: FddNode) -> FddNode:
+    """Conditional: behave as ``then`` where ``guard`` is true, else ``otherwise``.
+
+    ``guard`` must be a *predicate* FDD, i.e. its leaves are the constant
+    true leaf (identity action) or the constant false leaf (drop).
+    """
+    manager = guard.manager
+    if _is_true_leaf(manager, guard):
+        return then
+    if _is_false_leaf(manager, guard):
+        return otherwise
+    if isinstance(guard, Leaf):
+        raise ValueError(f"guard FDD has a non-boolean leaf: {guard!r}")
+    if then is otherwise:
+        return then
+    key = ("ite", guard.uid, then.uid, otherwise.uid)
+    cached = manager.cache.get(key)
+    if cached is not None:
+        return cached
+    test = _min_test(manager, [guard, then, otherwise])
+    assert test is not None
+    field, value = test
+    result = manager.branch(
+        field,
+        value,
+        ite(
+            restrict_eq(guard, field, value),
+            restrict_eq(then, field, value),
+            restrict_eq(otherwise, field, value),
+        ),
+        ite(
+            restrict_ne(guard, field, value),
+            restrict_ne(then, field, value),
+            restrict_ne(otherwise, field, value),
+        ),
+    )
+    manager.cache[key] = result
+    return result
+
+
+def negate(pred: FddNode) -> FddNode:
+    """Negation of a predicate FDD."""
+    manager = pred.manager
+    return ite(pred, manager.false_leaf, manager.true_leaf)
+
+
+def conjoin(left: FddNode, right: FddNode) -> FddNode:
+    """Conjunction of two predicate FDDs."""
+    manager = left.manager
+    return ite(left, right, manager.false_leaf)
+
+
+def disjoin(left: FddNode, right: FddNode) -> FddNode:
+    """Disjunction of two predicate FDDs."""
+    manager = left.manager
+    return ite(left, manager.true_leaf, right)
+
+
+def is_predicate_fdd(node: FddNode) -> bool:
+    """True when every leaf is the constant true or false leaf."""
+    manager = node.manager
+    from repro.core.fdd.node import leaves
+
+    return all(
+        leaf is manager.true_leaf or leaf is manager.false_leaf for leaf in leaves(node)
+    )
+
+
+# ---------------------------------------------------------------------------
+# leaf-wise transformation and sequencing
+# ---------------------------------------------------------------------------
+
+def map_leaves(
+    node: FddNode,
+    func: Callable[[Dist[ActionOrDrop]], Dist[ActionOrDrop]],
+    _cache: dict[int, FddNode] | None = None,
+) -> FddNode:
+    """Apply ``func`` to every leaf distribution, rebuilding the diagram."""
+    manager = node.manager
+    cache = _cache if _cache is not None else {}
+    cached = cache.get(node.uid)
+    if cached is not None:
+        return cached
+    if isinstance(node, Leaf):
+        result: FddNode = manager.leaf(func(node.dist))
+    else:
+        assert isinstance(node, Branch)
+        result = manager.branch(
+            node.field,
+            node.value,
+            map_leaves(node.hi, func, cache),
+            map_leaves(node.lo, func, cache),
+        )
+    cache[node.uid] = result
+    return result
+
+
+def sequence(first: FddNode, second: FddNode) -> FddNode:
+    """Sequential composition of two FDDs (``first ; second``).
+
+    For every path of ``first`` ending in an action distribution, each
+    action ``a`` is composed with ``second`` evaluated on the packet *as
+    modified by* ``a``: fields written by ``a`` take their new values,
+    while fields left untouched take the values learned from the tests
+    along the path through ``first`` (equalities on true-branches,
+    disequalities on false-branches).
+    """
+    return _sequence(first, second, (), ())
+
+
+_Eqs = tuple[tuple[str, int], ...]
+_Neqs = tuple[tuple[str, int], ...]
+
+
+def _sequence(first: FddNode, second: FddNode, eqs: _Eqs, neqs: _Neqs) -> FddNode:
+    manager = first.manager
+    key = ("seq", first.uid, second.uid, eqs, neqs)
+    cached = manager.cache.get(key)
+    if cached is not None:
+        return cached
+    if isinstance(first, Leaf):
+        result = _sequence_leaf(manager, first.dist, second, eqs, neqs)
+    else:
+        assert isinstance(first, Branch)
+        field, value = first.field, first.value
+        guard = manager.branch(field, value, manager.true_leaf, manager.false_leaf)
+        hi = _sequence(first.hi, second, eqs + ((field, value),), neqs)
+        lo = _sequence(first.lo, second, eqs, neqs + ((field, value),))
+        result = ite(guard, hi, lo)
+    manager.cache[key] = result
+    return result
+
+
+def _sequence_leaf(
+    manager: FddManager,
+    dist: Dist[ActionOrDrop],
+    second: FddNode,
+    eqs: _Eqs,
+    neqs: _Neqs,
+) -> FddNode:
+    parts: list[tuple[FddNode, object]] = []
+    for action, prob in dist.items():
+        if isinstance(action, _DropType):
+            parts.append((manager.false_leaf, prob))
+            continue
+        # Knowledge about the intermediate packet: the action's writes win;
+        # unmodified fields keep what the path through `first` tells us.
+        restricted = restrict_action(second, action)
+        for field, value in eqs:
+            if not action.modifies(field):
+                restricted = restrict_eq(restricted, field, value)
+        for field, value in neqs:
+            if not action.modifies(field):
+                restricted = restrict_ne(restricted, field, value)
+        composed = map_leaves(
+            restricted,
+            lambda leaf_dist, action=action: leaf_dist.map(
+                lambda after: action.then(after)
+            ),
+        )
+        parts.append((composed, prob))
+    return convex(manager, parts)
+
+
+def reduce(node: FddNode) -> FddNode:
+    """Normalise an FDD by dropping modifications implied by path tests.
+
+    Along the true-branch of a test ``f = v`` the input packet is known to
+    have ``f = v``; a leaf modification ``f := v`` below that branch is
+    therefore a no-op and is removed.  This brings semantically equal
+    diagrams (e.g. those of ``f=1 ; f<-1`` and ``f=1``) to the same
+    canonical node, which is what makes FDD equality a sound *and*
+    complete equivalence check for the programs the compiler produces.
+    """
+    return _reduce(node, ())
+
+
+def _reduce(node: FddNode, eqs: _Eqs) -> FddNode:
+    manager = node.manager
+    key = ("reduce", node.uid, eqs)
+    cached = manager.cache.get(key)
+    if cached is not None:
+        return cached
+    if isinstance(node, Leaf):
+        known = dict(eqs)
+
+        def simplify(action: ActionOrDrop) -> ActionOrDrop:
+            if isinstance(action, _DropType):
+                return action
+            kept = {
+                field: value
+                for field, value in action.mods
+                if known.get(field) != value
+            }
+            return Action(kept)
+
+        result: FddNode = manager.leaf(node.dist.map(simplify))
+    else:
+        assert isinstance(node, Branch)
+        hi = _reduce(node.hi, eqs + ((node.field, node.value),))
+        lo = _reduce(node.lo, eqs)
+        result = manager.branch(node.field, node.value, hi, lo)
+    manager.cache[key] = result
+    return result
+
+
+def sequence_all(nodes: Sequence[FddNode]) -> FddNode:
+    """Sequential composition of several FDDs (left to right)."""
+    if not nodes:
+        raise ValueError("sequence_all of an empty family")
+    result = nodes[0]
+    for node in nodes[1:]:
+        result = sequence(result, node)
+    return result

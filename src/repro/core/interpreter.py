@@ -1,0 +1,367 @@
+"""Forward interpreter: reachability-restricted analysis of guarded programs.
+
+Where the compiler (:mod:`repro.core.compiler`) constructs the *complete*
+big-step matrix of a program, this interpreter pushes a concrete input
+packet (or input distribution) forward through the program, exploring
+only the packet states actually reachable from that input.  Loops are
+still solved exactly with the absorbing-chain closed form of §4, but the
+chain is restricted to the reachable subspace — this is the scalable path
+used for the network analyses of §6 and §7, mirroring how McNetKAT
+queries models of the form ``in ; …``.
+
+The interpreter also provides :meth:`Interpreter.certain_outcomes`, a
+purely structural possibility analysis used to decide properties that
+must hold with probability one (e.g. *k*-resilience, §7) without any
+numerical computation.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Hashable, Iterable
+
+import networkx as nx
+
+from repro.core import syntax as s
+from repro.core.compiler import GuardedFragmentError
+from repro.core.distributions import Dist
+from repro.core.markov import solve_absorption, solve_absorption_exact
+from repro.core.packet import DROP, Packet, _DropType
+
+Outcome = Packet | _DropType
+
+
+def eval_predicate(pred: s.Predicate, packet: Packet) -> bool:
+    """Evaluate a predicate on a single concrete packet."""
+    if isinstance(pred, s.TrueP):
+        return True
+    if isinstance(pred, s.FalseP):
+        return False
+    if isinstance(pred, s.Test):
+        return packet.test(pred.field, pred.value)
+    if isinstance(pred, s.And):
+        return eval_predicate(pred.left, packet) and eval_predicate(pred.right, packet)
+    if isinstance(pred, s.Or):
+        return eval_predicate(pred.left, packet) or eval_predicate(pred.right, packet)
+    if isinstance(pred, s.Not):
+        return not eval_predicate(pred.pred, packet)
+    raise TypeError(f"not a predicate: {pred!r}")
+
+
+class Interpreter:
+    """Forward distribution propagation over the single-packet state space.
+
+    Parameters
+    ----------
+    exact:
+        Solve loop absorption systems with exact rational arithmetic
+        (slower, but yields exact probabilities).  The default uses the
+        sparse float64 LU solver.
+    max_loop_states:
+        Safety bound on the number of reachable states explored per loop.
+    """
+
+    def __init__(self, exact: bool = False, max_loop_states: int = 2_000_000):
+        self.exact = exact
+        self.max_loop_states = max_loop_states
+        # Per-Case dispatch tables: id(case) -> (case, dispatch table).  The
+        # node itself is kept in the value so its id cannot be recycled.
+        self._dispatch: dict[
+            int, tuple[s.Case, tuple[str, dict[int, s.Policy], s.Policy] | None]
+        ] = {}
+        # Per-loop caches: explored transition rows and solved absorption rows.
+        self._loop_nodes: dict[int, s.WhileDo] = {}
+        self._loop_rows: dict[int, dict[Packet, Dist[Outcome]]] = {}
+        self._loop_solutions: dict[int, dict[Packet, Dist[Outcome]]] = {}
+
+    # -- public API -----------------------------------------------------------
+    def run(self, policy: s.Policy, inputs: Dist[Outcome] | Packet) -> Dist[Outcome]:
+        """Run ``policy`` on an input packet or distribution over packets."""
+        if isinstance(inputs, Packet):
+            return self.run_packet(policy, inputs)
+        parts: list[tuple[Dist[Outcome], object]] = []
+        for outcome, mass in inputs.items():
+            if isinstance(outcome, _DropType):
+                parts.append((Dist.point(DROP), mass))
+            else:
+                parts.append((self.run_packet(policy, outcome), mass))
+        return Dist.convex(parts, check=False)
+
+    def run_packet(self, policy: s.Policy, packet: Packet) -> Dist[Outcome]:
+        """Output distribution of ``policy`` on one concrete input packet."""
+        if isinstance(policy, s.Predicate):
+            return Dist.point(packet if eval_predicate(policy, packet) else DROP)
+        if isinstance(policy, s.Assign):
+            return Dist.point(packet.set(policy.field, policy.value))
+        if isinstance(policy, s.Seq):
+            dist: Dist[Outcome] = Dist.point(packet)
+            for part in policy.parts:
+                dist = self._bind(part, dist)
+            return dist
+        if isinstance(policy, s.Union):
+            raise GuardedFragmentError(
+                "union of non-predicate policies is outside the guarded fragment"
+            )
+        if isinstance(policy, s.Choice):
+            parts = [
+                (self.run_packet(branch, packet), prob)
+                for branch, prob in policy.branches
+            ]
+            return Dist.convex(parts, check=False)
+        if isinstance(policy, s.IfThenElse):
+            branch = policy.then if eval_predicate(policy.guard, packet) else policy.otherwise
+            return self.run_packet(branch, packet)
+        if isinstance(policy, s.Case):
+            return self.run_packet(self._select_case(policy, packet), packet)
+        if isinstance(policy, s.WhileDo):
+            return self._run_while(policy, packet)
+        if isinstance(policy, s.Star):
+            raise GuardedFragmentError("Kleene star is outside the guarded fragment")
+        raise TypeError(f"unknown policy node {type(policy)!r}")
+
+    # -- helpers ---------------------------------------------------------------
+    def _bind(self, policy: s.Policy, dist: Dist[Outcome]) -> Dist[Outcome]:
+        parts: list[tuple[Dist[Outcome], object]] = []
+        for outcome, mass in dist.items():
+            if isinstance(outcome, _DropType):
+                parts.append((Dist.point(DROP), mass))
+            else:
+                parts.append((self.run_packet(policy, outcome), mass))
+        return Dist.convex(parts, check=False)
+
+    def _select_case(self, policy: s.Case, packet: Packet) -> s.Policy:
+        """Select the branch of a ``case`` for a packet, using fast dispatch.
+
+        When every guard is a simple test on one common field (the shape
+        produced by the network model builders, ``case sw=1 … case sw=n``)
+        the lookup is a dictionary access instead of a linear scan.
+        """
+        entry = self._dispatch.get(id(policy))
+        if entry is None or entry[0] is not policy:
+            entry = (policy, _build_dispatch(policy))
+            self._dispatch[id(policy)] = entry
+        dispatch = entry[1]
+        if dispatch is not None:
+            field, table, default = dispatch
+            value = packet.get(field)
+            if value is not None and value in table:
+                return table[value]
+            return default
+        for guard, branch in policy.branches:
+            if eval_predicate(guard, packet):
+                return branch
+        return policy.default
+
+    # -- loops --------------------------------------------------------------------
+    def _run_while(self, loop: s.WhileDo, packet: Packet) -> Dist[Outcome]:
+        if not eval_predicate(loop.guard, packet):
+            return Dist.point(packet)
+        if self._loop_nodes.get(id(loop)) is not loop:
+            # Either a new loop or an id collision with a collected node:
+            # (re)initialise the caches for this loop object.
+            self._loop_nodes[id(loop)] = loop
+            self._loop_rows[id(loop)] = {}
+            self._loop_solutions[id(loop)] = {}
+        solutions = self._loop_solutions.setdefault(id(loop), {})
+        cached = solutions.get(packet)
+        if cached is not None:
+            return cached
+        self._solve_loop_from(loop, packet)
+        return self._loop_solutions[id(loop)][packet]
+
+    def _explore_loop(self, loop: s.WhileDo, seed: Packet) -> None:
+        """Explore the reachable loop-head states starting from ``seed``."""
+        rows = self._loop_rows.setdefault(id(loop), {})
+        frontier = [seed]
+        while frontier:
+            state = frontier.pop()
+            if state in rows:
+                continue
+            if len(rows) >= self.max_loop_states:
+                raise RuntimeError(
+                    f"loop exploration exceeded {self.max_loop_states} states"
+                )
+            row = self.run_packet(loop.body, state)
+            rows[state] = row
+            for outcome in row.support():
+                if isinstance(outcome, _DropType):
+                    continue
+                if eval_predicate(loop.guard, outcome) and outcome not in rows:
+                    frontier.append(outcome)
+
+    def _solve_loop_from(self, loop: s.WhileDo, seed: Packet) -> None:
+        """Solve the loop's absorbing chain for all currently known states.
+
+        New seeds extend the explored state space; the absorption system
+        is (re)solved for the union so that subsequent queries are cache
+        hits.
+        """
+        self._explore_loop(loop, seed)
+        rows = self._loop_rows[id(loop)]
+        transient = list(rows)
+        absorbing_set: set[Outcome] = set()
+        for row in rows.values():
+            for outcome in row.support():
+                if isinstance(outcome, _DropType) or not eval_predicate(loop.guard, outcome):
+                    absorbing_set.add(outcome)
+        absorbing_set.add(DROP)
+        absorbing = sorted(
+            absorbing_set,
+            key=lambda o: ("", ()) if isinstance(o, _DropType) else ("p", o.items()),
+        )
+
+        if self.exact:
+            transitions = {
+                state: {succ: Fraction(prob) for succ, prob in rows[state].items()}
+                for state in transient
+            }
+            result = solve_absorption_exact(transient, absorbing, transitions)
+        else:
+            transitions = {
+                state: {succ: float(prob) for succ, prob in rows[state].items()}
+                for state in transient
+            }
+            result = solve_absorption(transient, absorbing, transitions)
+
+        solutions = self._loop_solutions.setdefault(id(loop), {})
+        for state in transient:
+            out = dict(result.get(state, {}))
+            lost = result.lost_mass.get(state, 0)
+            if lost:
+                # Diverging mass is assigned to drop (guarded limit semantics).
+                out[DROP] = out.get(DROP, 0) + lost
+            solutions[state] = Dist(out, check=False)
+
+    # -- structural possibility analysis ----------------------------------------
+    def certain_outcomes(self, policy: s.Policy, packet: Packet) -> tuple[frozenset[Outcome], bool]:
+        """The set of possible outcomes and whether the program may diverge.
+
+        Returns ``(outcomes, may_diverge)`` where ``outcomes`` is the
+        support of the output distribution (every outcome reachable with
+        positive probability) and ``may_diverge`` indicates that some
+        probability mass may never leave a loop.  Useful for verifying
+        probability-one properties (e.g. resilience) exactly, without
+        numerical solves.
+        """
+        if isinstance(policy, s.Predicate):
+            out: Outcome = packet if eval_predicate(policy, packet) else DROP
+            return frozenset([out]), False
+        if isinstance(policy, s.Assign):
+            return frozenset([packet.set(policy.field, policy.value)]), False
+        if isinstance(policy, s.Seq):
+            current: frozenset[Outcome] = frozenset([packet])
+            diverge = False
+            for part in policy.parts:
+                next_outcomes: set[Outcome] = set()
+                for outcome in current:
+                    if isinstance(outcome, _DropType):
+                        next_outcomes.add(DROP)
+                        continue
+                    outs, d = self.certain_outcomes(part, outcome)
+                    next_outcomes.update(outs)
+                    diverge = diverge or d
+                current = frozenset(next_outcomes)
+            return current, diverge
+        if isinstance(policy, s.Choice):
+            outcomes: set[Outcome] = set()
+            diverge = False
+            for branch, _prob in policy.branches:
+                outs, d = self.certain_outcomes(branch, packet)
+                outcomes.update(outs)
+                diverge = diverge or d
+            return frozenset(outcomes), diverge
+        if isinstance(policy, s.IfThenElse):
+            branch = policy.then if eval_predicate(policy.guard, packet) else policy.otherwise
+            return self.certain_outcomes(branch, packet)
+        if isinstance(policy, s.Case):
+            return self.certain_outcomes(self._select_case(policy, packet), packet)
+        if isinstance(policy, s.WhileDo):
+            return self._certain_outcomes_while(policy, packet)
+        raise GuardedFragmentError(f"unsupported construct in possibility analysis: {policy!r}")
+
+    def _certain_outcomes_while(
+        self, loop: s.WhileDo, packet: Packet
+    ) -> tuple[frozenset[Outcome], bool]:
+        if not eval_predicate(loop.guard, packet):
+            return frozenset([packet]), False
+        # Explore the support graph of the loop body over loop-head states.
+        graph = nx.DiGraph()
+        outcomes: set[Outcome] = set()
+        diverge = False
+        seen: set[Packet] = set()
+        frontier = [packet]
+        while frontier:
+            state = frontier.pop()
+            if state in seen:
+                continue
+            seen.add(state)
+            graph.add_node(state)
+            outs, d = self.certain_outcomes(loop.body, state)
+            diverge = diverge or d
+            for outcome in outs:
+                if isinstance(outcome, _DropType) or not eval_predicate(loop.guard, outcome):
+                    outcomes.add(outcome)
+                    graph.add_edge(state, _EXIT)
+                else:
+                    graph.add_edge(state, outcome)
+                    if outcome not in seen:
+                        frontier.append(outcome)
+        # A loop diverges when some reachable loop-head state cannot exit.
+        can_exit = (
+            set(nx.ancestors(graph, _EXIT)) if graph.has_node(_EXIT) else set()
+        )
+        for state in seen:
+            if state not in can_exit:
+                diverge = True
+                break
+        return frozenset(outcomes), diverge
+
+
+class _Exit:
+    """Sentinel node marking loop exit in the possibility-analysis graph."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "EXIT"
+
+
+_EXIT = _Exit()
+_MISSING = object()
+
+
+def _build_dispatch(
+    policy: s.Case,
+) -> tuple[str, dict[int, s.Policy], s.Policy] | None:
+    """Build a dictionary dispatch table for single-field ``case`` guards."""
+    field: str | None = None
+    table: dict[int, s.Policy] = {}
+    for guard, branch in policy.branches:
+        if not isinstance(guard, s.Test):
+            return None
+        if field is None:
+            field = guard.field
+        elif guard.field != field:
+            return None
+        if guard.value in table:
+            # Later duplicate guards are unreachable; keep the first.
+            continue
+        table[guard.value] = branch
+    if field is None:
+        return None
+    return field, table, policy.default
+
+
+def output_distribution(
+    policy: s.Policy,
+    inputs: Dist[Outcome] | Packet | Iterable[Packet],
+    exact: bool = False,
+) -> Dist[Outcome]:
+    """Convenience wrapper: run ``policy`` on packets or a distribution.
+
+    When ``inputs`` is an iterable of packets, the uniform distribution
+    over them is used (the convention for multi-ingress network queries).
+    """
+    interp = Interpreter(exact=exact)
+    if isinstance(inputs, (Packet, Dist)):
+        return interp.run(policy, inputs)
+    packets = list(inputs)
+    return interp.run(policy, Dist.uniform(packets))

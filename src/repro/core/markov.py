@@ -1,0 +1,292 @@
+"""Absorbing Markov chain solvers.
+
+The closed form for ProbNetKAT iteration (§4, Theorem 4.7) requires the
+absorption probabilities ``A = (I - Q)^{-1} R`` of a finite absorbing
+Markov chain whose transient-to-transient block is ``Q`` and whose
+transient-to-absorbing block is ``R``.
+
+Two solvers are provided:
+
+* :func:`solve_absorption` — float64 sparse LU via SciPy (the role played
+  by UMFPACK in McNetKAT);
+* :func:`solve_absorption_exact` — exact rational Gaussian elimination
+  for small systems (mirrors the paper's use of exact arithmetic in the
+  frontend and is used by the reference semantics and unit tests).
+
+Both accept the chain in a sparse "dict of rows" form and return dense
+row dictionaries mapping absorbing states to probabilities.  Probability
+mass that cannot reach any absorbing state (non-termination) is reported
+separately so callers can assign it to the drop outcome, which is the
+correct limit semantics for guarded loops.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Hashable, Mapping, Sequence, TypeVar
+
+import numpy as np
+from scipy.sparse import csc_matrix, identity
+from scipy.sparse.linalg import splu
+
+State = TypeVar("State", bound=Hashable)
+
+#: Numerical tolerance used to clean up tiny negative values from LU solves.
+SOLVER_TOLERANCE = 1e-12
+
+
+def _states_reaching_absorption(
+    transient: Sequence[State],
+    absorbing: Sequence[State],
+    transitions: Mapping[State, Mapping[State, float | Fraction]],
+) -> set[State]:
+    """Transient states from which some absorbing state is reachable.
+
+    States outside this set can never be absorbed; their probability mass
+    is lost (reported via ``lost_mass``) and they are excluded from the
+    linear system, which keeps ``I - Q`` nonsingular even for programs
+    with genuinely diverging loops.
+    """
+    absorbing_set = set(absorbing)
+    predecessors: dict[State, set[State]] = {}
+    frontier: list[State] = []
+    reaching: set[State] = set()
+    for state in transient:
+        for successor, probability in transitions.get(state, {}).items():
+            if probability == 0:
+                continue
+            if successor in absorbing_set:
+                if state not in reaching:
+                    reaching.add(state)
+                    frontier.append(state)
+            else:
+                predecessors.setdefault(successor, set()).add(state)
+    while frontier:
+        state = frontier.pop()
+        for predecessor in predecessors.get(state, ()):
+            if predecessor not in reaching:
+                reaching.add(predecessor)
+                frontier.append(predecessor)
+    return reaching
+
+
+class AbsorptionResult(dict):
+    """Mapping ``transient state -> {absorbing state -> probability}``.
+
+    The extra attribute :attr:`lost_mass` records, per transient state,
+    the probability of never reaching an absorbing state (zero for proper
+    absorbing chains).
+    """
+
+    def __init__(self, rows: Mapping, lost_mass: Mapping):
+        super().__init__(rows)
+        self.lost_mass = dict(lost_mass)
+
+
+def solve_absorption(
+    transient: Sequence[State],
+    absorbing: Sequence[State],
+    transitions: Mapping[State, Mapping[State, float | Fraction]],
+) -> AbsorptionResult:
+    """Compute absorption probabilities with a sparse float64 LU solve.
+
+    Parameters
+    ----------
+    transient:
+        The transient states (rows of ``Q`` and ``R``).
+    absorbing:
+        The absorbing states (columns of ``R``).
+    transitions:
+        For each transient state, a mapping from successor state to
+        transition probability.  Successors may be transient or
+        absorbing; rows may be sub-stochastic (mass can be lost).
+
+    Returns
+    -------
+    AbsorptionResult
+        ``result[t][a]`` is the probability of eventually reaching
+        absorbing state ``a`` from transient state ``t``.
+    """
+    transient = list(transient)
+    absorbing = list(absorbing)
+    if not transient:
+        return AbsorptionResult({}, {})
+    reaching = _states_reaching_absorption(transient, absorbing, transitions)
+    doomed = [state for state in transient if state not in reaching]
+    transient = [state for state in transient if state in reaching]
+    if not transient:
+        return AbsorptionResult(
+            {state: {} for state in doomed}, {state: 1.0 for state in doomed}
+        )
+    t_index = {state: i for i, state in enumerate(transient)}
+    a_index = {state: j for j, state in enumerate(absorbing)}
+    nt, na = len(transient), len(absorbing)
+
+    q_rows: list[int] = []
+    q_cols: list[int] = []
+    q_data: list[float] = []
+    r_rows: list[int] = []
+    r_cols: list[int] = []
+    r_data: list[float] = []
+    doomed_set = set(doomed)
+    for state in transient:
+        i = t_index[state]
+        for succ, prob in transitions.get(state, {}).items():
+            p = float(prob)
+            if p == 0.0:
+                continue
+            if succ in t_index:
+                q_rows.append(i)
+                q_cols.append(t_index[succ])
+                q_data.append(p)
+            elif succ in a_index:
+                r_rows.append(i)
+                r_cols.append(a_index[succ])
+                r_data.append(p)
+            elif succ in doomed_set:
+                continue  # mass entering a doomed state can never be absorbed
+            else:
+                raise KeyError(f"successor {succ!r} is neither transient nor absorbing")
+
+    q_mat = csc_matrix((q_data, (q_rows, q_cols)), shape=(nt, nt))
+    r_mat = csc_matrix((r_data, (r_rows, r_cols)), shape=(nt, na))
+    system = (identity(nt, format="csc") - q_mat).tocsc()
+    lu = splu(system)
+    absorption = lu.solve(r_mat.toarray()) if na else np.zeros((nt, 0))
+
+    rows: dict[State, dict[State, float]] = {}
+    lost: dict[State, float] = {}
+    for state in transient:
+        i = t_index[state]
+        row: dict[State, float] = {}
+        for j, a_state in enumerate(absorbing):
+            value = float(absorption[i, j])
+            if value < 0.0:
+                if value < -1e-6:
+                    raise ArithmeticError(
+                        f"negative absorption probability {value} for {state!r}"
+                    )
+                value = 0.0
+            if value > 0.0:
+                row[a_state] = min(value, 1.0)
+        rows[state] = row
+        deficit = 1.0 - sum(row.values())
+        lost[state] = deficit if deficit > SOLVER_TOLERANCE else 0.0
+    for state in doomed:
+        rows[state] = {}
+        lost[state] = 1.0
+    return AbsorptionResult(rows, lost)
+
+
+def solve_absorption_exact(
+    transient: Sequence[State],
+    absorbing: Sequence[State],
+    transitions: Mapping[State, Mapping[State, Fraction | int]],
+) -> AbsorptionResult:
+    """Exact rational version of :func:`solve_absorption`.
+
+    Solves ``(I - Q) X = R`` by Gaussian elimination over
+    :class:`fractions.Fraction`.  Suitable for systems with at most a few
+    hundred transient states.
+    """
+    transient = list(transient)
+    absorbing = list(absorbing)
+    if not transient:
+        return AbsorptionResult({}, {})
+    reaching = _states_reaching_absorption(transient, absorbing, transitions)
+    doomed = [state for state in transient if state not in reaching]
+    doomed_set = set(doomed)
+    transient = [state for state in transient if state in reaching]
+    if not transient:
+        return AbsorptionResult(
+            {state: {} for state in doomed}, {state: Fraction(1) for state in doomed}
+        )
+    t_index = {state: i for i, state in enumerate(transient)}
+    a_index = {state: j for j, state in enumerate(absorbing)}
+    nt, na = len(transient), len(absorbing)
+
+    # Build the augmented matrix [I - Q | R] with exact fractions.
+    matrix: list[list[Fraction]] = [
+        [Fraction(0)] * (nt + na) for _ in range(nt)
+    ]
+    for i in range(nt):
+        matrix[i][i] = Fraction(1)
+    for state in transient:
+        i = t_index[state]
+        for succ, prob in transitions.get(state, {}).items():
+            p = Fraction(prob)
+            if p == 0:
+                continue
+            if succ in t_index:
+                matrix[i][t_index[succ]] -= p
+            elif succ in a_index:
+                matrix[i][nt + a_index[succ]] += p
+            elif succ in doomed_set:
+                continue  # mass entering a doomed state can never be absorbed
+            else:
+                raise KeyError(f"successor {succ!r} is neither transient nor absorbing")
+
+    # Gaussian elimination with partial (non-zero) pivoting.
+    for col in range(nt):
+        pivot_row = next(
+            (r for r in range(col, nt) if matrix[r][col] != 0), None
+        )
+        if pivot_row is None:
+            raise ArithmeticError("I - Q is singular; the chain is not absorbing")
+        if pivot_row != col:
+            matrix[col], matrix[pivot_row] = matrix[pivot_row], matrix[col]
+        pivot = matrix[col][col]
+        if pivot != 1:
+            matrix[col] = [entry / pivot for entry in matrix[col]]
+        for row in range(nt):
+            if row == col or matrix[row][col] == 0:
+                continue
+            factor = matrix[row][col]
+            matrix[row] = [
+                entry - factor * matrix[col][k] for k, entry in enumerate(matrix[row])
+            ]
+
+    rows: dict[State, dict[State, Fraction]] = {}
+    lost: dict[State, Fraction] = {}
+    for state in transient:
+        i = t_index[state]
+        row = {
+            absorbing[j]: matrix[i][nt + j]
+            for j in range(na)
+            if matrix[i][nt + j] != 0
+        }
+        for value in row.values():
+            if value < 0:
+                raise ArithmeticError(
+                    f"negative absorption probability {value} for {state!r}"
+                )
+        rows[state] = row
+        lost[state] = Fraction(1) - sum(row.values(), Fraction(0))
+    for state in doomed:
+        rows[state] = {}
+        lost[state] = Fraction(1)
+    return AbsorptionResult(rows, lost)
+
+
+def reachable_states(
+    start: Sequence[State],
+    successors,
+) -> list[State]:
+    """Breadth-first exploration of the states reachable from ``start``.
+
+    ``successors(state)`` must return an iterable of successor states.
+    The result preserves discovery order (deterministic given the input).
+    """
+    seen: dict[State, None] = {}
+    frontier = list(start)
+    for state in frontier:
+        seen.setdefault(state, None)
+    index = 0
+    while index < len(frontier):
+        state = frontier[index]
+        index += 1
+        for succ in successors(state):
+            if succ not in seen:
+                seen[succ] = None
+                frontier.append(succ)
+    return list(seen)

@@ -1,0 +1,246 @@
+"""A small recursive-descent parser for ProbNetKAT concrete syntax.
+
+The accepted syntax matches the output of :func:`repro.core.pretty.pretty`
+and is close to the paper's notation::
+
+    if sw=1 then pt<-2 else if sw=2 then pt<-2 else drop
+    (pt<-2 @ 1/2 (+) pt<-3 @ 1/2)
+    while ~(sw=2 ; pt=2) do (t ; p)        -- with t, p inlined
+    var up2 <- 1 in ...                     -- local variables
+
+Operator precedence (loosest to tightest): probabilistic choice ``(+)``,
+union ``&``/``|``, sequence ``;``, negation ``~`` / star ``*``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.core import sugar
+from repro.core import syntax as s
+
+
+class ParseError(ValueError):
+    """Raised when the input is not a well-formed ProbNetKAT program."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|--[^\n]*)
+  | (?P<arrow><-)
+  | (?P<choiceop>\(\+\))
+  | (?P<num>\d+\.\d+|\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9']*)
+  | (?P<sym>[()=;&|~*@/])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "if", "then", "else", "while", "do", "case", "skip", "drop", "var", "in",
+}
+
+
+@dataclass
+class _Token:
+    kind: str
+    text: str
+    pos: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at offset {pos}")
+        pos = match.end()
+        kind = match.lastgroup or ""
+        if kind == "ws":
+            continue
+        value = match.group()
+        if kind == "ident" and value in _KEYWORDS:
+            kind = value
+        tokens.append(_Token(kind, value, match.start()))
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token helpers -------------------------------------------------------
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _check(self, kind: str, text: str | None = None) -> bool:
+        token = self._peek()
+        if token.kind != kind:
+            return False
+        return text is None or token.text == text
+
+    def _match(self, kind: str, text: str | None = None) -> bool:
+        if self._check(kind, text):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, kind: str, text: str | None = None) -> _Token:
+        if not self._check(kind, text):
+            token = self._peek()
+            wanted = text or kind
+            raise ParseError(
+                f"expected {wanted!r} but found {token.text!r} at offset {token.pos}"
+            )
+        return self._advance()
+
+    # -- grammar ---------------------------------------------------------------
+    def parse(self) -> s.Policy:
+        policy = self.policy()
+        self._expect("eof")
+        return policy
+
+    def policy(self) -> s.Policy:
+        if self._check("if"):
+            return self._ite()
+        if self._check("while"):
+            return self._while()
+        if self._check("case"):
+            return self._case()
+        if self._check("var"):
+            return self._var()
+        return self._choice()
+
+    def _ite(self) -> s.Policy:
+        self._expect("if")
+        guard = self.policy()
+        self._expect("then")
+        then = self.policy()
+        self._expect("else")
+        otherwise = self.policy()
+        return s.ite(_as_predicate(guard), then, otherwise)
+
+    def _while(self) -> s.Policy:
+        self._expect("while")
+        guard = self.policy()
+        self._expect("do")
+        body = self.policy()
+        return s.while_do(_as_predicate(guard), body)
+
+    def _case(self) -> s.Policy:
+        branches: list[tuple[s.Predicate, s.Policy]] = []
+        while self._check("case"):
+            self._advance()
+            guard = self.policy()
+            self._expect("then")
+            branch = self.policy()
+            branches.append((_as_predicate(guard), branch))
+            self._expect("else")
+        default = self.policy()
+        return s.case(branches, default)
+
+    def _var(self) -> s.Policy:
+        self._expect("var")
+        name = self._expect("ident").text
+        self._expect("arrow")
+        value = int(self._expect("num").text)
+        self._expect("in")
+        body = self.policy()
+        return sugar.local(name, value, body)
+
+    def _choice(self) -> s.Policy:
+        first = self._union()
+        if not self._check("sym", "@"):
+            return first
+        branches: list[tuple[s.Policy, Fraction]] = []
+        self._expect("sym", "@")
+        branches.append((first, self._prob()))
+        while self._match("choiceop"):
+            branch = self._union()
+            self._expect("sym", "@")
+            branches.append((branch, self._prob()))
+        return s.choice(*branches)
+
+    def _prob(self) -> Fraction:
+        token = self._expect("num")
+        if "." in token.text:
+            value = Fraction(token.text)
+        else:
+            value = Fraction(int(token.text))
+        if self._match("sym", "/"):
+            denom = int(self._expect("num").text)
+            value = value / denom
+        return value
+
+    def _union(self) -> s.Policy:
+        parts = [self._seq()]
+        while self._check("sym", "&") or self._check("sym", "|"):
+            self._advance()
+            parts.append(self._seq())
+        return s.union(*parts) if len(parts) > 1 else parts[0]
+
+    def _seq(self) -> s.Policy:
+        parts = [self._unary()]
+        while self._match("sym", ";"):
+            parts.append(self._unary())
+        if len(parts) == 1:
+            return parts[0]
+        if all(isinstance(part, s.Predicate) for part in parts):
+            return s.conj(*parts)  # type: ignore[arg-type]
+        return s.seq(*parts)
+
+    def _unary(self) -> s.Policy:
+        if self._match("sym", "~"):
+            inner = self._unary()
+            return s.neg(_as_predicate(inner))
+        atom = self._atom()
+        while self._match("sym", "*"):
+            atom = s.star(atom)
+        return atom
+
+    def _atom(self) -> s.Policy:
+        if self._match("sym", "("):
+            inner = self.policy()
+            self._expect("sym", ")")
+            return inner
+        if self._match("skip"):
+            return s.skip()
+        if self._match("drop"):
+            return s.drop()
+        if self._check("ident"):
+            name = self._advance().text
+            if self._match("sym", "="):
+                value = int(self._expect("num").text)
+                return s.test(name, value)
+            if self._match("arrow"):
+                value = int(self._expect("num").text)
+                return s.assign(name, value)
+            raise ParseError(f"expected '=' or '<-' after field {name!r}")
+        token = self._peek()
+        raise ParseError(f"unexpected token {token.text!r} at offset {token.pos}")
+
+
+def _as_predicate(policy: s.Policy) -> s.Predicate:
+    if not isinstance(policy, s.Predicate):
+        raise ParseError(f"expected a predicate, got policy {policy!r}")
+    return policy
+
+
+def parse(text: str) -> s.Policy:
+    """Parse a ProbNetKAT program from its concrete syntax."""
+    return _Parser(_tokenize(text)).parse()
+
+
+def parse_predicate(text: str) -> s.Predicate:
+    """Parse a predicate; raises :class:`ParseError` on policy input."""
+    return _as_predicate(parse(text))

@@ -1,0 +1,102 @@
+"""Pretty printer for ProbNetKAT programs.
+
+Produces a concrete syntax close to the paper's notation, e.g.::
+
+    if sw=1 then pt<-2 else if sw=2 then pt<-2 else drop
+
+The output of :func:`pretty` round-trips through :mod:`repro.core.parser`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core import syntax as s
+
+
+def _prob(p: Fraction) -> str:
+    if p.denominator == 1:
+        return str(p.numerator)
+    return f"{p.numerator}/{p.denominator}"
+
+
+def pretty(policy: s.Policy, indent: int = 0) -> str:
+    """Render ``policy`` as a single-line concrete-syntax string."""
+    return _pp(policy)
+
+
+def _pp(policy: s.Policy) -> str:
+    if isinstance(policy, s.TrueP):
+        return "skip"
+    if isinstance(policy, s.FalseP):
+        return "drop"
+    if isinstance(policy, s.Test):
+        return f"{policy.field}={policy.value}"
+    if isinstance(policy, s.Assign):
+        return f"{policy.field}<-{policy.value}"
+    if isinstance(policy, s.Not):
+        return f"~({_pp(policy.pred)})"
+    if isinstance(policy, s.And):
+        return f"({_pp(policy.left)} ; {_pp(policy.right)})"
+    if isinstance(policy, s.Or):
+        return f"({_pp(policy.left)} | {_pp(policy.right)})"
+    if isinstance(policy, s.Seq):
+        return "(" + " ; ".join(_pp(part) for part in policy.parts) + ")"
+    if isinstance(policy, s.Union):
+        return "(" + " & ".join(_pp(part) for part in policy.parts) + ")"
+    if isinstance(policy, s.Choice):
+        inner = " (+) ".join(
+            f"{_pp(branch)} @ {_prob(prob)}" for branch, prob in policy.branches
+        )
+        return f"({inner})"
+    if isinstance(policy, s.Star):
+        return f"({_pp(policy.body)})*"
+    if isinstance(policy, s.IfThenElse):
+        return (
+            f"if {_pp(policy.guard)} then {_pp(policy.then)} "
+            f"else {_pp(policy.otherwise)}"
+        )
+    if isinstance(policy, s.WhileDo):
+        return f"while {_pp(policy.guard)} do {_pp(policy.body)}"
+    if isinstance(policy, s.Case):
+        parts = [
+            f"case {_pp(guard)} then {_pp(branch)}" for guard, branch in policy.branches
+        ]
+        return " else ".join(parts) + f" else {_pp(policy.default)}"
+    raise TypeError(f"unknown policy node: {type(policy)!r}")
+
+
+def pretty_multiline(policy: s.Policy, width: int = 80) -> str:
+    """A lightly indented multi-line rendering for large programs.
+
+    Conditionals and case branches are placed on their own lines; all
+    other constructs fall back to the single-line form.
+    """
+    return _pp_ml(policy, 0)
+
+
+def _pp_ml(policy: s.Policy, depth: int) -> str:
+    pad = "  " * depth
+    if isinstance(policy, s.IfThenElse):
+        return (
+            f"{pad}if {_pp(policy.guard)} then\n"
+            f"{_pp_ml(policy.then, depth + 1)}\n"
+            f"{pad}else\n"
+            f"{_pp_ml(policy.otherwise, depth + 1)}"
+        )
+    if isinstance(policy, s.WhileDo):
+        return (
+            f"{pad}while {_pp(policy.guard)} do\n"
+            f"{_pp_ml(policy.body, depth + 1)}"
+        )
+    if isinstance(policy, s.Case):
+        lines = []
+        for guard, branch in policy.branches:
+            lines.append(f"{pad}case {_pp(guard)} then")
+            lines.append(_pp_ml(branch, depth + 1))
+        lines.append(f"{pad}else")
+        lines.append(_pp_ml(policy.default, depth + 1))
+        return "\n".join(lines)
+    if isinstance(policy, s.Seq):
+        return " ;\n".join(_pp_ml(part, depth) for part in policy.parts)
+    return f"{pad}{_pp(policy)}"

@@ -1,0 +1,27 @@
+"""Reference semantics for ProbNetKAT (Appendix A, §3 and §4 of the paper).
+
+These modules are *executable specifications* used to validate the
+scalable backends on small packet universes:
+
+* :mod:`repro.core.semantics.denotational` — the packet-set semantics
+  ``[[p]] : 2^Pk -> D(2^Pk)``;
+* :mod:`repro.core.semantics.bigstep` — the stochastic-matrix semantics
+  ``B[[p]]`` of §3 (Figure 3);
+* :mod:`repro.core.semantics.smallstep` — the small-step chain ``S[[p]]``
+  and the closed form for iteration of §4.
+"""
+
+from repro.core.semantics.bigstep import BigStepMatrix, big_step_matrix
+from repro.core.semantics.denotational import eval_policy
+from repro.core.semantics.smallstep import (
+    small_step_matrix,
+    star_closed_form,
+)
+
+__all__ = [
+    "eval_policy",
+    "BigStepMatrix",
+    "big_step_matrix",
+    "small_step_matrix",
+    "star_closed_form",
+]

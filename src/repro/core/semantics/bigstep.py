@@ -1,0 +1,211 @@
+"""Big-step stochastic-matrix semantics ``B[[p]]`` (§3, Figure 3).
+
+Programs are interpreted as right-stochastic matrices indexed by packet
+*sets* of a finite universe.  The matrices are represented as Markov
+kernels ``2^Pk -> Dist(2^Pk)`` keyed by frozensets of packets, which is
+convenient for the tiny universes these reference semantics target.
+
+The constructors follow Figure 3 literally (independent of the
+denotational semantics in :mod:`repro.core.semantics.denotational`), so
+comparing the two implementations constitutes an executable check of
+Theorem 3.1.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Iterable
+
+from repro.core import syntax as s
+from repro.core.distributions import Dist
+from repro.core.packet import Packet, PacketUniverse
+
+PacketSet = frozenset[Packet]
+
+
+class BigStepMatrix:
+    """A right-stochastic matrix over ``2^Pk`` represented as a kernel."""
+
+    def __init__(self, universe: PacketUniverse, kernel: dict[PacketSet, Dist[PacketSet]]):
+        self.universe = universe
+        self.kernel = kernel
+
+    # -- access ---------------------------------------------------------------
+    def entry(self, a: PacketSet, b: PacketSet) -> Fraction | float:
+        """The probability ``B[[p]]_{a,b}`` of producing ``b`` on input ``a``."""
+        return self.kernel[frozenset(a)](frozenset(b))
+
+    def row(self, a: PacketSet) -> Dist[PacketSet]:
+        """The output distribution for input set ``a``."""
+        return self.kernel[frozenset(a)]
+
+    def inputs(self) -> Iterable[PacketSet]:
+        return self.kernel.keys()
+
+    def is_stochastic(self, tolerance: float = 1e-9) -> bool:
+        """Check every row sums to one."""
+        for dist in self.kernel.values():
+            total = dist.total_mass()
+            if isinstance(total, Fraction):
+                if total != 1:
+                    return False
+            elif abs(float(total) - 1.0) > tolerance:
+                return False
+        return True
+
+    # -- composition -----------------------------------------------------------
+    def matmul(self, other: "BigStepMatrix") -> "BigStepMatrix":
+        """Matrix product ``self · other`` (sequential composition)."""
+        kernel = {
+            a: dist.bind(lambda c: other.kernel[c]) for a, dist in self.kernel.items()
+        }
+        return BigStepMatrix(self.universe, kernel)
+
+    def convex(self, weight: Fraction, other: "BigStepMatrix") -> "BigStepMatrix":
+        """Convex combination ``weight · self + (1 - weight) · other``."""
+        kernel = {
+            a: Dist.convex(
+                [(self.kernel[a], weight), (other.kernel[a], 1 - weight)]
+            )
+            for a in self.kernel
+        }
+        return BigStepMatrix(self.universe, kernel)
+
+    def close_to(self, other: "BigStepMatrix", tolerance: float = 1e-9) -> bool:
+        """Entry-wise comparison up to ``tolerance``."""
+        if set(self.kernel) != set(other.kernel):
+            return False
+        return all(
+            self.kernel[a].close_to(other.kernel[a], tolerance) for a in self.kernel
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BigStepMatrix):
+            return NotImplemented
+        return set(self.kernel) == set(other.kernel) and all(
+            self.kernel[a] == other.kernel[a] for a in self.kernel
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - rarely needed
+        return hash(frozenset(self.kernel))
+
+
+def _pointwise(universe: PacketUniverse, func: Callable[[PacketSet], PacketSet]) -> BigStepMatrix:
+    """Deterministic matrix: each input set maps to ``func(a)`` with probability 1."""
+    kernel = {
+        a: Dist.point(frozenset(func(a))) for a in universe.subsets()
+    }
+    return BigStepMatrix(universe, kernel)
+
+
+def big_step_matrix(
+    policy: s.Policy,
+    universe: PacketUniverse,
+    max_star_iterations: int = 200,
+    star_method: str = "iterate",
+) -> BigStepMatrix:
+    """Construct ``B[[policy]]`` over the given packet universe.
+
+    ``star_method`` selects how ``p*`` (and ``while``) matrices are
+    computed: ``"iterate"`` unrolls until the matrix stops changing;
+    ``"closed_form"`` uses the small-step absorbing-chain closed form of
+    §4 (Theorem 4.7) via :mod:`repro.core.semantics.smallstep`.
+    """
+    return _build(policy, universe, max_star_iterations, star_method)
+
+
+def _build(
+    policy: s.Policy,
+    universe: PacketUniverse,
+    max_iter: int,
+    star_method: str,
+) -> BigStepMatrix:
+    if isinstance(policy, s.FalseP):
+        return _pointwise(universe, lambda a: frozenset())
+    if isinstance(policy, s.TrueP):
+        return _pointwise(universe, lambda a: a)
+    if isinstance(policy, s.Test):
+        return _pointwise(
+            universe,
+            lambda a: frozenset(p for p in a if p.test(policy.field, policy.value)),
+        )
+    if isinstance(policy, s.Assign):
+        return _pointwise(
+            universe,
+            lambda a: frozenset(p.set(policy.field, policy.value) for p in a),
+        )
+    if isinstance(policy, s.Not):
+        inner = _build(policy.pred, universe, max_iter, star_method)
+        kernel = {
+            a: inner.kernel[a].map(lambda b, a=a: a - b) for a in inner.kernel
+        }
+        return BigStepMatrix(universe, kernel)
+    if isinstance(policy, s.And):
+        return _build(s.Seq((policy.left, policy.right)), universe, max_iter, star_method)
+    if isinstance(policy, s.Or):
+        return _build(s.Union((policy.left, policy.right)), universe, max_iter, star_method)
+    if isinstance(policy, s.Seq):
+        result = _pointwise(universe, lambda a: a)
+        for part in policy.parts:
+            result = result.matmul(_build(part, universe, max_iter, star_method))
+        return result
+    if isinstance(policy, s.Union):
+        matrices = [_build(part, universe, max_iter, star_method) for part in policy.parts]
+        kernel: dict[PacketSet, Dist[PacketSet]] = {}
+        for a in universe.subsets():
+            dist: Dist[PacketSet] = Dist.point(frozenset())
+            for matrix in matrices:
+                dist = dist.product(matrix.kernel[a]).map(lambda pair: pair[0] | pair[1])
+            kernel[a] = dist
+        return BigStepMatrix(universe, kernel)
+    if isinstance(policy, s.Choice):
+        kernel = {}
+        branch_matrices = [
+            (_build(branch, universe, max_iter, star_method), prob)
+            for branch, prob in policy.branches
+        ]
+        for a in universe.subsets():
+            kernel[a] = Dist.convex(
+                (matrix.kernel[a], prob) for matrix, prob in branch_matrices
+            )
+        return BigStepMatrix(universe, kernel)
+    if isinstance(policy, s.IfThenElse):
+        expanded = s.union(
+            s.seq(policy.guard, policy.then),
+            s.seq(s.neg(policy.guard), policy.otherwise),
+        )
+        return _build(expanded, universe, max_iter, star_method)
+    if isinstance(policy, s.Case):
+        return _build(s.case_to_ite(policy), universe, max_iter, star_method)
+    if isinstance(policy, s.WhileDo):
+        expanded = s.seq(s.star(s.seq(policy.guard, policy.body)), s.neg(policy.guard))
+        return _build(expanded, universe, max_iter, star_method)
+    if isinstance(policy, s.Star):
+        body = _build(policy.body, universe, max_iter, star_method)
+        if star_method == "closed_form":
+            from repro.core.semantics.smallstep import star_closed_form
+            return star_closed_form(body)
+        return _star_by_iteration(body, max_iter)
+    raise TypeError(f"unknown policy node {type(policy)!r}")
+
+
+def _star_by_iteration(body: BigStepMatrix, max_iter: int) -> BigStepMatrix:
+    """``B[[p*]]`` as the limit of the unrollings ``B[[p^(n)]]``."""
+    universe = body.universe
+    identity = _pointwise(universe, lambda a: a)
+    previous: BigStepMatrix | None = None
+    current = identity  # p^(0) = skip
+    for _ in range(max_iter):
+        # p^(n+1) = skip & p ; p^(n):  union of identity with body·current.
+        composed = body.matmul(current)
+        kernel = {
+            a: Dist.point(a).product(composed.kernel[a]).map(lambda pair: pair[0] | pair[1])
+            for a in universe.subsets()
+        }
+        next_matrix = BigStepMatrix(universe, kernel)
+        if previous is not None and next_matrix.close_to(current, tolerance=1e-12):
+            return next_matrix
+        previous, current = current, next_matrix
+    raise RuntimeError(
+        "B[[p*]] did not converge by iteration; use star_method='closed_form'"
+    )

@@ -1,0 +1,151 @@
+"""Small-step semantics and the closed form for iteration (§4).
+
+The small-step chain ``S[[p]]`` runs over states ``(a, b)`` where ``a`` is
+the current packet set and ``b`` the output accumulator:
+
+    ``S[[p]]_{(a,b),(a',b')} = [b' = b ∪ a] · B[[p]]_{a,a'}``          (§4)
+
+Saturated states are collapsed onto canonical absorbing states ``(∅, b)``
+by the auxiliary matrix ``U``; the absorbing chain ``SU`` then yields the
+exact limit of iteration via ``A = (I - Q)^{-1} R`` (Theorem 4.7).
+
+These functions operate on the :class:`~repro.core.semantics.bigstep.BigStepMatrix`
+representation and exact rational arithmetic; they target tiny universes
+and serve as the executable specification validated by the unit tests and
+relied upon by the scalable single-packet compiler.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable
+
+from repro.core.distributions import Dist
+from repro.core.packet import Packet
+from repro.core.semantics.bigstep import BigStepMatrix
+
+PacketSet = frozenset[Packet]
+PairState = tuple[PacketSet, PacketSet]
+
+
+def small_step_matrix(body: BigStepMatrix) -> dict[PairState, Dist[PairState]]:
+    """Construct ``S[[p]]`` from ``B[[p]]`` over all pair states ``(a, b)``."""
+    subsets = list(body.universe.subsets())
+    kernel: dict[PairState, Dist[PairState]] = {}
+    for a in subsets:
+        row = body.kernel[a]
+        for b in subsets:
+            b_next = b | a
+            kernel[(a, b)] = row.map(lambda a_next, b_next=b_next: (a_next, b_next))
+    return kernel
+
+
+def is_saturated(
+    state: PairState, kernel: dict[PairState, Dist[PairState]]
+) -> bool:
+    """A state ``(a, b)`` is saturated when ``b`` can no longer grow (Def. 4.4)."""
+    target = state[1]
+    seen: set[PairState] = {state}
+    frontier = [state]
+    while frontier:
+        current = frontier.pop()
+        for succ in kernel[current].support():
+            if succ[1] != target:
+                return False
+            if succ not in seen:
+                seen.add(succ)
+                frontier.append(succ)
+    return True
+
+
+def saturation_quotient(
+    kernel: dict[PairState, Dist[PairState]]
+) -> dict[PairState, Dist[PairState]]:
+    """Compose with the matrix ``U`` that collapses saturated states.
+
+    ``U`` sends a saturated state ``(a, b)`` to the canonical absorbing
+    state ``(∅, b)`` and is the identity elsewhere; the result ``S·U`` is
+    an absorbing Markov chain (Proposition 4.6).
+    """
+    saturated = {state for state in kernel if is_saturated(state, kernel)}
+
+    def u_image(state: PairState) -> PairState:
+        if state in saturated:
+            return (frozenset(), state[1])
+        return state
+
+    return {
+        state: dist.map(u_image) for state, dist in kernel.items()
+    }
+
+
+def absorbing_states(kernel: dict[PairState, Dist[PairState]]) -> set[PairState]:
+    """States that transition to themselves with probability one."""
+    result = set()
+    for state, dist in kernel.items():
+        if dist(state) == 1:
+            result.add(state)
+    return result
+
+
+def star_closed_form(body: BigStepMatrix) -> BigStepMatrix:
+    """Compute ``B[[p*]]`` exactly via the absorbing chain ``SU`` (Thm 4.7).
+
+    For every input set ``a`` the start state is ``(a, ∅)``; the
+    probability that ``p*`` outputs ``b`` equals the probability that the
+    chain ``SU`` is absorbed in ``(∅, b)``.
+    """
+    from repro.core.markov import solve_absorption_exact
+
+    universe = body.universe
+    s_kernel = small_step_matrix(body)
+    su_kernel = saturation_quotient(s_kernel)
+    absorbing = absorbing_states(su_kernel)
+    transient = [state for state in su_kernel if state not in absorbing]
+
+    transitions = {
+        state: {succ: Fraction(prob) for succ, prob in su_kernel[state].items()}
+        for state in transient
+    }
+    result = solve_absorption_exact(transient, sorted(absorbing, key=_state_key), transitions)
+
+    kernel: dict[PacketSet, Dist[PacketSet]] = {}
+    for a in universe.subsets():
+        start = (a, frozenset())
+        if start in absorbing:
+            # Already absorbed: the output accumulator is a itself only if
+            # the start state is of the canonical form (∅, b).
+            kernel[a] = Dist.point(start[1] | start[0])
+            continue
+        row = result[start]
+        out = {b: prob for (empty, b), prob in row.items()}
+        lost = result.lost_mass.get(start, Fraction(0))
+        if lost != 0:
+            raise ArithmeticError(
+                "SU is not absorbing from a start state; this contradicts Prop. 4.6"
+            )
+        kernel[a] = Dist(out)
+    return BigStepMatrix(universe, kernel)
+
+
+def star_approximation(body: BigStepMatrix, steps: int) -> BigStepMatrix:
+    """The ``n``-step approximation of ``p*`` via the small-step chain.
+
+    Computes ``Σ_{a'} S^{steps+1}_{(a,∅),(a',b)}`` (Proposition 4.2), i.e.
+    the distribution over accumulators after ``steps + 1`` small steps.
+    Useful in tests to observe convergence towards the closed form.
+    """
+    s_kernel = small_step_matrix(body)
+    universe = body.universe
+    kernel: dict[PacketSet, Dist[PacketSet]] = {}
+    for a in universe.subsets():
+        dist: Dist[PairState] = Dist.point((a, frozenset()))
+        for _ in range(steps + 1):
+            dist = dist.bind(lambda state: s_kernel[state])
+        kernel[a] = dist.map(lambda state: state[1])
+    return BigStepMatrix(universe, kernel)
+
+
+def _state_key(state: PairState) -> tuple:
+    a, b = state
+    return (sorted(p.items() for p in a), sorted(p.items() for p in b))

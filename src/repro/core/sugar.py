@@ -1,0 +1,114 @@
+"""Derived ProbNetKAT forms (syntactic sugar).
+
+The paper desugars several convenient constructs into the core language;
+this module provides the same derived forms:
+
+* ``var f <- n in p`` — mutable local variables (§3), desugared to
+  ``f <- n ; p ; f <- 0``;
+* saturating counters (used for hop counts and bounded failure budgets in
+  the case study of §7);
+* "uniform among available ports" policies, the building block of ECMP
+  and the F10 rerouting schemes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core import syntax as s
+
+
+def local(field: str, value: int, body: s.Policy, reset: int = 0) -> s.Policy:
+    """``var field <- value in body``.
+
+    The field is initialised to ``value``, scoped over ``body`` and erased
+    (reset to ``reset``) afterwards so that it does not leak into the
+    observable output, exactly as in the paper's desugaring.
+    """
+    return s.seq(s.assign(field, value), body, s.assign(field, reset))
+
+
+def locals_in(bindings: Sequence[tuple[str, int]], body: s.Policy, reset: int = 0) -> s.Policy:
+    """Nested local declarations ``var f1 <- n1 in var f2 <- n2 in ... body``."""
+    result = body
+    for field, value in reversed(list(bindings)):
+        result = local(field, value, result, reset=reset)
+    return result
+
+
+def increment(field: str, maximum: int) -> s.Policy:
+    """A saturating increment of ``field``: values above ``maximum`` stick.
+
+    Encoded as a cascade of conditionals (the language has no arithmetic),
+    e.g. for ``maximum = 2``::
+
+        if field=0 then field<-1 else if field=1 then field<-2 else skip
+    """
+    if maximum < 0:
+        raise ValueError("maximum must be non-negative")
+    branches: list[tuple[s.Predicate, s.Policy]] = []
+    for value in range(maximum):
+        branches.append((s.test(field, value), s.assign(field, value + 1)))
+    return s.case(branches, default=s.skip())
+
+
+def set_all(fields: Iterable[str], value: int) -> s.Policy:
+    """Assign the same ``value`` to every field in ``fields``."""
+    return s.seq(*[s.assign(field, value) for field in fields])
+
+
+def uniform_among_up(
+    up_fields: Sequence[str],
+    actions: Sequence[s.Policy],
+    fallback: s.Policy,
+    up_value: int = 1,
+) -> s.Policy:
+    """Choose uniformly among the actions whose guard field is "up".
+
+    This is the pattern used by ECMP and the F10 schemes: given candidate
+    ports with health flags ``up_fields[i]``, forward uniformly at random
+    among the candidates whose flag equals ``up_value``; when none is up,
+    run ``fallback`` (drop, or a lower-priority rerouting group).
+
+    The encoding enumerates the ``2^n`` combinations of flag values as a
+    cascade of conditionals, mirroring how such policies are written in
+    ProbNetKAT (no native "uniform over a dynamic set" construct exists).
+    """
+    if len(up_fields) != len(actions):
+        raise ValueError("up_fields and actions must have the same length")
+    n = len(up_fields)
+    if n == 0:
+        return fallback
+    if n > 8:
+        raise ValueError("uniform_among_up supports at most 8 candidates")
+
+    def build(index: int, live: tuple[int, ...]) -> s.Policy:
+        if index == n:
+            if not live:
+                return fallback
+            return s.uniform(*[actions[i] for i in live])
+        up_case = build(index + 1, live + (index,))
+        down_case = build(index + 1, live)
+        if up_case == down_case:
+            return up_case
+        return s.ite(s.test(up_fields[index], up_value), up_case, down_case)
+
+    return build(0, ())
+
+
+def first_up(
+    up_fields: Sequence[str],
+    actions: Sequence[s.Policy],
+    fallback: s.Policy,
+    up_value: int = 1,
+) -> s.Policy:
+    """Deterministically pick the first action whose flag is up.
+
+    Used for deterministic (non-ECMP) routing baselines.
+    """
+    if len(up_fields) != len(actions):
+        raise ValueError("up_fields and actions must have the same length")
+    result = fallback
+    for field, action in reversed(list(zip(up_fields, actions))):
+        result = s.ite(s.test(field, up_value), action, result)
+    return result

@@ -1,0 +1,17 @@
+"""Probabilistic link-failure models (§2 and §7 of the paper)."""
+
+from repro.failure.models import (
+    bounded_failure_program,
+    failure_free,
+    failure_program,
+    independent_failure_program,
+    running_example_failure_models,
+)
+
+__all__ = [
+    "bounded_failure_program",
+    "failure_free",
+    "failure_program",
+    "independent_failure_program",
+    "running_example_failure_models",
+]

@@ -1,0 +1,5 @@
+"""Network model builders: assembling policy, topology, and failure models."""
+
+from repro.network.model import NetworkModel, build_model
+
+__all__ = ["NetworkModel", "build_model"]

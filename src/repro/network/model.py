@@ -1,0 +1,236 @@
+"""Assembling complete network models (§2 and §7).
+
+A network model packages a forwarding policy ``p``, a topology program
+``t``, and a failure model ``f`` into the single ProbNetKAT program
+
+    ``M̂(p, t, f) = var up_1 <- 1 in … in ; (f;p;t) ; while ¬out do (f;p;t)``
+
+together with the ingress packets, the teleportation specification, and
+the delivered-predicate needed by the analyses.  Link-health flags, the
+failure counter, and the detour marker are declared as local variables so
+they are erased from the observable output, exactly as in the paper's
+desugaring of ``var f <- n in p``.
+
+One deviation from the literal paper model is recorded here explicitly:
+the loop body re-initialises the link-health flags after the topology
+step.  Because the failure model resamples every flag it reads at the
+start of each hop and the egress erasure sets all flags to a canonical
+value, this does not change the observable semantics, but it collapses
+the loop-head state space from (location × flag-assignment) to just the
+packet locations, which is what makes forward exploration scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.core import sugar
+from repro.core import syntax as s
+from repro.core.distributions import Dist
+from repro.core.fields import FieldTable
+from repro.core.interpreter import Interpreter, Outcome
+from repro.core.packet import DROP, Packet, _DropType
+from repro.topology.graph import Topology
+
+
+@dataclass
+class NetworkModel:
+    """A fully assembled network model and its analysis artefacts.
+
+    Attributes
+    ----------
+    policy:
+        The complete model program ``M̂``.
+    teleport:
+        The teleportation specification used as the gold standard for
+        full delivery (``in ; sw <- dest ; pt <- 0`` under the same local
+        declarations).
+    ingress_packets:
+        One concrete packet per ingress location.
+    delivered:
+        Predicate satisfied exactly by delivered packets (``sw = dest``).
+    body:
+        One hop of the model (``f ; p ; t`` plus bookkeeping), useful for
+        parallel row computation.
+    """
+
+    topology: Topology
+    dest: int
+    policy: s.Policy
+    teleport: s.Policy
+    body: s.Policy
+    ingress_packets: list[Packet]
+    ingress_predicate: s.Predicate
+    delivered: s.Predicate
+    hops_field: str | None = None
+    fields: FieldTable = field(default_factory=FieldTable)
+
+    # -- analyses -------------------------------------------------------------
+    def output_distributions(
+        self, exact: bool = False, interpreter: Interpreter | None = None
+    ) -> dict[Packet, Dist[Outcome]]:
+        """Per-ingress output distributions of the model."""
+        interp = interpreter if interpreter is not None else Interpreter(exact=exact)
+        return {
+            packet: interp.run_packet(self.policy, packet)
+            for packet in self.ingress_packets
+        }
+
+    def delivery_probabilities(
+        self, exact: bool = False, interpreter: Interpreter | None = None
+    ) -> dict[Packet, float]:
+        """Per-ingress probability that the packet reaches the destination."""
+        outputs = self.output_distributions(exact=exact, interpreter=interpreter)
+        return {
+            packet: float(
+                dist.prob_of(
+                    lambda out: not isinstance(out, _DropType) and out.get("sw") == self.dest
+                )
+            )
+            for packet, dist in outputs.items()
+        }
+
+    def delivery_probability(
+        self, exact: bool = False, interpreter: Interpreter | None = None
+    ) -> float:
+        """Delivery probability averaged uniformly over the ingress set."""
+        per_ingress = self.delivery_probabilities(exact=exact, interpreter=interpreter)
+        return sum(per_ingress.values()) / len(per_ingress)
+
+    def certainly_delivers(self, interpreter: Interpreter | None = None) -> bool:
+        """Whether every ingress packet is delivered with probability one.
+
+        Uses the structural possibility analysis, so the verdict is exact
+        (no numerical tolerance involved).
+        """
+        interp = interpreter if interpreter is not None else Interpreter()
+        for packet in self.ingress_packets:
+            outcomes, may_diverge = interp.certain_outcomes(self.policy, packet)
+            if may_diverge:
+                return False
+            for outcome in outcomes:
+                if isinstance(outcome, _DropType) or outcome.get("sw") != self.dest:
+                    return False
+        return True
+
+
+def build_model(
+    topology: Topology,
+    routing: s.Policy,
+    dest: int,
+    failure: s.Policy | None = None,
+    failable: Mapping[int, Iterable[int]] | None = None,
+    ingress: Sequence[tuple[int, int]] | None = None,
+    count_hops: bool = False,
+    max_hops: int = 16,
+    sw_field: str = "sw",
+    pt_field: str = "pt",
+    up_prefix: str = "up",
+    hops_field: str = "hops",
+    extra_locals: Sequence[tuple[str, int]] = (),
+) -> NetworkModel:
+    """Assemble the network model ``M̂(routing, t, failure)``.
+
+    Parameters
+    ----------
+    topology:
+        The network topology; its :meth:`~repro.topology.graph.Topology.program`
+        provides the link program ``t``.
+    routing:
+        The switch policy ``p`` (e.g. ECMP or one of the F10 schemes).
+    dest:
+        Destination switch; the model's loop runs while ``sw ≠ dest``.
+    failure:
+        The failure model ``f`` run at each hop (omitted = no failures).
+    failable:
+        Per-switch failable ports, used to guard the corresponding links
+        in the topology program and to reset their health flags.
+    ingress:
+        Ingress locations as ``(switch, port)`` pairs; defaults to every
+        host-facing port except those at the destination switch.
+    count_hops:
+        Add a saturating hop counter (used by the latency analyses of
+        Figure 12(b,c)).
+    extra_locals:
+        Additional ``(field, initial value)`` local declarations.  Used to
+        give structurally different schemes (e.g. F10 with and without the
+        detour flag) the same observable field set, so their outputs stay
+        directly comparable in refinement checks.
+    """
+    failable = {node: sorted(ports) for node, ports in (failable or {}).items()}
+    link_program = topology.program(
+        failable=failable, sw_field=sw_field, pt_field=pt_field, up_prefix=up_prefix
+    )
+    if ingress is None:
+        ingress = topology.ingress_locations(exclude=[dest])
+    if not ingress:
+        raise ValueError("the model needs at least one ingress location")
+
+    ingress_predicate = s.disj(
+        *[
+            s.conj(s.test(sw_field, switch), s.test(pt_field, port))
+            for switch, port in ingress
+        ]
+    )
+    out_predicate = s.test(sw_field, dest)
+
+    pieces: list[s.Policy] = []
+    if failure is not None:
+        pieces.append(failure)
+    pieces.append(routing)
+    pieces.append(link_program)
+
+    # Collect the local bookkeeping fields used by the model.
+    mentioned = set()
+    for piece in pieces:
+        mentioned |= piece.fields()
+    up_fields = sorted(name for name in mentioned if name.startswith(up_prefix)
+                       and name != up_prefix and name[len(up_prefix):].isdigit())
+    detour_fields = sorted(name for name in mentioned if name == "detour")
+    counter_fields = sorted(name for name in mentioned if name == "fails")
+
+    # Re-initialise flags after each hop so loop-head states depend only on
+    # the packet location (see module docstring).
+    if up_fields:
+        pieces.append(sugar.set_all(up_fields, 1))
+    if count_hops:
+        pieces.append(sugar.increment(hops_field, max_hops))
+    body = s.seq(*pieces)
+
+    core = s.seq(
+        ingress_predicate,
+        body,
+        s.while_do(s.neg(out_predicate), body),
+        s.assign(pt_field, 0),
+    )
+    if count_hops:
+        core = s.seq(s.assign(hops_field, 0), core)
+
+    bindings = [(name, 1) for name in up_fields]
+    bindings += [(name, 0) for name in detour_fields]
+    bindings += [(name, 0) for name in counter_fields]
+    declared = {name for name, _ in bindings}
+    bindings += [(name, init) for name, init in extra_locals if name not in declared]
+    policy = sugar.locals_in(bindings, core) if bindings else core
+
+    teleport_core = s.seq(ingress_predicate, s.assign(sw_field, dest), s.assign(pt_field, 0))
+    teleport = sugar.locals_in(bindings, teleport_core) if bindings else teleport_core
+
+    ingress_packets = [
+        Packet({sw_field: switch, pt_field: port}) for switch, port in ingress
+    ]
+
+    table = FieldTable.from_policy(policy)
+    return NetworkModel(
+        topology=topology,
+        dest=dest,
+        policy=policy,
+        teleport=teleport,
+        body=body,
+        ingress_packets=ingress_packets,
+        ingress_predicate=ingress_predicate,
+        delivered=out_predicate,
+        hops_field=hops_field if count_hops else None,
+        fields=table,
+    )

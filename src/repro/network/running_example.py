@@ -1,0 +1,131 @@
+"""The three-switch running example of §2 of the paper.
+
+The topology (Figure 1) connects a source at switch 1 to a destination at
+switch 2, with switch 3 available as a backup next hop.  The module
+provides the naive forwarding scheme ``p``, the fault-tolerant scheme
+``p̂``, the (failure-aware) topology programs, the three failure models
+``f0``/``f1``/``f2``, and the assembled models ``M̂(p, t̂, f)`` used in
+the paper's overview — including the quantitative claims that the naive
+scheme delivers 80% of traffic and the resilient scheme 96% under ``f2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import sugar
+from repro.core import syntax as s
+from repro.core.packet import Packet
+from repro.failure.models import running_example_failure_models
+
+#: Ingress and egress locations of the running example.
+INGRESS = s.conj(s.test("sw", 1), s.test("pt", 1))
+EGRESS = s.conj(s.test("sw", 2), s.test("pt", 2))
+
+#: The packet injected at the source.
+INGRESS_PACKET = Packet({"sw": 1, "pt": 1})
+
+
+def naive_policy() -> s.Policy:
+    """The naive forwarding scheme ``p``: switches 1 and 2 forward out port 2."""
+    return s.ite(
+        s.test("sw", 1),
+        s.assign("pt", 2),
+        s.ite(s.test("sw", 2), s.assign("pt", 2), s.drop()),
+    )
+
+
+def resilient_policy() -> s.Policy:
+    """The fault-tolerant scheme ``p̂``: fall back to port 3 when link ℓ12 is down.
+
+    Switch 1 routes via switch 2 when its link is healthy and detours via
+    switch 3 otherwise; switches 2 and 3 forward towards the destination
+    over links that cannot fail in the §2 failure models.
+    """
+    p1 = s.ite(
+        s.test("up2", 1),
+        s.assign("pt", 2),
+        s.ite(s.test("up2", 0), s.assign("pt", 3), s.drop()),
+    )
+    p2 = s.assign("pt", 2)
+    p3 = s.assign("pt", 2)
+    return s.ite(s.test("sw", 1), p1, s.ite(s.test("sw", 2), p2, p3))
+
+
+def topology() -> s.Policy:
+    """The failure-oblivious topology program ``t``."""
+    return _topology(guarded=False)
+
+
+def faulty_topology() -> s.Policy:
+    """The failure-aware topology program ``t̂`` (links honour ``up`` flags)."""
+    return _topology(guarded=True)
+
+
+def _topology(guarded: bool) -> s.Policy:
+    def link(src: int, src_pt: int, dst: int, dst_pt: int, flag: str | None) -> tuple[s.Predicate, s.Policy]:
+        move = s.seq(s.assign("sw", dst), s.assign("pt", dst_pt))
+        guard = s.conj(s.test("sw", src), s.test("pt", src_pt))
+        if guarded and flag is not None:
+            move = s.ite(s.test(flag, 1), move, s.drop())
+        return guard, move
+
+    # Links of Figure 1: 1--2 (ports 2/1), 1--3 (ports 3/1), 3--2 (ports 2/3).
+    # Only ℓ12 and ℓ13 may fail (guarded by up2/up3); the 2--3 link cannot.
+    rules = [
+        link(1, 2, 2, 1, "up2"),
+        link(1, 3, 3, 1, "up3"),
+        link(3, 2, 2, 3, None),
+        link(2, 1, 1, 2, "up2"),
+        link(3, 1, 1, 3, "up3"),
+        link(2, 3, 3, 2, None),
+    ]
+    return s.case(rules, s.drop())
+
+
+def teleport() -> s.Policy:
+    """The specification ``in ; sw<-2 ; pt<-2``."""
+    return s.seq(INGRESS, s.assign("sw", 2), s.assign("pt", 2))
+
+
+def model(policy: s.Policy, topo: s.Policy) -> s.Policy:
+    """The failure-free model ``M(p, t) = in ; p ; while ¬out do (t ; p)``."""
+    return s.seq(INGRESS, policy, s.while_do(s.neg(EGRESS), s.seq(topo, policy)))
+
+
+def faulty_model(policy: s.Policy, failure: s.Policy) -> s.Policy:
+    """The refined model ``M̂(p, t̂, f)`` with local link-health flags (§2)."""
+    wrapped = model(s.seq(failure, policy), faulty_topology())
+    return sugar.locals_in([("up2", 1), ("up3", 1)], wrapped)
+
+
+def failure_models() -> dict[str, s.Policy]:
+    """The failure models ``f0``, ``f1``, ``f2`` of §2."""
+    return running_example_failure_models()
+
+
+@dataclass(frozen=True)
+class RunningExample:
+    """All artefacts of the §2 overview, bundled for examples and tests."""
+
+    naive: s.Policy
+    resilient: s.Policy
+    teleport: s.Policy
+    ingress_packet: Packet
+    models_naive: dict[str, s.Policy]
+    models_resilient: dict[str, s.Policy]
+
+
+def build() -> RunningExample:
+    """Assemble every §2 artefact (models under all three failure models)."""
+    failures = failure_models()
+    return RunningExample(
+        naive=naive_policy(),
+        resilient=resilient_policy(),
+        teleport=teleport(),
+        ingress_packet=INGRESS_PACKET,
+        models_naive={name: faulty_model(naive_policy(), f) for name, f in failures.items()},
+        models_resilient={
+            name: faulty_model(resilient_policy(), f) for name, f in failures.items()
+        },
+    )

@@ -1,0 +1,24 @@
+"""Routing schemes: shortest paths, ECMP, the F10 family, and baselines."""
+
+from repro.routing.shortest_path import distances_to, shortest_path_ports
+from repro.routing.ecmp import ecmp_policy
+from repro.routing.static_routing import static_policy
+from repro.routing.teleport import teleport_policy
+from repro.routing.f10 import (
+    F10_SCHEMES,
+    downward_failable_ports,
+    f10_model,
+    f10_policy,
+)
+
+__all__ = [
+    "F10_SCHEMES",
+    "distances_to",
+    "downward_failable_ports",
+    "ecmp_policy",
+    "f10_model",
+    "f10_policy",
+    "shortest_path_ports",
+    "static_policy",
+    "teleport_policy",
+]

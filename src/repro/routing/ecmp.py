@@ -1,0 +1,39 @@
+"""Equal-Cost Multi-Path routing (ECMP).
+
+ECMP hashes flows onto shortest paths; the paper (and this reproduction)
+approximates the hashing behaviour by selecting a port uniformly at
+random among the shortest-path next hops (§6, and the ``F10_0`` scheme of
+§7).  The resulting policy is failure-oblivious: if the randomly chosen
+link happens to be down, the topology program drops the packet.
+"""
+
+from __future__ import annotations
+
+from repro.core import syntax as s
+from repro.routing.shortest_path import shortest_path_ports
+from repro.topology.graph import Topology
+
+
+def ecmp_policy(
+    topology: Topology,
+    dest: int,
+    sw_field: str = "sw",
+    pt_field: str = "pt",
+) -> s.Policy:
+    """The ECMP forwarding policy towards ``dest``.
+
+    Every switch (except the destination) forwards to a uniformly random
+    shortest-path port; switches with no path to the destination drop.
+    The policy is a ``case`` over the switch field, the shape the paper
+    introduces for parallel compilation (§6).
+    """
+    ports = shortest_path_ports(topology, dest)
+    branches: list[tuple[s.Predicate, s.Policy]] = []
+    for switch in sorted(sw for sw in topology.switches() if sw != dest):
+        candidates = ports.get(switch, [])
+        if not candidates:
+            action: s.Policy = s.drop()
+        else:
+            action = s.uniform(*[s.assign(pt_field, port) for port in candidates])
+        branches.append((s.test(sw_field, switch), action))
+    return s.case(branches, s.drop())

@@ -1,0 +1,267 @@
+"""The F10 routing schemes (§7 of the paper, after Liu et al.).
+
+Three schemes of increasing resilience are modelled, all as per-switch
+``case`` policies over (AB) FatTree topologies:
+
+* ``F10_0`` — ECMP along shortest paths, failure-oblivious;
+* ``F10_3`` — like ``F10_0``, but a core switch whose downward link
+  towards the destination pod has failed re-routes to an aggregation
+  switch of the *opposite* subtree type (the 3-hop detour that only the
+  AB FatTree wiring makes useful);
+* ``F10_3,5`` — like ``F10_3``, but when no opposite-type aggregation
+  switch is reachable the core falls back to a same-type aggregation
+  switch and marks the packet with a detour flag; the marked packet
+  descends to an edge switch, bounces back up through a different
+  aggregation switch, and resumes normal routing (the 5-hop detour).
+
+Only downward links between the core and aggregation layers are treated
+as failable (``downward_failable_ports``), matching the paper's focus on
+downward-path failures: upward traversals and the intra-pod downward hop
+never fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Mapping, Sequence
+
+from repro.core import sugar
+from repro.core import syntax as s
+from repro.failure.models import failure_program
+from repro.network.model import NetworkModel, build_model
+from repro.routing.shortest_path import shortest_path_ports
+from repro.topology.graph import Topology
+
+#: The recognised scheme names, in increasing order of resilience.
+F10_SCHEMES = ("f10_0", "f10_3", "f10_3_5")
+
+#: Field used to mark packets on a 5-hop detour.
+DETOUR_FIELD = "detour"
+
+
+def downward_failable_ports(topology: Topology) -> dict[int, list[int]]:
+    """Core-switch ports facing the aggregation layer (the failable links).
+
+    The case study restricts failures to downward links out of the core
+    layer; this helper returns, per core switch, the ports whose links may
+    fail (all of a core's ports face aggregation switches).
+    """
+    failable: dict[int, list[int]] = {}
+    for switch in topology.switches():
+        if topology.attributes(switch).get("level") != "core":
+            continue
+        ports = [
+            port
+            for port, peer in sorted(topology.ports(switch).items())
+            if topology.is_switch(peer)
+            and topology.attributes(peer).get("level") == "agg"
+        ]
+        if ports:
+            failable[switch] = ports
+    return failable
+
+
+@dataclass(frozen=True)
+class _SwitchInfo:
+    """Pre-computed structural information about one switch."""
+
+    switch: int
+    level: str
+    pod: int | None
+    subtree: str | None
+    primary_ports: tuple[int, ...]
+    agg_ports_in_pod: tuple[int, ...]
+    core_ports: tuple[int, ...]
+    edge_ports_in_pod: tuple[int, ...]
+    opposite_type_ports: tuple[int, ...]
+    same_type_ports: tuple[int, ...]
+
+
+def _switch_info(topology: Topology, dest: int) -> dict[int, _SwitchInfo]:
+    dest_attrs = topology.attributes(dest)
+    if dest_attrs.get("level") != "edge":
+        raise ValueError("the F10 schemes route towards an edge (ToR) switch")
+    dest_pod = dest_attrs["pod"]
+    dest_type = dest_attrs.get("subtree", "A")
+    primary = shortest_path_ports(topology, dest)
+
+    info: dict[int, _SwitchInfo] = {}
+    for switch in topology.switches():
+        attrs = topology.attributes(switch)
+        level = attrs.get("level", "edge")
+        pod = attrs.get("pod")
+        subtree = attrs.get("subtree")
+        agg_ports_in_pod: list[int] = []
+        core_ports: list[int] = []
+        edge_ports_in_pod: list[int] = []
+        opposite_type: list[int] = []
+        same_type: list[int] = []
+        for port, peer in sorted(topology.ports(switch).items()):
+            if not topology.is_switch(peer):
+                continue
+            peer_attrs = topology.attributes(peer)
+            peer_level = peer_attrs.get("level")
+            if peer_level == "agg" and peer_attrs.get("pod") == pod:
+                agg_ports_in_pod.append(port)
+            if peer_level == "core":
+                core_ports.append(port)
+            if peer_level == "edge" and peer_attrs.get("pod") == pod:
+                edge_ports_in_pod.append(port)
+            if level == "core" and peer_level == "agg":
+                peer_pod = peer_attrs.get("pod")
+                peer_type = peer_attrs.get("subtree")
+                if peer_pod == dest_pod:
+                    continue
+                if peer_type != dest_type:
+                    opposite_type.append(port)
+                else:
+                    same_type.append(port)
+        info[switch] = _SwitchInfo(
+            switch=switch,
+            level=level,
+            pod=pod,
+            subtree=subtree,
+            primary_ports=tuple(primary.get(switch, [])),
+            agg_ports_in_pod=tuple(agg_ports_in_pod),
+            core_ports=tuple(core_ports),
+            edge_ports_in_pod=tuple(edge_ports_in_pod),
+            opposite_type_ports=tuple(opposite_type),
+            same_type_ports=tuple(same_type),
+        )
+    return info
+
+
+def _uniform_ports(ports: Sequence[int], pt_field: str) -> s.Policy:
+    if not ports:
+        return s.drop()
+    return s.uniform(*[s.assign(pt_field, port) for port in ports])
+
+
+def _core_policy(
+    info: _SwitchInfo,
+    scheme: str,
+    pt_field: str,
+    up_prefix: str,
+) -> s.Policy:
+    """Forwarding at a core switch: primary port, then 3-hop, then 5-hop."""
+    if not info.primary_ports:
+        return s.drop()
+    primary_port = info.primary_ports[0]
+    forward_primary = s.assign(pt_field, primary_port)
+    if scheme == "f10_0":
+        return forward_primary
+
+    # 3-hop rerouting: uniformly pick a live port towards an opposite-type
+    # aggregation switch.  No flag is needed — the receiving aggregation
+    # switch forwards upwards anyway (its normal behaviour).
+    def reroute_action(port: int, mark: int | None) -> s.Policy:
+        assign_port = s.assign(pt_field, port)
+        if mark is None:
+            return assign_port
+        return s.seq(s.assign(DETOUR_FIELD, mark), assign_port)
+
+    if scheme == "f10_3":
+        fallback: s.Policy = s.drop()
+    else:  # f10_3_5: fall back to a same-type aggregation switch, marked.
+        fallback = sugar.uniform_among_up(
+            [f"{up_prefix}{port}" for port in info.same_type_ports],
+            [reroute_action(port, 2) for port in info.same_type_ports],
+            fallback=s.drop(),
+        )
+    reroute = sugar.uniform_among_up(
+        [f"{up_prefix}{port}" for port in info.opposite_type_ports],
+        [reroute_action(port, None) for port in info.opposite_type_ports],
+        fallback=fallback,
+    )
+    return s.ite(s.test(f"{up_prefix}{primary_port}", 1), forward_primary, reroute)
+
+
+def _agg_policy(
+    info: _SwitchInfo,
+    dest_pod: int,
+    scheme: str,
+    pt_field: str,
+) -> s.Policy:
+    """Forwarding at an aggregation switch."""
+    if info.pod == dest_pod:
+        # Inside the destination pod the downward hop cannot fail.
+        return _uniform_ports(info.primary_ports, pt_field)
+    normal = _uniform_ports(info.core_ports, pt_field)
+    if scheme != "f10_3_5":
+        return normal
+    # A packet on a 5-hop detour descends to an edge switch of this pod and
+    # resumes normal routing from there.
+    descend = s.seq(
+        s.assign(DETOUR_FIELD, 0), _uniform_ports(info.edge_ports_in_pod, pt_field)
+    )
+    return s.ite(s.test(DETOUR_FIELD, 2), descend, normal)
+
+
+def _edge_policy(info: _SwitchInfo, pt_field: str) -> s.Policy:
+    """Forwarding at a non-destination edge switch: up to an aggregation switch."""
+    return _uniform_ports(info.agg_ports_in_pod, pt_field)
+
+
+def f10_policy(
+    topology: Topology,
+    dest: int,
+    scheme: str = "f10_3_5",
+    sw_field: str = "sw",
+    pt_field: str = "pt",
+    up_prefix: str = "up",
+) -> s.Policy:
+    """The forwarding policy of one of the F10 schemes towards ``dest``.
+
+    ``scheme`` is one of ``"f10_0"``, ``"f10_3"``, ``"f10_3_5"``.
+    """
+    if scheme not in F10_SCHEMES:
+        raise ValueError(f"unknown F10 scheme {scheme!r}; expected one of {F10_SCHEMES}")
+    info = _switch_info(topology, dest)
+    dest_pod = topology.attributes(dest)["pod"]
+    branches: list[tuple[s.Predicate, s.Policy]] = []
+    for switch in sorted(sw for sw in topology.switches() if sw != dest):
+        details = info[switch]
+        if details.level == "core":
+            action = _core_policy(details, scheme, pt_field, up_prefix)
+        elif details.level == "agg":
+            action = _agg_policy(details, dest_pod, scheme, pt_field)
+        else:
+            action = _edge_policy(details, pt_field)
+        branches.append((s.test(sw_field, switch), action))
+    return s.case(branches, s.drop())
+
+
+def f10_model(
+    topology: Topology,
+    dest: int,
+    scheme: str = "f10_3_5",
+    failure_probability: float | Fraction = Fraction(1, 1000),
+    max_failures: int | None = None,
+    ingress: Sequence[tuple[int, int]] | None = None,
+    count_hops: bool = False,
+    max_hops: int = 16,
+) -> NetworkModel:
+    """Build the complete network model for an F10 scheme (§7).
+
+    ``max_failures`` selects the bounded failure model ``f_k`` (``None``
+    means unbounded, i.e. ``k = ∞``); ``failure_probability`` is the
+    per-link, per-hop failure probability ``pr``.
+    """
+    failable = downward_failable_ports(topology)
+    failure = failure_program(failable, failure_probability, max_failures=max_failures)
+    routing = f10_policy(topology, dest, scheme=scheme)
+    return build_model(
+        topology,
+        routing=routing,
+        dest=dest,
+        failure=failure,
+        failable=failable,
+        ingress=ingress,
+        count_hops=count_hops,
+        max_hops=max_hops,
+        # Declare the detour flag for every scheme (even those that never
+        # set it) so that all three F10 models share one observable field
+        # set and can be compared by refinement directly.
+        extra_locals=((DETOUR_FIELD, 0),),
+    )

@@ -1,0 +1,37 @@
+"""All-shortest-path next-hop computation on the switch graph."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.topology.graph import Topology
+
+
+def distances_to(topology: Topology, dest: int) -> dict[int, int]:
+    """Hop distance from every switch to ``dest`` (unreachable switches omitted)."""
+    graph = topology.switch_graph()
+    if dest not in graph:
+        raise KeyError(f"destination switch {dest!r} is not in the topology")
+    return dict(nx.single_source_shortest_path_length(graph, dest))
+
+
+def shortest_path_ports(topology: Topology, dest: int) -> dict[int, list[int]]:
+    """For every switch, the local ports that lie on a shortest path to ``dest``.
+
+    A port qualifies when its peer switch is strictly closer to the
+    destination.  The destination itself maps to an empty list.
+    """
+    distance = distances_to(topology, dest)
+    result: dict[int, list[int]] = {}
+    for switch in topology.switches():
+        if switch not in distance:
+            result[switch] = []
+            continue
+        ports = []
+        for port, peer in sorted(topology.ports(switch).items()):
+            if not topology.is_switch(peer):
+                continue
+            if distance.get(peer, float("inf")) == distance[switch] - 1:
+                ports.append(port)
+        result[switch] = ports
+    return result

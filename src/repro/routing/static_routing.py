@@ -1,0 +1,29 @@
+"""Deterministic single-path routing (a non-probabilistic baseline).
+
+Forwarding always uses the first shortest-path port (lowest port number),
+with no randomisation and no failure awareness.  Useful as a baseline in
+tests and examples, and as the simplest possible routing scheme for
+wide-area topologies.
+"""
+
+from __future__ import annotations
+
+from repro.core import syntax as s
+from repro.routing.shortest_path import shortest_path_ports
+from repro.topology.graph import Topology
+
+
+def static_policy(
+    topology: Topology,
+    dest: int,
+    sw_field: str = "sw",
+    pt_field: str = "pt",
+) -> s.Policy:
+    """Deterministic forwarding along the lexicographically first shortest path."""
+    ports = shortest_path_ports(topology, dest)
+    branches: list[tuple[s.Predicate, s.Policy]] = []
+    for switch in sorted(sw for sw in topology.switches() if sw != dest):
+        candidates = ports.get(switch, [])
+        action: s.Policy = s.assign(pt_field, candidates[0]) if candidates else s.drop()
+        branches.append((s.test(sw_field, switch), action))
+    return s.case(branches, s.drop())

@@ -1,0 +1,21 @@
+"""The teleportation specification used as the gold standard for delivery."""
+
+from __future__ import annotations
+
+from repro.core import syntax as s
+
+
+def teleport_policy(
+    dest: int,
+    sw_field: str = "sw",
+    pt_field: str = "pt",
+    egress_port: int = 0,
+) -> s.Policy:
+    """``sw <- dest ; pt <- egress_port`` — deliver the packet immediately.
+
+    Network models compare against ``in ; teleport`` to verify full
+    delivery (§2, §7); :class:`repro.network.model.NetworkModel` builds
+    that comparison program automatically, so this helper is mainly useful
+    for constructing custom specifications.
+    """
+    return s.seq(s.assign(sw_field, dest), s.assign(pt_field, egress_port))

@@ -1,0 +1,30 @@
+"""Topologies: generic graphs, FatTrees, AB FatTrees, chains, and WAN samples."""
+
+from repro.topology.graph import Port, Topology
+from repro.topology.fattree import (
+    FatTreeShape,
+    aggregation_switches,
+    core_switches,
+    edge_switches,
+    fat_tree,
+)
+from repro.topology.abfattree import ab_fat_tree, pod_type
+from repro.topology.chain import ChainModel, chain_model, chain_topology
+from repro.topology import dot, zoo
+
+__all__ = [
+    "ChainModel",
+    "FatTreeShape",
+    "Port",
+    "Topology",
+    "ab_fat_tree",
+    "aggregation_switches",
+    "chain_model",
+    "chain_topology",
+    "core_switches",
+    "dot",
+    "edge_switches",
+    "fat_tree",
+    "pod_type",
+    "zoo",
+]

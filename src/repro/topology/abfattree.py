@@ -1,0 +1,48 @@
+"""AB FatTree topologies (Liu et al., F10; §7 / Figure 11(a) / Appendix E).
+
+An AB FatTree has the same switches as a standard FatTree but rewires the
+aggregation-to-core links so that pods come in two *types*:
+
+* type A pods use the standard wiring — aggregation switch ``i`` connects
+  to the core switches of row ``i``;
+* type B pods use a staggered wiring — aggregation switch ``i`` connects
+  to the core switches of *column* ``i``.
+
+As a consequence, core switch ``(a, b)`` reaches type-A pods through their
+aggregation switch ``a`` and type-B pods through their aggregation switch
+``b``.  When the downward link of a core towards the destination pod
+fails, aggregation switches of the *opposite* type reach the destination
+pod through a different aggregation switch — the 3-hop detour that F10
+exploits (Appendix E).
+"""
+
+from __future__ import annotations
+
+from repro.topology.fattree import FatTreeShape, _build_pods
+from repro.topology.graph import Topology
+
+
+def ab_fat_tree(p: int, with_hosts: bool = True) -> Topology:
+    """Build a *p*-ary AB FatTree with pods alternating between types A and B."""
+    shape = FatTreeShape(p)
+    topo = Topology(name=f"abfattree-{p}")
+    _build_pods(topo, shape, with_hosts=with_hosts, alternate_types=True)
+    for pod in range(shape.pods):
+        pod_type = "A" if pod % 2 == 0 else "B"
+        for i in range(shape.agg_per_pod):
+            agg = shape.agg_id(pod, i)
+            for j in range(shape.half):
+                if pod_type == "A":
+                    core = shape.core_id(i, j)
+                else:
+                    core = shape.core_id(j, i)
+                topo.add_link(agg, core)
+    return topo
+
+
+def pod_type(topo: Topology, switch: int) -> str:
+    """The subtree type (``"A"`` or ``"B"``) of an edge/aggregation switch."""
+    subtree = topo.attributes(switch).get("subtree")
+    if subtree is None:
+        raise KeyError(f"switch {switch} has no subtree type (is it a core switch?)")
+    return subtree

@@ -1,0 +1,146 @@
+"""FatTree data-center topologies (Al-Fares et al., §6 / Figure 6).
+
+A *p*-ary FatTree (``p`` even) has three levels:
+
+* ``(p/2)^2`` core switches,
+* ``p`` pods, each containing ``p/2`` aggregation and ``p/2`` edge
+  switches,
+* ``p/2`` hosts per edge switch (``p^3/4`` hosts total).
+
+Switch identifiers are dense integers: edge switches first (pod-major),
+then aggregation switches, then core switches, so that ``sw = 1`` is the
+first edge switch of pod 0 — the destination used throughout the paper's
+case study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.graph import Topology
+
+
+@dataclass(frozen=True)
+class FatTreeShape:
+    """Derived size parameters of a *p*-ary FatTree."""
+
+    p: int
+
+    def __post_init__(self) -> None:
+        if self.p < 2 or self.p % 2 != 0:
+            raise ValueError("FatTree parameter p must be an even integer >= 2")
+
+    @property
+    def half(self) -> int:
+        return self.p // 2
+
+    @property
+    def pods(self) -> int:
+        return self.p
+
+    @property
+    def edge_per_pod(self) -> int:
+        return self.half
+
+    @property
+    def agg_per_pod(self) -> int:
+        return self.half
+
+    @property
+    def edge_count(self) -> int:
+        return self.p * self.half
+
+    @property
+    def agg_count(self) -> int:
+        return self.p * self.half
+
+    @property
+    def core_count(self) -> int:
+        return self.half * self.half
+
+    @property
+    def switch_count(self) -> int:
+        return self.edge_count + self.agg_count + self.core_count
+
+    @property
+    def host_count(self) -> int:
+        return self.edge_count * self.half
+
+    # -- switch numbering -------------------------------------------------------
+    def edge_id(self, pod: int, index: int) -> int:
+        return 1 + pod * self.edge_per_pod + index
+
+    def agg_id(self, pod: int, index: int) -> int:
+        return 1 + self.edge_count + pod * self.agg_per_pod + index
+
+    def core_id(self, row: int, column: int) -> int:
+        return 1 + self.edge_count + self.agg_count + row * self.half + column
+
+
+def fat_tree(p: int, with_hosts: bool = True) -> Topology:
+    """Build a standard *p*-ary FatTree topology.
+
+    Aggregation switch ``i`` of every pod connects to core switches
+    ``(i, 0) … (i, p/2-1)`` — the symmetric wiring whose lack of short
+    detours motivates the AB FatTree (§7, Appendix E).
+    """
+    shape = FatTreeShape(p)
+    topo = Topology(name=f"fattree-{p}")
+    _build_pods(topo, shape, with_hosts=with_hosts)
+    for pod in range(shape.pods):
+        for i in range(shape.agg_per_pod):
+            agg = shape.agg_id(pod, i)
+            for j in range(shape.half):
+                topo.add_link(agg, shape.core_id(i, j))
+    return topo
+
+
+def _build_pods(
+    topo: Topology, shape: FatTreeShape, with_hosts: bool, alternate_types: bool = False
+) -> None:
+    """Add edge/aggregation/core switches, pod-internal links, and hosts.
+
+    ``alternate_types`` labels pods with alternating subtree types A/B —
+    meaningful only for the AB FatTree wiring; a standard FatTree has a
+    single subtree type, which is precisely why it lacks 3-hop detours.
+    """
+    for row in range(shape.half):
+        for column in range(shape.half):
+            topo.add_switch(
+                shape.core_id(row, column), level="core", row=row, column=column
+            )
+    for pod in range(shape.pods):
+        pod_type = ("A" if pod % 2 == 0 else "B") if alternate_types else "A"
+        for i in range(shape.agg_per_pod):
+            topo.add_switch(
+                shape.agg_id(pod, i), level="agg", pod=pod, index=i, subtree=pod_type
+            )
+        for j in range(shape.edge_per_pod):
+            edge = shape.edge_id(pod, j)
+            topo.add_switch(edge, level="edge", pod=pod, index=j, subtree=pod_type)
+            for i in range(shape.agg_per_pod):
+                topo.add_link(edge, shape.agg_id(pod, i))
+            if with_hosts:
+                for h in range(shape.half):
+                    host = f"h{edge}_{h}"
+                    topo.add_host(host)
+                    topo.add_link(edge, host)
+
+
+def edge_switches(topo: Topology) -> list[int]:
+    """All edge-level switches of a (AB) FatTree, sorted by identifier."""
+    return sorted(
+        sw for sw in topo.switches() if topo.attributes(sw).get("level") == "edge"
+    )
+
+
+def core_switches(topo: Topology) -> list[int]:
+    return sorted(
+        sw for sw in topo.switches() if topo.attributes(sw).get("level") == "core"
+    )
+
+
+def aggregation_switches(topo: Topology) -> list[int]:
+    return sorted(
+        sw for sw in topo.switches() if topo.attributes(sw).get("level") == "agg"
+    )

@@ -1,0 +1,223 @@
+"""Network topologies: switches, hosts, ports, and links.
+
+A :class:`Topology` is an undirected multigraph of switches and hosts in
+which every link endpoint is assigned a local port number, mirroring how
+McNetKAT ingests Graphviz topology descriptions.  The class can generate
+the ProbNetKAT *topology program* ``t`` (§2): a cascade of conditionals
+that matches packets at the source end of each link and moves them to the
+destination end, optionally guarded by link-health flags (``up_i``) for
+links that may fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator, Mapping
+
+import networkx as nx
+
+from repro.core import syntax as s
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class Port:
+    """One directed link endpoint: ``(node, port) -> (peer, peer_port)``."""
+
+    node: Node
+    port: int
+    peer: Node
+    peer_port: int
+
+
+class Topology:
+    """A switch/host topology with numbered ports.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name (used in DOT/GML output and benchmark labels).
+    """
+
+    def __init__(self, name: str = "topology"):
+        self.name = name
+        self.graph = nx.Graph(name=name)
+        # (node, port) -> (peer node, peer port)
+        self._ports: dict[tuple[Node, int], tuple[Node, int]] = {}
+        self._next_port: dict[Node, int] = {}
+
+    # -- construction ------------------------------------------------------------
+    def add_switch(self, switch: Node, **attrs) -> None:
+        """Add a switch node (attributes: level, pod, index, subtree type...)."""
+        self.graph.add_node(switch, kind="switch", **attrs)
+
+    def add_host(self, host: Node, **attrs) -> None:
+        """Add a host (end-point) node."""
+        self.graph.add_node(host, kind="host", **attrs)
+
+    def _allocate_port(self, node: Node) -> int:
+        port = self._next_port.get(node, 1)
+        self._next_port[node] = port + 1
+        return port
+
+    def add_link(
+        self,
+        a: Node,
+        b: Node,
+        port_a: int | None = None,
+        port_b: int | None = None,
+        **attrs,
+    ) -> tuple[int, int]:
+        """Add a bidirectional link, allocating port numbers when omitted."""
+        if a not in self.graph or b not in self.graph:
+            raise KeyError("both endpoints must be added before linking them")
+        port_a = self._allocate_port(a) if port_a is None else port_a
+        port_b = self._allocate_port(b) if port_b is None else port_b
+        if (a, port_a) in self._ports or (b, port_b) in self._ports:
+            raise ValueError(f"port already in use on link {a}:{port_a} -- {b}:{port_b}")
+        self.graph.add_edge(a, b, ports={a: port_a, b: port_b}, **attrs)
+        self._ports[(a, port_a)] = (b, port_b)
+        self._ports[(b, port_b)] = (a, port_a)
+        self._next_port[a] = max(self._next_port.get(a, 1), port_a + 1)
+        self._next_port[b] = max(self._next_port.get(b, 1), port_b + 1)
+        return port_a, port_b
+
+    # -- queries -------------------------------------------------------------------
+    def is_switch(self, node: Node) -> bool:
+        return self.graph.nodes[node].get("kind") == "switch"
+
+    def is_host(self, node: Node) -> bool:
+        return self.graph.nodes[node].get("kind") == "host"
+
+    def switches(self) -> list[Node]:
+        return [n for n, data in self.graph.nodes(data=True) if data.get("kind") == "switch"]
+
+    def hosts(self) -> list[Node]:
+        return [n for n, data in self.graph.nodes(data=True) if data.get("kind") == "host"]
+
+    def attributes(self, node: Node) -> dict:
+        return dict(self.graph.nodes[node])
+
+    def neighbors(self, node: Node) -> list[Node]:
+        return list(self.graph.neighbors(node))
+
+    def degree(self, node: Node) -> int:
+        return self.graph.degree(node)
+
+    def max_degree(self) -> int:
+        return max((self.graph.degree(n) for n in self.graph.nodes), default=0)
+
+    def port_to(self, a: Node, b: Node) -> int:
+        """The local port number at ``a`` of the link towards ``b``."""
+        ports = self.graph.edges[a, b]["ports"]
+        return ports[a]
+
+    def peer(self, node: Node, port: int) -> tuple[Node, int]:
+        """The remote end ``(peer, peer_port)`` of a local ``(node, port)``."""
+        return self._ports[(node, port)]
+
+    def ports(self, node: Node) -> dict[int, Node]:
+        """All occupied ports of a node, mapping port number to neighbour."""
+        return {
+            port: peer
+            for (owner, port), (peer, _peer_port) in self._ports.items()
+            if owner == node
+        }
+
+    def directed_links(self) -> Iterator[Port]:
+        """All directed link endpoints (each undirected link appears twice)."""
+        for (node, port), (peer, peer_port) in sorted(
+            self._ports.items(), key=lambda kv: (str(kv[0][0]), kv[0][1])
+        ):
+            yield Port(node, port, peer, peer_port)
+
+    def switch_links(self) -> Iterator[Port]:
+        """Directed links whose both endpoints are switches."""
+        for link in self.directed_links():
+            if self.is_switch(link.node) and self.is_switch(link.peer):
+                yield link
+
+    def switch_graph(self) -> nx.Graph:
+        """The switch-only subgraph (hosts removed)."""
+        return self.graph.subgraph(self.switches()).copy()
+
+    def link_count(self) -> int:
+        return self.graph.number_of_edges()
+
+    def __len__(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology({self.name!r}, switches={len(self.switches())}, "
+            f"hosts={len(self.hosts())}, links={self.link_count()})"
+        )
+
+    # -- ProbNetKAT program generation ------------------------------------------------
+    def program(
+        self,
+        failable: Mapping[Node, Iterable[int]] | None = None,
+        sw_field: str = "sw",
+        pt_field: str = "pt",
+        up_prefix: str = "up",
+    ) -> s.Policy:
+        """The topology program ``t`` (or ``t̂`` when ``failable`` is given).
+
+        For each directed switch-to-switch link ``(a, pa) -> (b, pb)`` the
+        program contains the rule ``if sw=a ; pt=pa then sw<-b ; pt<-pb``.
+        Links listed in ``failable`` additionally require ``up<pa> = 1``,
+        so packets sent over a failed link are dropped — exactly the
+        behaviour of ``t̂`` in §2.  The rules are organised as a ``case``
+        over the switch field (with a nested ``case`` over the port field)
+        so the forward interpreter can dispatch in constant time.
+        """
+        failable = {node: set(ports) for node, ports in (failable or {}).items()}
+        by_switch: dict[Node, list[Port]] = {}
+        for link in self.switch_links():
+            by_switch.setdefault(link.node, []).append(link)
+
+        switch_branches: list[tuple[s.Predicate, s.Policy]] = []
+        for node in sorted(by_switch, key=str):
+            port_branches: list[tuple[s.Predicate, s.Policy]] = []
+            for link in sorted(by_switch[node], key=lambda l: l.port):
+                move = s.seq(
+                    s.assign(sw_field, self._switch_id(link.peer)),
+                    s.assign(pt_field, link.peer_port),
+                )
+                if link.port in failable.get(node, ()):  # guarded by link health
+                    rule: s.Policy = s.ite(
+                        s.test(f"{up_prefix}{link.port}", 1), move, s.drop()
+                    )
+                else:
+                    rule = move
+                port_branches.append((s.test(pt_field, link.port), rule))
+            switch_branches.append(
+                (s.test(sw_field, self._switch_id(node)), s.case(port_branches, s.drop()))
+            )
+        return s.case(switch_branches, s.drop())
+
+    def _switch_id(self, node: Node) -> int:
+        if not isinstance(node, int):
+            raise TypeError(
+                f"switch identifiers must be integers for program generation, got {node!r}"
+            )
+        return node
+
+    # -- ingress/egress helpers -----------------------------------------------------
+    def host_facing_ports(self, switch: Node) -> list[int]:
+        """Ports of a switch that connect to hosts."""
+        return sorted(
+            port for port, peer in self.ports(switch).items() if self.is_host(peer)
+        )
+
+    def ingress_locations(self, exclude: Iterable[Node] = ()) -> list[tuple[Node, int]]:
+        """All (switch, host-facing port) pairs, excluding the given switches."""
+        excluded = set(exclude)
+        locations = []
+        for switch in sorted(self.switches(), key=str):
+            if switch in excluded:
+                continue
+            for port in self.host_facing_ports(switch):
+                locations.append((switch, port))
+        return locations

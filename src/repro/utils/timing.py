@@ -1,0 +1,51 @@
+"""Small timing helpers used by the benchmark harnesses and backends."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates wall-clock time across several measured sections.
+
+    Example
+    -------
+    >>> watch = Stopwatch()
+    >>> with watch.measure("compile"):
+    ...     sum(range(10))
+    45
+    >>> watch.total() >= 0
+    True
+    """
+
+    sections: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - start
+            self.sections[name] = self.sections.get(name, 0.0) + elapsed
+
+    def total(self) -> float:
+        """Total time accumulated over all sections, in seconds."""
+        return sum(self.sections.values())
+
+    def __getitem__(self, name: str) -> float:
+        return self.sections[name]
+
+
+@contextmanager
+def timed():
+    """Context manager yielding a single-element list holding elapsed seconds."""
+    holder = [0.0]
+    start = time.perf_counter()
+    try:
+        yield holder
+    finally:
+        holder[0] = time.perf_counter() - start

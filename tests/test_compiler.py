@@ -1,0 +1,159 @@
+"""Tests for the native compiler (ProbNetKAT -> canonical FDDs)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import syntax as s
+from repro.core.compiler import Compiler, GuardedFragmentError, compile_policy
+from repro.core.distributions import Dist
+from repro.core.fdd.node import FddManager, output_distribution
+from repro.core.packet import DROP, Packet
+
+
+@pytest.fixture
+def compiler():
+    return Compiler(exact=True)
+
+
+def out(fdd, packet):
+    return output_distribution(fdd, packet)
+
+
+class TestAtomicPrograms:
+    def test_skip_and_drop(self, compiler):
+        assert compiler.compile(s.skip()) is compiler.manager.true_leaf
+        assert compiler.compile(s.drop()) is compiler.manager.false_leaf
+
+    def test_test_and_assign(self, compiler):
+        test_fdd = compiler.compile(s.test("sw", 1))
+        assign_fdd = compiler.compile(s.assign("sw", 1))
+        assert out(test_fdd, Packet({"sw": 2})) == Dist.point(DROP)
+        assert out(assign_fdd, Packet({"sw": 2})) == Dist.point(Packet({"sw": 1}))
+
+    def test_negation_and_conjunction(self, compiler):
+        pred = s.conj(s.test("sw", 1), s.neg(s.test("pt", 2)))
+        fdd = compiler.compile(pred)
+        assert out(fdd, Packet({"sw": 1, "pt": 3})) == Dist.point(Packet({"sw": 1, "pt": 3}))
+        assert out(fdd, Packet({"sw": 1, "pt": 2})) == Dist.point(DROP)
+
+    def test_predicate_union_allowed(self, compiler):
+        fdd = compiler.compile(s.union(s.test("sw", 1), s.test("sw", 2)))
+        assert out(fdd, Packet({"sw": 2})) == Dist.point(Packet({"sw": 2}))
+
+
+class TestComposite:
+    def test_sequence(self, compiler):
+        fdd = compiler.compile(s.seq(s.test("sw", 1), s.assign("pt", 2)))
+        assert out(fdd, Packet({"sw": 1, "pt": 1}))(Packet({"sw": 1, "pt": 2})) == 1
+
+    def test_choice(self, compiler):
+        fdd = compiler.compile(
+            s.choice((s.assign("f", 1), Fraction(1, 3)), (s.assign("f", 2), Fraction(2, 3)))
+        )
+        dist = out(fdd, Packet({"f": 0}))
+        assert dist(Packet({"f": 1})) == Fraction(1, 3)
+
+    def test_nested_conditionals(self, compiler):
+        policy = s.ite(
+            s.test("sw", 1),
+            s.assign("pt", 2),
+            s.ite(s.test("sw", 2), s.assign("pt", 3), s.drop()),
+        )
+        fdd = compiler.compile(policy)
+        assert out(fdd, Packet({"sw": 2, "pt": 0}))(Packet({"sw": 2, "pt": 3})) == 1
+        assert out(fdd, Packet({"sw": 9, "pt": 0})) == Dist.point(DROP)
+
+    def test_case_equals_cascade(self, compiler):
+        branches = [(s.test("sw", i), s.assign("pt", i)) for i in (1, 2, 3)]
+        case_fdd = compiler.compile(s.case(branches, s.drop()))
+        ite_fdd = compiler.compile(s.case_to_ite(s.case(branches, s.drop())))
+        assert case_fdd is ite_fdd
+
+    def test_memoisation_returns_same_node(self, compiler):
+        policy = s.seq(s.test("sw", 1), s.assign("pt", 2))
+        assert compiler.compile(policy) is compiler.compile(policy)
+
+
+class TestLoops:
+    def test_deterministic_loop(self, compiler):
+        loop = s.while_do(s.test("f", 0), s.assign("f", 1))
+        fdd = compiler.compile(loop)
+        assert out(fdd, Packet({"f": 0})) == Dist.point(Packet({"f": 1}))
+        assert out(fdd, Packet({"f": 5})) == Dist.point(Packet({"f": 5}))
+
+    def test_coin_flip_loop_terminates_almost_surely(self, compiler):
+        loop = s.while_do(
+            s.test("f", 0), s.choice((s.assign("f", 1), 0.5), (s.skip(), 0.5))
+        )
+        dist = out(compiler.compile(loop), Packet({"f": 0}))
+        assert dist(Packet({"f": 1})) == 1
+
+    def test_non_terminating_loop_drops(self, compiler):
+        loop = s.while_do(s.test("f", 0), s.assign("f", 0))
+        dist = out(compiler.compile(loop), Packet({"f": 0}))
+        assert float(dist(DROP)) == pytest.approx(1.0)
+
+    def test_counter_loop(self, compiler):
+        # Count down from 3 to 0 one step at a time.
+        body = s.case([(s.test("n", i), s.assign("n", i - 1)) for i in (3, 2, 1)], s.drop())
+        loop = s.while_do(s.neg(s.test("n", 0)), body)
+        dist = out(compiler.compile(loop), Packet({"n": 3}))
+        assert dist(Packet({"n": 0})) == 1
+
+    def test_float_solver_agrees_with_exact(self):
+        loop = s.while_do(
+            s.test("f", 0),
+            s.choice((s.assign("f", 1), 0.25), (s.assign("f", 2), 0.25), (s.skip(), 0.5)),
+        )
+        exact = output_distribution(compile_policy(loop, exact=True), Packet({"f": 0}))
+        approx = output_distribution(compile_policy(loop, exact=False), Packet({"f": 0}))
+        assert exact.close_to(approx, tolerance=1e-9)
+
+    def test_class_limit_enforced(self):
+        compiler = Compiler(class_limit=2)
+        loop = s.while_do(
+            s.neg(s.test("n", 0)),
+            s.case([(s.test("n", i), s.assign("n", i - 1)) for i in range(1, 6)], s.drop()),
+        )
+        with pytest.raises(Exception):
+            compiler.compile(loop)
+
+
+class TestGuardedFragment:
+    def test_union_of_policies_rejected(self, compiler):
+        with pytest.raises(GuardedFragmentError):
+            compiler.compile(s.Union((s.assign("f", 1), s.assign("f", 2))))
+
+    def test_star_rejected(self, compiler):
+        with pytest.raises(GuardedFragmentError):
+            compiler.compile(s.star(s.assign("f", 1)))
+
+
+class TestAgainstReferenceSemantics:
+    """Executable spot-check of Theorem 3.1 for the compiler on single packets."""
+
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            s.ite(s.test("f", 0), s.assign("g", 1), s.assign("g", 0)),
+            s.seq(
+                s.choice((s.assign("f", 0), 0.5), (s.assign("f", 1), 0.5)),
+                s.ite(s.test("f", 0), s.assign("g", 1), s.skip()),
+            ),
+            s.while_do(s.test("g", 1), s.choice((s.assign("g", 0), 0.5), (s.assign("f", 1), 0.5))),
+        ],
+        ids=["ite", "choice-then-ite", "probabilistic-loop"],
+    )
+    def test_fdd_matches_denotational_semantics(self, policy):
+        from repro.core.packet import PacketUniverse
+        from repro.core.semantics.denotational import eval_policy
+
+        fdd = compile_policy(policy, exact=True)
+        universe = PacketUniverse({"f": [0, 1], "g": [0, 1]})
+        for packet in universe:
+            via_fdd = output_distribution(fdd, packet)
+            reference = eval_policy(policy, frozenset([packet])).map(
+                lambda b: next(iter(b)) if b else DROP
+            )
+            assert via_fdd.close_to(reference, tolerance=1e-9)

@@ -1,0 +1,124 @@
+"""Tests for program equivalence and refinement checking."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import syntax as s
+from repro.core.equivalence import (
+    compare,
+    fdd_equivalent,
+    output_equivalent,
+    refines,
+    strictly_refines,
+)
+from repro.core.packet import Packet
+
+
+class TestFddEquivalence:
+    def test_kat_identities(self):
+        t = s.test("f", 1)
+        assert fdd_equivalent(s.seq(t, t), t)
+        assert fdd_equivalent(s.seq(s.skip(), t), t)
+        assert fdd_equivalent(s.seq(t, s.drop()), s.drop())
+        assert fdd_equivalent(s.union(t, t), t)
+
+    def test_redundant_assignment_after_test(self):
+        assert fdd_equivalent(s.seq(s.test("f", 1), s.assign("f", 1)), s.test("f", 1))
+
+    def test_assign_then_test_same_value(self):
+        assert fdd_equivalent(s.seq(s.assign("f", 1), s.test("f", 1)), s.assign("f", 1))
+
+    def test_assign_then_test_other_value_is_drop(self):
+        assert fdd_equivalent(s.seq(s.assign("f", 1), s.test("f", 2)), s.drop())
+
+    def test_commuting_assignments(self):
+        assert fdd_equivalent(
+            s.seq(s.assign("f", 1), s.assign("g", 2)),
+            s.seq(s.assign("g", 2), s.assign("f", 1)),
+        )
+
+    def test_choice_idempotence_and_commutativity(self):
+        p = s.assign("f", 1)
+        q = s.assign("f", 2)
+        assert fdd_equivalent(s.choice((p, 0.5), (p, 0.5)), p)
+        assert fdd_equivalent(
+            s.choice((p, Fraction(1, 3)), (q, Fraction(2, 3))),
+            s.choice((q, Fraction(2, 3)), (p, Fraction(1, 3))),
+        )
+
+    def test_conditional_versus_guarded_union(self):
+        guard = s.test("f", 0)
+        p, q = s.assign("g", 1), s.assign("g", 2)
+        conditional = s.ite(guard, p, q)
+        encoded = s.Union((s.seq(guard, p), s.seq(s.neg(guard), q)))
+        # The encoded form is outside the guarded fragment, so compare the
+        # conditional against a manual cascade instead.
+        manual = s.ite(s.neg(guard), q, p)
+        assert fdd_equivalent(conditional, manual)
+        assert encoded.size() > 0  # silences the unused-variable warning
+
+    def test_trivial_loop_equals_conditional(self):
+        loop = s.while_do(s.test("f", 0), s.assign("f", 1))
+        cond = s.ite(s.test("f", 0), s.assign("f", 1), s.skip())
+        assert fdd_equivalent(loop, cond)
+
+    def test_loop_unrolling_once(self):
+        guard, body = s.test("f", 0), s.choice((s.assign("f", 1), 0.5), (s.assign("f", 2), 0.5))
+        loop = s.while_do(guard, body)
+        unrolled = s.ite(guard, s.seq(body, loop), s.skip())
+        assert fdd_equivalent(loop, unrolled)
+
+    def test_inequivalent_programs_detected(self):
+        assert not fdd_equivalent(s.assign("f", 1), s.assign("f", 2))
+        assert not fdd_equivalent(
+            s.choice((s.assign("f", 1), 0.5), (s.assign("f", 2), 0.5)),
+            s.choice((s.assign("f", 1), 0.6), (s.assign("f", 2), 0.4)),
+        )
+
+
+class TestOutputEquivalence:
+    def test_restricted_equivalence_can_differ_from_full(self):
+        p = s.ite(s.test("f", 0), s.assign("g", 1), s.assign("g", 2))
+        q = s.assign("g", 1)
+        inputs = [Packet({"f": 0, "g": 0})]
+        assert output_equivalent(p, q, inputs, exact=True)
+        assert not fdd_equivalent(p, q)
+
+    def test_exact_flag(self):
+        p = s.choice((s.assign("f", 1), Fraction(1, 3)), (s.assign("f", 2), Fraction(2, 3)))
+        assert output_equivalent(p, p, [Packet({"f": 0})], exact=True)
+
+
+class TestRefinement:
+    def test_drop_refines_everything(self):
+        p = s.assign("f", 1)
+        inputs = [Packet({"f": 0})]
+        assert refines(s.drop(), p, inputs)
+        assert not refines(p, s.drop(), inputs)
+
+    def test_partial_delivery_refines_full_delivery(self):
+        partial = s.choice((s.assign("f", 1), 0.5), (s.drop(), 0.5))
+        full = s.assign("f", 1)
+        inputs = [Packet({"f": 0})]
+        assert strictly_refines(partial, full, inputs)
+        assert not strictly_refines(full, partial, inputs)
+
+    def test_compare_classification(self):
+        inputs = [Packet({"f": 0})]
+        full = s.assign("f", 1)
+        partial = s.choice((s.assign("f", 1), 0.5), (s.drop(), 0.5))
+        other = s.assign("f", 2)
+        assert compare(full, full, inputs) == "≡"
+        assert compare(partial, full, inputs) == "<"
+        assert compare(full, partial, inputs) == ">"
+        assert compare(full, other, inputs) == "incomparable"
+
+    def test_refinement_is_reflexive_and_transitive(self):
+        inputs = [Packet({"f": 0})]
+        low = s.choice((s.assign("f", 1), 0.25), (s.drop(), 0.75))
+        mid = s.choice((s.assign("f", 1), 0.5), (s.drop(), 0.5))
+        high = s.assign("f", 1)
+        assert refines(low, low, inputs)
+        assert refines(low, mid, inputs) and refines(mid, high, inputs)
+        assert refines(low, high, inputs)

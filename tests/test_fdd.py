@@ -1,0 +1,193 @@
+"""Tests for probabilistic FDDs: hash-consing, algorithms, and normalisation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.distributions import Dist
+from repro.core.fdd import ops
+from repro.core.fdd.actions import DROP as DROP_ACTION
+from repro.core.fdd.actions import IDENTITY, Action, apply_action
+from repro.core.fdd.dot import to_dot
+from repro.core.fdd.node import (
+    FddManager,
+    evaluate,
+    iter_nodes,
+    leaves,
+    mentioned_values,
+    node_size,
+    output_distribution,
+)
+from repro.core.packet import DROP, Packet
+
+
+@pytest.fixture
+def manager():
+    return FddManager(field_order=["sw", "pt", "up"])
+
+
+class TestActions:
+    def test_identity_action(self):
+        assert IDENTITY.is_identity()
+        assert IDENTITY.apply(Packet({"f": 1})) == Packet({"f": 1})
+
+    def test_apply_modifies_fields(self):
+        action = Action({"pt": 2})
+        assert action.apply(Packet({"sw": 1, "pt": 1})) == Packet({"sw": 1, "pt": 2})
+
+    def test_composition_later_wins(self):
+        composed = Action({"pt": 2}).then(Action({"pt": 3, "sw": 9}))
+        assert composed.as_dict() == {"pt": 3, "sw": 9}
+
+    def test_composition_with_drop(self):
+        assert Action({"pt": 2}).then(DROP_ACTION) is DROP
+
+    def test_apply_action_drop(self):
+        assert apply_action(DROP_ACTION, Packet({"f": 1})) is DROP
+
+
+class TestHashConsing:
+    def test_leaves_are_interned(self, manager):
+        a = manager.leaf(Dist.point(IDENTITY))
+        b = manager.leaf(Dist.point(IDENTITY))
+        assert a is b
+
+    def test_branches_are_interned(self, manager):
+        a = manager.from_test("sw", 1)
+        b = manager.from_test("sw", 1)
+        assert a is b
+
+    def test_branch_collapses_equal_children(self, manager):
+        node = manager.branch("sw", 1, manager.true_leaf, manager.true_leaf)
+        assert node is manager.true_leaf
+
+    def test_field_order_respected(self, manager):
+        assert manager.field_rank("sw") < manager.field_rank("pt")
+        assert manager.field_rank("new_field") > manager.field_rank("up")
+
+    def test_node_count_grows(self, manager):
+        before = manager.node_count()
+        manager.from_test("pt", 3)
+        assert manager.node_count() > before
+
+
+class TestEvaluation:
+    def test_test_fdd(self, manager):
+        node = manager.from_test("sw", 1)
+        assert output_distribution(node, Packet({"sw": 1})) == Dist.point(Packet({"sw": 1}))
+        assert output_distribution(node, Packet({"sw": 2})) == Dist.point(DROP)
+
+    def test_assign_fdd(self, manager):
+        node = manager.from_assign("pt", 2)
+        assert output_distribution(node, Packet({"pt": 1})) == Dist.point(Packet({"pt": 2}))
+
+    def test_evaluate_missing_field_takes_false_branch(self, manager):
+        node = manager.from_test("sw", 1)
+        assert evaluate(node, Packet({})) == Dist.point(DROP_ACTION)
+
+    def test_iter_nodes_and_size(self, manager):
+        node = ops.conjoin(manager.from_test("sw", 1), manager.from_test("pt", 2))
+        assert node_size(node) == len(list(iter_nodes(node)))
+        assert all(leaf.is_leaf() for leaf in leaves(node))
+
+    def test_mentioned_values(self, manager):
+        node = ops.sequence(manager.from_test("sw", 1), manager.from_assign("pt", 7))
+        values = mentioned_values(node)
+        assert values["sw"] == {1}
+        assert values["pt"] == {7}
+
+
+class TestOps:
+    def test_negate(self, manager):
+        node = ops.negate(manager.from_test("sw", 1))
+        assert output_distribution(node, Packet({"sw": 1})) == Dist.point(DROP)
+        assert output_distribution(node, Packet({"sw": 2})) == Dist.point(Packet({"sw": 2}))
+
+    def test_double_negation_is_identity_node(self, manager):
+        pred = manager.from_test("sw", 1)
+        assert ops.negate(ops.negate(pred)) is pred
+
+    def test_conjoin_disjoin(self, manager):
+        conj = ops.conjoin(manager.from_test("sw", 1), manager.from_test("pt", 2))
+        disj = ops.disjoin(manager.from_test("sw", 1), manager.from_test("pt", 2))
+        both = Packet({"sw": 1, "pt": 2})
+        only_sw = Packet({"sw": 1, "pt": 3})
+        assert output_distribution(conj, both) == Dist.point(both)
+        assert output_distribution(conj, only_sw) == Dist.point(DROP)
+        assert output_distribution(disj, only_sw) == Dist.point(only_sw)
+
+    def test_convex_combination(self, manager):
+        node = ops.convex(
+            manager,
+            [(manager.from_assign("f", 1), Fraction(1, 4)), (manager.from_assign("f", 2), Fraction(3, 4))],
+        )
+        out = output_distribution(node, Packet({"f": 0}))
+        assert out(Packet({"f": 1})) == Fraction(1, 4)
+        assert out(Packet({"f": 2})) == Fraction(3, 4)
+
+    def test_ite(self, manager):
+        node = ops.ite(
+            manager.from_test("sw", 1),
+            manager.from_assign("pt", 2),
+            manager.from_assign("pt", 9),
+        )
+        assert output_distribution(node, Packet({"sw": 1, "pt": 0}))(Packet({"sw": 1, "pt": 2})) == 1
+        assert output_distribution(node, Packet({"sw": 5, "pt": 0}))(Packet({"sw": 5, "pt": 9})) == 1
+
+    def test_ite_rejects_non_boolean_guard(self, manager):
+        with pytest.raises(ValueError):
+            ops.ite(manager.from_assign("f", 1), manager.true_leaf, manager.false_leaf)
+
+    def test_sequence_threads_modifications(self, manager):
+        first = ops.sequence(manager.from_test("sw", 1), manager.from_assign("sw", 2))
+        second = manager.from_test("sw", 2)
+        composed = ops.sequence(first, second)
+        assert output_distribution(composed, Packet({"sw": 1}))(Packet({"sw": 2})) == 1
+
+    def test_sequence_respects_path_knowledge_on_unmodified_fields(self, manager):
+        # (sw=1 ; pt<-2) ; sw=1  — the test on sw after the assignment to pt
+        # must still see the original value learned on the path.
+        first = ops.sequence(manager.from_test("sw", 1), manager.from_assign("pt", 2))
+        composed = ops.sequence(first, manager.from_test("sw", 1))
+        assert output_distribution(composed, Packet({"sw": 1, "pt": 0}))(
+            Packet({"sw": 1, "pt": 2})
+        ) == 1
+
+    def test_sequence_modified_field_overrides_path_test(self, manager):
+        # (sw=1 ; sw<-3) ; sw=1 must drop: the packet reaching the second test
+        # has sw=3 even though the path through the first FDD tested sw=1.
+        first = ops.sequence(manager.from_test("sw", 1), manager.from_assign("sw", 3))
+        composed = ops.sequence(first, manager.from_test("sw", 1))
+        assert output_distribution(composed, Packet({"sw": 1})) == Dist.point(DROP)
+
+    def test_is_predicate_fdd(self, manager):
+        assert ops.is_predicate_fdd(manager.from_test("sw", 1))
+        assert not ops.is_predicate_fdd(manager.from_assign("sw", 1))
+
+    def test_map_leaves(self, manager):
+        node = manager.from_assign("f", 1)
+        swapped = ops.map_leaves(node, lambda dist: dist.map(lambda a: DROP_ACTION))
+        assert output_distribution(swapped, Packet({"f": 0})) == Dist.point(DROP)
+
+    def test_reduce_drops_implied_modifications(self, manager):
+        redundant = ops.sequence(manager.from_test("sw", 1), manager.from_assign("sw", 1))
+        assert ops.reduce(redundant) is manager.from_test("sw", 1)
+
+    def test_restrict_eq_and_ne(self, manager):
+        node = manager.from_test("sw", 1)
+        assert ops.restrict_eq(node, "sw", 1) is manager.true_leaf
+        assert ops.restrict_eq(node, "sw", 2) is manager.false_leaf
+        assert ops.restrict_ne(node, "sw", 1) is manager.false_leaf
+
+
+class TestDot:
+    def test_dot_output_mentions_tests_and_actions(self, manager):
+        node = ops.ite(
+            manager.from_test("sw", 1),
+            manager.from_assign("pt", 2),
+            manager.false_leaf,
+        )
+        dot = to_dot(node)
+        assert "sw=1" in dot
+        assert "pt:=2" in dot
+        assert dot.startswith("digraph")

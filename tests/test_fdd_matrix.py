@@ -1,0 +1,146 @@
+"""Tests for symbolic packet classes and FDD <-> sparse matrix conversion."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.distributions import Dist
+from repro.core.fdd import ops
+from repro.core.fdd.actions import Action
+from repro.core.fdd.matrix import (
+    DomainTooLargeError,
+    SymbolicPacket,
+    class_transition,
+    classify,
+    domain_size,
+    enumerate_classes,
+    evaluate_class,
+    fdd_to_matrix,
+    fresh_values,
+    matrix_to_fdd,
+)
+from repro.core.fdd.node import FddManager, output_distribution
+from repro.core.packet import DROP, Packet
+
+
+class TestSymbolicPacket:
+    def test_wildcard_never_satisfies_tests(self):
+        cls = SymbolicPacket({"pt": None})
+        assert not cls.satisfies_test("pt", 1)
+
+    def test_concrete_value_satisfies_matching_test(self):
+        cls = SymbolicPacket({"pt": 2})
+        assert cls.satisfies_test("pt", 2)
+        assert not cls.satisfies_test("pt", 3)
+
+    def test_apply_action(self):
+        cls = SymbolicPacket({"pt": 1, "sw": None})
+        updated = cls.apply_action(Action({"pt": 9}))
+        assert updated.value("pt") == 9
+        assert updated.value("sw") is None
+
+    def test_apply_drop(self):
+        assert SymbolicPacket({"pt": 1}).apply_action(DROP) is DROP or SymbolicPacket(
+            {"pt": 1}
+        ).apply_action(DROP) == DROP
+
+    def test_representative_uses_fresh_values_for_wildcards(self):
+        cls = SymbolicPacket({"pt": None, "sw": 3})
+        packet = cls.representative({"pt": 99, "sw": 0})
+        assert packet["pt"] == 99 and packet["sw"] == 3
+
+    def test_classify(self):
+        domains = {"pt": [1, 2]}
+        assert classify(Packet({"pt": 2}), domains).value("pt") == 2
+        assert classify(Packet({"pt": 7}), domains).value("pt") is None
+
+
+class TestDomains:
+    def test_enumerate_classes_includes_wildcards(self):
+        classes = enumerate_classes({"pt": [1, 2]})
+        assert len(classes) == 3
+
+    def test_domain_size(self):
+        assert domain_size({"a": [1, 2], "b": [1]}) == 6
+
+    def test_limit_enforced(self):
+        with pytest.raises(DomainTooLargeError):
+            enumerate_classes({"a": range(100), "b": range(100)}, limit=100)
+
+    def test_fresh_values_avoid_mentioned(self):
+        fresh = fresh_values({"pt": [0, 1, 2]})
+        assert fresh["pt"] not in {0, 1, 2}
+
+
+class TestConversion:
+    def make_example_fdd(self, manager: FddManager):
+        """The FDD of Figure 5: pt=1 ? (pt<-2 ⊕ pt<-3) : pt=2 ? pt<-1 : pt=3 ? pt<-1 : drop."""
+        split = ops.convex(
+            manager,
+            [(manager.from_assign("pt", 2), Fraction(1, 2)), (manager.from_assign("pt", 3), Fraction(1, 2))],
+        )
+        return ops.ite(
+            manager.from_test("pt", 1),
+            split,
+            ops.ite(
+                manager.from_test("pt", 2),
+                manager.from_assign("pt", 1),
+                ops.ite(manager.from_test("pt", 3), manager.from_assign("pt", 1), manager.false_leaf),
+            ),
+        )
+
+    def test_figure5_matrix(self):
+        manager = FddManager()
+        fdd = self.make_example_fdd(manager)
+        matrix = fdd_to_matrix(fdd)
+        # Symbolic packets pt=1, pt=2, pt=3, pt=* plus the drop column.
+        assert len(matrix.classes) == 4
+        assert matrix.matrix.shape == (5, 5)
+        assert matrix.is_stochastic()
+        row = matrix.row(SymbolicPacket({"pt": 1}))
+        assert float(row(SymbolicPacket({"pt": 2}))) == pytest.approx(0.5)
+        assert float(row(SymbolicPacket({"pt": 3}))) == pytest.approx(0.5)
+        wildcard_row = matrix.row(SymbolicPacket({"pt": None}))
+        assert float(wildcard_row(DROP)) == pytest.approx(1.0)
+
+    def test_evaluate_class_matches_concrete_evaluation(self):
+        manager = FddManager()
+        fdd = self.make_example_fdd(manager)
+        for value, cls in [(1, SymbolicPacket({"pt": 1})), (2, SymbolicPacket({"pt": 2}))]:
+            symbolic = evaluate_class(fdd, cls)
+            concrete = output_distribution(fdd, Packet({"pt": value}))
+            assert symbolic.map(lambda a: a if a is DROP else tuple(a.mods)) is not None
+            assert float(symbolic.total_mass()) == pytest.approx(float(concrete.total_mass()))
+
+    def test_class_transition(self):
+        manager = FddManager()
+        fdd = ops.sequence(manager.from_test("pt", 1), manager.from_assign("pt", 2))
+        dist = class_transition(fdd, SymbolicPacket({"pt": 1}))
+        assert dist(SymbolicPacket({"pt": 2})) == 1
+
+    def test_extra_values_extend_the_domain(self):
+        manager = FddManager()
+        fdd = manager.from_test("pt", 1)
+        matrix = fdd_to_matrix(fdd, extra_values={"pt": [5]})
+        assert len(matrix.classes) == 3  # pt=1, pt=5, pt=*
+
+    def test_matrix_to_fdd_roundtrip(self):
+        manager = FddManager()
+        fdd = self.make_example_fdd(manager)
+        matrix = fdd_to_matrix(fdd)
+        rows = {cls: matrix.row(cls) for cls in matrix.classes}
+        rebuilt = matrix_to_fdd(manager, matrix.domains, rows)
+        for value in (1, 2, 3, 7):
+            packet = Packet({"pt": value})
+            original = output_distribution(fdd, packet)
+            recovered = output_distribution(rebuilt, packet)
+            assert original.close_to(recovered)
+
+    def test_matrix_to_fdd_default_leaf(self):
+        manager = FddManager()
+        rebuilt = matrix_to_fdd(
+            manager,
+            {"pt": (1,)},
+            {SymbolicPacket({"pt": 1}): Dist.point(SymbolicPacket({"pt": 1}))},
+        )
+        assert output_distribution(rebuilt, Packet({"pt": 9})) == Dist.point(DROP)

@@ -1,0 +1,177 @@
+"""Tests for the forward interpreter and its possibility analysis."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import syntax as s
+from repro.core.compiler import GuardedFragmentError
+from repro.core.distributions import Dist
+from repro.core.interpreter import Interpreter, eval_predicate, output_distribution
+from repro.core.packet import DROP, Packet
+
+
+@pytest.fixture
+def interp():
+    return Interpreter(exact=True)
+
+
+class TestPredicateEvaluation:
+    def test_primitives(self):
+        pk = Packet({"sw": 1})
+        assert eval_predicate(s.skip(), pk)
+        assert not eval_predicate(s.drop(), pk)
+        assert eval_predicate(s.test("sw", 1), pk)
+        assert not eval_predicate(s.test("sw", 2), pk)
+
+    def test_connectives(self):
+        pk = Packet({"sw": 1, "pt": 2})
+        assert eval_predicate(s.conj(s.test("sw", 1), s.test("pt", 2)), pk)
+        assert eval_predicate(s.disj(s.test("sw", 9), s.test("pt", 2)), pk)
+        assert eval_predicate(s.neg(s.test("sw", 9)), pk)
+
+    def test_non_predicate_rejected(self):
+        with pytest.raises(TypeError):
+            eval_predicate(s.assign("sw", 1), Packet({}))
+
+
+class TestBasicPrograms:
+    def test_assign_and_test(self, interp):
+        assert interp.run_packet(s.assign("f", 1), Packet({"f": 0})) == Dist.point(Packet({"f": 1}))
+        assert interp.run_packet(s.test("f", 1), Packet({"f": 0})) == Dist.point(DROP)
+
+    def test_sequence_threads_drop(self, interp):
+        policy = s.Seq((s.test("f", 1), s.assign("g", 2)))
+        assert interp.run_packet(policy, Packet({"f": 0})) == Dist.point(DROP)
+
+    def test_choice(self, interp):
+        policy = s.choice((s.assign("f", 1), Fraction(1, 4)), (s.assign("f", 2), Fraction(3, 4)))
+        dist = interp.run_packet(policy, Packet({"f": 0}))
+        assert dist(Packet({"f": 1})) == Fraction(1, 4)
+
+    def test_conditional(self, interp):
+        policy = s.ite(s.test("f", 0), s.assign("g", 1), s.assign("g", 2))
+        assert interp.run_packet(policy, Packet({"f": 0}))(Packet({"f": 0, "g": 1})) == 1
+
+    def test_case_dispatch_on_common_field(self, interp):
+        policy = s.case([(s.test("sw", i), s.assign("pt", i * 10)) for i in range(1, 4)], s.drop())
+        assert interp.run_packet(policy, Packet({"sw": 2}))(Packet({"sw": 2, "pt": 20})) == 1
+        assert interp.run_packet(policy, Packet({"sw": 9})) == Dist.point(DROP)
+
+    def test_case_with_compound_guards_falls_back_to_scan(self, interp):
+        policy = s.case(
+            [(s.conj(s.test("sw", 1), s.test("pt", 1)), s.assign("ok", 1))], s.assign("ok", 0)
+        )
+        assert interp.run_packet(policy, Packet({"sw": 1, "pt": 1}))(
+            Packet({"sw": 1, "pt": 1, "ok": 1})
+        ) == 1
+
+    def test_union_and_star_rejected(self, interp):
+        with pytest.raises(GuardedFragmentError):
+            interp.run_packet(s.Union((s.assign("f", 1), s.assign("f", 2))), Packet({}))
+        with pytest.raises(GuardedFragmentError):
+            interp.run_packet(s.star(s.assign("f", 1)), Packet({}))
+
+    def test_run_on_distribution(self, interp):
+        inputs = Dist({Packet({"f": 0}): Fraction(1, 2), DROP: Fraction(1, 2)})
+        dist = interp.run(s.assign("f", 1), inputs)
+        assert dist(Packet({"f": 1})) == Fraction(1, 2)
+        assert dist(DROP) == Fraction(1, 2)
+
+    def test_output_distribution_helper_uniform_ingress(self):
+        dist = output_distribution(s.assign("f", 1), [Packet({"f": 0}), Packet({"f": 2})])
+        assert dist(Packet({"f": 1})) == 1
+
+
+class TestLoops:
+    def test_deterministic_loop(self, interp):
+        loop = s.while_do(s.test("f", 0), s.assign("f", 1))
+        assert interp.run_packet(loop, Packet({"f": 0})) == Dist.point(Packet({"f": 1}))
+
+    def test_loop_not_entered_when_guard_false(self, interp):
+        loop = s.while_do(s.test("f", 0), s.assign("f", 1))
+        assert interp.run_packet(loop, Packet({"f": 3})) == Dist.point(Packet({"f": 3}))
+
+    def test_geometric_loop_probability_one(self, interp):
+        loop = s.while_do(s.test("f", 0), s.choice((s.assign("f", 1), 0.5), (s.skip(), 0.5)))
+        assert interp.run_packet(loop, Packet({"f": 0}))(Packet({"f": 1})) == 1
+
+    def test_divergent_loop_maps_to_drop(self):
+        interp = Interpreter(exact=False)
+        loop = s.while_do(s.test("f", 0), s.skip())
+        dist = interp.run_packet(loop, Packet({"f": 0}))
+        assert float(dist(DROP)) == pytest.approx(1.0)
+
+    def test_random_walk_loop(self, interp):
+        # Random walk on {0,1,2,3} absorbing at 3 (up w.p. 2/3, down w.p. 1/3).
+        body = s.case(
+            [
+                (s.test("n", i), s.choice((s.assign("n", i + 1), Fraction(2, 3)),
+                                          (s.assign("n", max(i - 1, 0)), Fraction(1, 3))))
+                for i in (0, 1, 2)
+            ],
+            s.drop(),
+        )
+        loop = s.while_do(s.neg(s.test("n", 3)), body)
+        dist = interp.run_packet(loop, Packet({"n": 0}))
+        assert dist(Packet({"n": 3})) == 1
+
+    def test_loop_solutions_are_cached_across_queries(self, interp):
+        loop = s.while_do(s.test("f", 0), s.choice((s.assign("f", 1), 0.5), (s.skip(), 0.5)))
+        interp.run_packet(loop, Packet({"f": 0}))
+        rows_before = dict(interp._loop_rows[id(loop)])
+        interp.run_packet(loop, Packet({"f": 0}))
+        assert interp._loop_rows[id(loop)] == rows_before
+
+    def test_state_explosion_guard(self):
+        interp = Interpreter(max_loop_states=3)
+        body = s.case(
+            [(s.test("n", i), s.assign("n", i + 1)) for i in range(10)], s.drop()
+        )
+        loop = s.while_do(s.neg(s.test("n", 10)), body)
+        with pytest.raises(RuntimeError):
+            interp.run_packet(loop, Packet({"n": 0}))
+
+    def test_agrees_with_compiler(self):
+        from repro.core.compiler import compile_policy
+        from repro.core.fdd.node import output_distribution as fdd_out
+
+        loop = s.while_do(
+            s.neg(s.test("n", 0)),
+            s.case([(s.test("n", i), s.choice((s.assign("n", i - 1), 0.5), (s.skip(), 0.5)))
+                    for i in (1, 2)], s.drop()),
+        )
+        packet = Packet({"n": 2})
+        via_interp = Interpreter(exact=True).run_packet(loop, packet)
+        via_fdd = fdd_out(compile_policy(loop, exact=True), packet)
+        assert via_interp.close_to(via_fdd, tolerance=1e-9)
+
+
+class TestCertainOutcomes:
+    def test_deterministic_program(self, interp):
+        outcomes, diverge = interp.certain_outcomes(s.assign("f", 1), Packet({"f": 0}))
+        assert outcomes == frozenset({Packet({"f": 1})})
+        assert not diverge
+
+    def test_choice_collects_all_branches(self, interp):
+        policy = s.choice((s.assign("f", 1), 0.5), (s.drop(), 0.5))
+        outcomes, diverge = interp.certain_outcomes(policy, Packet({"f": 0}))
+        assert DROP in outcomes and Packet({"f": 1}) in outcomes
+        assert not diverge
+
+    def test_terminating_loop_not_divergent(self, interp):
+        loop = s.while_do(s.test("f", 0), s.choice((s.assign("f", 1), 0.5), (s.skip(), 0.5)))
+        outcomes, diverge = interp.certain_outcomes(loop, Packet({"f": 0}))
+        assert outcomes == frozenset({Packet({"f": 1})})
+        assert not diverge
+
+    def test_trapped_loop_detected_as_divergent(self, interp):
+        loop = s.while_do(s.test("f", 0), s.skip())
+        outcomes, diverge = interp.certain_outcomes(loop, Packet({"f": 0}))
+        assert diverge
+        assert outcomes == frozenset()
+
+    def test_sequence_after_drop_stays_dropped(self, interp):
+        policy = s.Seq((s.drop(), s.assign("f", 1)))
+        outcomes, _ = interp.certain_outcomes(policy, Packet({}))
+        assert outcomes == frozenset({DROP})

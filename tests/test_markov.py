@@ -1,0 +1,125 @@
+"""Tests for the absorbing Markov chain solvers."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.markov import (
+    reachable_states,
+    solve_absorption,
+    solve_absorption_exact,
+)
+
+
+class TestFloatSolver:
+    def test_simple_two_state_chain(self):
+        # t -> a with probability 1.
+        result = solve_absorption(["t"], ["a"], {"t": {"a": 1.0}})
+        assert result["t"]["a"] == pytest.approx(1.0)
+        assert result.lost_mass["t"] == 0.0
+
+    def test_geometric_escape(self):
+        # t loops with prob 1/2 and escapes with prob 1/2: absorbed w.p. 1.
+        result = solve_absorption(["t"], ["a"], {"t": {"t": 0.5, "a": 0.5}})
+        assert result["t"]["a"] == pytest.approx(1.0)
+
+    def test_split_absorption(self):
+        result = solve_absorption(
+            ["t"], ["a", "b"], {"t": {"t": 0.5, "a": 0.25, "b": 0.25}}
+        )
+        assert result["t"]["a"] == pytest.approx(0.5)
+        assert result["t"]["b"] == pytest.approx(0.5)
+
+    def test_substochastic_rows_report_lost_mass(self):
+        result = solve_absorption(["t"], ["a"], {"t": {"a": 0.25, "t": 0.25}})
+        assert result["t"]["a"] == pytest.approx(1 / 3)
+        assert result.lost_mass["t"] == pytest.approx(2 / 3)
+
+    def test_chain_of_transient_states(self):
+        transitions = {"t1": {"t2": 1.0}, "t2": {"t3": 1.0}, "t3": {"a": 1.0}}
+        result = solve_absorption(["t1", "t2", "t3"], ["a"], transitions)
+        assert result["t1"]["a"] == pytest.approx(1.0)
+
+    def test_unknown_successor_rejected(self):
+        with pytest.raises(KeyError):
+            solve_absorption(["t"], ["a"], {"t": {"a": 0.5, "mystery": 0.5}})
+
+    def test_empty_transient_set(self):
+        assert solve_absorption([], ["a"], {}) == {}
+
+
+class TestExactSolver:
+    def test_exact_geometric(self):
+        result = solve_absorption_exact(
+            ["t"], ["a"], {"t": {"t": Fraction(1, 2), "a": Fraction(1, 2)}}
+        )
+        assert result["t"]["a"] == Fraction(1)
+
+    def test_exact_split(self):
+        result = solve_absorption_exact(
+            ["t"],
+            ["a", "b"],
+            {"t": {"t": Fraction(1, 3), "a": Fraction(1, 3), "b": Fraction(1, 3)}},
+        )
+        assert result["t"]["a"] == Fraction(1, 2)
+        assert result["t"]["b"] == Fraction(1, 2)
+
+    def test_exact_lost_mass(self):
+        result = solve_absorption_exact(
+            ["t"], ["a"], {"t": {"a": Fraction(1, 4), "t": Fraction(1, 4)}}
+        )
+        assert result.lost_mass["t"] == Fraction(2, 3)
+
+    def test_doomed_states_lose_all_mass(self):
+        # A transient state that can never reach an absorbing state is not
+        # an error: all of its mass is reported as lost.
+        result = solve_absorption_exact(["t"], ["a"], {"t": {"t": Fraction(1)}})
+        assert result["t"] == {}
+        assert result.lost_mass["t"] == 1
+
+    def test_doomed_states_lose_all_mass_float(self):
+        result = solve_absorption(
+            ["t", "u"], ["a"], {"t": {"u": 0.5, "a": 0.5}, "u": {"u": 1.0}}
+        )
+        assert result["t"]["a"] == pytest.approx(0.5)
+        assert result.lost_mass["t"] == pytest.approx(0.5)
+        assert result.lost_mass["u"] == pytest.approx(1.0)
+
+    def test_agrees_with_float_solver(self):
+        transitions = {
+            "x": {"x": Fraction(1, 4), "y": Fraction(1, 4), "a": Fraction(1, 2)},
+            "y": {"x": Fraction(1, 2), "b": Fraction(1, 2)},
+        }
+        exact = solve_absorption_exact(["x", "y"], ["a", "b"], transitions)
+        approx = solve_absorption(["x", "y"], ["a", "b"], transitions)
+        for state in ("x", "y"):
+            for target in ("a", "b"):
+                assert float(exact[state].get(target, 0)) == pytest.approx(
+                    approx[state].get(target, 0.0), abs=1e-12
+                )
+
+
+class TestReachability:
+    def test_reachable_states_discovery_order(self):
+        graph = {1: [2, 3], 2: [4], 3: [], 4: []}
+        assert reachable_states([1], lambda n: graph[n]) == [1, 2, 3, 4]
+
+    def test_reachable_states_handles_cycles(self):
+        graph = {1: [2], 2: [1]}
+        assert set(reachable_states([1], lambda n: graph[n])) == {1, 2}
+
+
+@given(
+    loop=st.fractions(min_value=0, max_value=Fraction(9, 10)),
+    split=st.fractions(min_value=0, max_value=1),
+)
+def test_absorption_probabilities_sum_to_one(loop, split):
+    """A proper absorbing chain loses no mass and splits it among targets."""
+    escape = 1 - loop
+    transitions = {"t": {"t": loop, "a": escape * split, "b": escape * (1 - split)}}
+    result = solve_absorption_exact(["t"], ["a", "b"], transitions)
+    total = sum(result["t"].values(), Fraction(0))
+    assert total == 1
+    assert result.lost_mass["t"] == 0

@@ -1,0 +1,229 @@
+"""Tests for routing schemes, failure models, and the network model builder."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import syntax as s
+from repro.core.interpreter import Interpreter, eval_predicate
+from repro.core.packet import DROP, Packet
+from repro.failure.models import (
+    bounded_failure_program,
+    failure_free,
+    failure_program,
+    independent_failure_program,
+)
+from repro.network.model import build_model
+from repro.routing import (
+    downward_failable_ports,
+    ecmp_policy,
+    f10_policy,
+    shortest_path_ports,
+    static_policy,
+    teleport_policy,
+)
+from repro.routing.f10 import F10_SCHEMES
+from repro.topology import ab_fat_tree, fat_tree, zoo
+
+
+@pytest.fixture(scope="module")
+def abft():
+    return ab_fat_tree(4)
+
+
+class TestShortestPaths:
+    def test_edge_switch_has_two_upward_choices(self, abft):
+        ports = shortest_path_ports(abft, 1)
+        # Edge switch 3 (pod 1) reaches switch 1 via either aggregation switch.
+        assert len(ports[3]) == 2
+
+    def test_core_has_unique_downward_port(self, abft):
+        ports = shortest_path_ports(abft, 1)
+        for core in (17, 18, 19, 20):
+            assert len(ports[core]) == 1
+
+    def test_destination_has_no_next_hop(self, abft):
+        assert shortest_path_ports(abft, 1)[1] == []
+
+    def test_unknown_destination_rejected(self, abft):
+        with pytest.raises(KeyError):
+            shortest_path_ports(abft, 999)
+
+
+class TestEcmpAndStatic:
+    def test_ecmp_splits_uniformly(self, abft):
+        policy = ecmp_policy(abft, 1)
+        dist = Interpreter().run_packet(policy, Packet({"sw": 3, "pt": 0}))
+        assert len(dist.support()) == 2
+        assert all(float(p) == pytest.approx(0.5) for _, p in dist.items())
+
+    def test_ecmp_drops_at_destination_branch_default(self, abft):
+        policy = ecmp_policy(abft, 1)
+        dist = Interpreter().run_packet(policy, Packet({"sw": 1, "pt": 0}))
+        assert dist.support() == frozenset({DROP})
+
+    def test_static_is_deterministic(self, abft):
+        policy = static_policy(abft, 1)
+        dist = Interpreter().run_packet(policy, Packet({"sw": 3, "pt": 0}))
+        assert len(dist.support()) == 1
+
+    def test_ecmp_on_wan_topology(self):
+        topo = zoo.load("abilene")
+        policy = ecmp_policy(topo, 1)
+        dist = Interpreter().run_packet(policy, Packet({"sw": 5, "pt": 0}))
+        assert DROP not in dist.support()
+
+    def test_teleport_policy(self):
+        policy = teleport_policy(7)
+        (packet,) = Interpreter().run_packet(policy, Packet({"sw": 1, "pt": 3})).support()
+        assert packet["sw"] == 7 and packet["pt"] == 0
+
+
+class TestFailureModels:
+    FAILABLE = {17: [1, 2], 18: [1]}
+
+    def test_failure_free_sets_all_flags(self):
+        program = failure_free(self.FAILABLE)
+        (packet,) = Interpreter().run_packet(program, Packet({"sw": 17})).support()
+        assert packet["up1"] == 1 and packet["up2"] == 1
+
+    def test_failure_free_skips_other_switches(self):
+        program = failure_free(self.FAILABLE)
+        (packet,) = Interpreter().run_packet(program, Packet({"sw": 5})).support()
+        assert "up1" not in packet
+
+    def test_independent_failure_probability(self):
+        program = independent_failure_program(self.FAILABLE, Fraction(1, 4))
+        dist = Interpreter(exact=True).run_packet(program, Packet({"sw": 18}))
+        assert dist.prob_of(lambda p: p["up1"] == 0) == Fraction(1, 4)
+
+    def test_bounded_model_never_exceeds_budget(self):
+        program = bounded_failure_program(self.FAILABLE, Fraction(1, 2), max_failures=1)
+        dist = Interpreter(exact=True).run_packet(program, Packet({"sw": 17, "fails": 0}))
+        assert all(
+            (p["up1"] == 0) + (p["up2"] == 0) <= 1 for p in dist.support()
+        )
+
+    def test_bounded_model_increments_counter(self):
+        program = bounded_failure_program(self.FAILABLE, Fraction(1, 2), max_failures=2)
+        dist = Interpreter(exact=True).run_packet(program, Packet({"sw": 17, "fails": 0}))
+        assert dist.prob_of(lambda p: p["fails"] == 2) == Fraction(1, 4)
+
+    def test_exhausted_budget_means_no_failures(self):
+        program = bounded_failure_program(self.FAILABLE, Fraction(1, 2), max_failures=1)
+        dist = Interpreter(exact=True).run_packet(program, Packet({"sw": 17, "fails": 1}))
+        assert all(p["up1"] == 1 and p["up2"] == 1 for p in dist.support())
+
+    def test_zero_budget_equals_failure_free(self):
+        program = failure_program(self.FAILABLE, Fraction(1, 2), max_failures=0)
+        dist = Interpreter(exact=True).run_packet(program, Packet({"sw": 17}))
+        assert all(p["up1"] == 1 and p["up2"] == 1 for p in dist.support())
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            bounded_failure_program(self.FAILABLE, Fraction(1, 2), max_failures=-1)
+
+
+class TestF10Policies:
+    def test_unknown_scheme_rejected(self, abft):
+        with pytest.raises(ValueError):
+            f10_policy(abft, 1, scheme="f10_42")
+
+    def test_schemes_tuple(self):
+        assert F10_SCHEMES == ("f10_0", "f10_3", "f10_3_5")
+
+    def test_non_edge_destination_rejected(self, abft):
+        with pytest.raises(ValueError):
+            f10_policy(abft, 17)
+
+    def test_downward_failable_ports_cover_all_cores(self, abft):
+        failable = downward_failable_ports(abft)
+        assert set(failable) == {17, 18, 19, 20}
+        assert all(len(ports) == 4 for ports in failable.values())
+
+    def test_f10_0_is_failure_oblivious(self, abft):
+        policy = f10_policy(abft, 1, scheme="f10_0")
+        assert not any(field.startswith("up") for field in policy.fields())
+
+    def test_f10_3_reroutes_on_failed_primary(self, abft):
+        policy = f10_policy(abft, 1, scheme="f10_3")
+        failable = downward_failable_ports(abft)
+        core = 17
+        primary = shortest_path_ports(abft, 1)[core][0]
+        flags = {f"up{port}": 1 for port in failable[core]}
+        flags[f"up{primary}"] = 0
+        dist = Interpreter().run_packet(policy, Packet({"sw": core, "pt": 0, **flags}))
+        # Rerouted uniformly to the two opposite-type aggregation switches.
+        assert DROP not in dist.support()
+        assert len(dist.support()) == 2
+
+    def test_f10_3_drops_when_no_opposite_candidate(self, abft):
+        policy = f10_policy(abft, 1, scheme="f10_3")
+        failable = downward_failable_ports(abft)
+        core = 17
+        flags = {f"up{port}": 0 for port in failable[core]}
+        dist = Interpreter().run_packet(policy, Packet({"sw": core, "pt": 0, **flags}))
+        assert dist.support() == frozenset({DROP})
+
+    def test_f10_3_5_marks_five_hop_detours(self, abft):
+        policy = f10_policy(abft, 1, scheme="f10_3_5")
+        failable = downward_failable_ports(abft)
+        core = 17
+        primary = shortest_path_ports(abft, 1)[core][0]
+        flags = {f"up{port}": 0 for port in failable[core]}
+        # Only the same-type candidate stays up.
+        info_same_up = dict(flags)
+        same_type_port = next(
+            port for port in failable[core]
+            if abft.attributes(abft.peer(core, port)[0]).get("subtree") == "A"
+            and abft.attributes(abft.peer(core, port)[0]).get("pod") != 0
+        )
+        info_same_up[f"up{same_type_port}"] = 1
+        dist = Interpreter().run_packet(
+            policy, Packet({"sw": core, "pt": 0, "detour": 0, **info_same_up})
+        )
+        (packet,) = dist.support()
+        assert packet["detour"] == 2
+        assert packet["pt"] == same_type_port
+        assert primary != same_type_port
+
+
+class TestBuildModel:
+    def test_requires_an_ingress(self, abft):
+        with pytest.raises(ValueError):
+            build_model(abft, ecmp_policy(abft, 1), dest=1, ingress=[])
+
+    def test_default_ingress_excludes_destination(self, abft):
+        model = build_model(abft, ecmp_policy(abft, 1), dest=1)
+        assert all(packet["sw"] != 1 for packet in model.ingress_packets)
+        # 7 non-destination ToR switches x 2 host ports each.
+        assert len(model.ingress_packets) == 14
+
+    def test_failure_free_model_always_delivers(self, abft):
+        model = build_model(abft, ecmp_policy(abft, 1), dest=1)
+        assert model.certainly_delivers()
+        assert model.delivery_probability() == pytest.approx(1.0)
+
+    def test_delivery_probabilities_per_ingress(self, abft):
+        model = build_model(abft, ecmp_policy(abft, 1), dest=1)
+        probabilities = model.delivery_probabilities()
+        assert len(probabilities) == len(model.ingress_packets)
+        assert all(value == pytest.approx(1.0) for value in probabilities.values())
+
+    def test_hop_counter_records_path_length(self, abft):
+        model = build_model(abft, ecmp_policy(abft, 1), dest=1, count_hops=True)
+        outputs = model.output_distributions()
+        same_pod = Packet({"sw": 2, "pt": model.ingress_packets[0]["pt"]})
+        dist = outputs[same_pod]
+        assert all(packet["hops"] == 2 for packet in dist.support())
+
+    def test_teleport_program_delivers_immediately(self, abft):
+        model = build_model(abft, ecmp_policy(abft, 1), dest=1)
+        dist = Interpreter().run_packet(model.teleport, model.ingress_packets[0])
+        (packet,) = dist.support()
+        assert eval_predicate(model.delivered, packet)
+
+    def test_ingress_predicate_rejects_other_locations(self, abft):
+        model = build_model(abft, ecmp_policy(abft, 1), dest=1)
+        dist = Interpreter().run_packet(model.policy, Packet({"sw": 99, "pt": 1}))
+        assert dist.support() == frozenset({DROP})

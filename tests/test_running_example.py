@@ -1,0 +1,100 @@
+"""Integration tests: the §2 running example, end to end.
+
+These tests check exactly the claims made in the paper's overview:
+
+* without failures both schemes are equivalent to teleportation;
+* the resilient scheme is 1-resilient (equivalent to teleportation under
+  ``f1``) while the naive scheme is not;
+* under ``f2`` the naive scheme delivers 80% of packets and the resilient
+  scheme 96%, and the naive scheme strictly refines the resilient one.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import sugar
+from repro.core.equivalence import fdd_equivalent, output_equivalent, strictly_refines
+from repro.core.interpreter import Interpreter
+from repro.core.packet import DROP, Packet
+from repro.network import running_example as ex
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return ex.build()
+
+
+@pytest.fixture(scope="module")
+def teleport_spec():
+    return sugar.locals_in([("up2", 1), ("up3", 1)], ex.teleport())
+
+
+def delivery(model, packet):
+    out = Interpreter(exact=True).run_packet(model, packet)
+    return out.prob_of(lambda o: o is not DROP and o.get("sw") == 2 and o.get("pt") == 2)
+
+
+class TestWithoutFailures:
+    def test_both_schemes_equal_teleport(self, bundle, teleport_spec):
+        assert output_equivalent(
+            bundle.models_naive["f0"], teleport_spec, [bundle.ingress_packet], exact=True
+        )
+        assert output_equivalent(
+            bundle.models_resilient["f0"], teleport_spec, [bundle.ingress_packet], exact=True
+        )
+
+    def test_full_fdd_equivalence_without_failures(self, bundle, teleport_spec):
+        assert fdd_equivalent(bundle.models_naive["f0"], teleport_spec, exact=True)
+
+
+class TestOneFailure:
+    def test_resilient_scheme_is_1_resilient(self, bundle, teleport_spec):
+        assert output_equivalent(
+            bundle.models_resilient["f1"], teleport_spec, [bundle.ingress_packet], exact=True
+        )
+        assert fdd_equivalent(bundle.models_resilient["f1"], teleport_spec, exact=True)
+
+    def test_naive_scheme_is_not_1_resilient(self, bundle, teleport_spec):
+        assert not output_equivalent(
+            bundle.models_naive["f1"], teleport_spec, [bundle.ingress_packet], exact=True
+        )
+        assert delivery(bundle.models_naive["f1"], bundle.ingress_packet) == Fraction(3, 4)
+
+
+class TestTwoFailures:
+    def test_naive_delivers_80_percent(self, bundle):
+        assert delivery(bundle.models_naive["f2"], bundle.ingress_packet) == Fraction(4, 5)
+
+    def test_resilient_delivers_96_percent(self, bundle):
+        assert delivery(bundle.models_resilient["f2"], bundle.ingress_packet) == Fraction(24, 25)
+
+    def test_naive_strictly_refines_resilient(self, bundle):
+        assert strictly_refines(
+            bundle.models_naive["f2"],
+            bundle.models_resilient["f2"],
+            [bundle.ingress_packet],
+            exact=True,
+        )
+
+    def test_resilient_not_equivalent_to_teleport(self, bundle, teleport_spec):
+        assert not output_equivalent(
+            bundle.models_resilient["f2"], teleport_spec, [bundle.ingress_packet], exact=True
+        )
+
+
+class TestStructuralChecks:
+    def test_certain_outcomes_under_f0(self, bundle):
+        interp = Interpreter()
+        outcomes, diverge = interp.certain_outcomes(
+            bundle.models_resilient["f0"], bundle.ingress_packet
+        )
+        assert not diverge
+        assert all(o is not DROP and o["sw"] == 2 for o in outcomes)
+
+    def test_naive_scheme_can_drop_under_f1(self, bundle):
+        interp = Interpreter()
+        outcomes, _ = interp.certain_outcomes(
+            bundle.models_naive["f1"], bundle.ingress_packet
+        )
+        assert DROP in outcomes

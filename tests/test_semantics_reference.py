@@ -1,0 +1,159 @@
+"""Tests for the reference semantics and the paper's theorems on small universes.
+
+These are executable checks of Theorem 3.1 (the stochastic-matrix
+semantics agrees with the denotational semantics), Proposition 4.2 /
+Theorem 4.7 (the small-step chain and its closed form compute iteration),
+and Lemma 4.1 (stochasticity).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import syntax as s
+from repro.core.distributions import Dist
+from repro.core.packet import Packet, PacketUniverse
+from repro.core.semantics.bigstep import big_step_matrix
+from repro.core.semantics.denotational import StarDivergenceError, eval_policy
+from repro.core.semantics.smallstep import (
+    small_step_matrix,
+    star_approximation,
+    star_closed_form,
+)
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return PacketUniverse({"f": [0, 1]})
+
+
+PROGRAMS = [
+    s.skip(),
+    s.drop(),
+    s.test("f", 0),
+    s.assign("f", 1),
+    s.neg(s.test("f", 1)),
+    s.seq(s.test("f", 0), s.assign("f", 1)),
+    s.union(s.test("f", 0), s.test("f", 1)),
+    s.choice((s.assign("f", 0), Fraction(1, 3)), (s.assign("f", 1), Fraction(2, 3))),
+    s.ite(s.test("f", 0), s.assign("f", 1), s.skip()),
+    s.while_do(s.test("f", 0), s.choice((s.assign("f", 1), 0.5), (s.skip(), 0.5))),
+    s.Union((s.skip(), s.assign("f", 1))),
+]
+
+
+class TestDenotational:
+    def test_skip_and_drop(self, universe):
+        a = frozenset(universe.packets)
+        assert eval_policy(s.skip(), a) == Dist.point(a)
+        assert eval_policy(s.drop(), a) == Dist.point(frozenset())
+
+    def test_test_filters(self, universe):
+        a = frozenset(universe.packets)
+        out = eval_policy(s.test("f", 0), a)
+        (result,) = out.support()
+        assert result == frozenset({Packet({"f": 0})})
+
+    def test_negation_complements(self, universe):
+        a = frozenset(universe.packets)
+        out = eval_policy(s.neg(s.test("f", 0)), a)
+        (result,) = out.support()
+        assert result == frozenset({Packet({"f": 1})})
+
+    def test_union_takes_both_outputs(self):
+        a = frozenset({Packet({"f": 0})})
+        p = s.Union((s.skip(), s.assign("f", 1)))
+        (result,) = eval_policy(p, a).support()
+        assert result == frozenset({Packet({"f": 0}), Packet({"f": 1})})
+
+    def test_choice_weights(self):
+        a = frozenset({Packet({"f": 0})})
+        p = s.choice((s.assign("f", 0), Fraction(1, 3)), (s.assign("f", 1), Fraction(2, 3)))
+        out = eval_policy(p, a)
+        assert out(frozenset({Packet({"f": 1})})) == Fraction(2, 3)
+
+    def test_star_of_coin_flip_terminates(self):
+        a = frozenset({Packet({"f": 0})})
+        p = s.while_do(s.test("f", 0), s.choice((s.assign("f", 1), 0.5), (s.skip(), 0.5)))
+        out = eval_policy(p, a)
+        assert float(out(frozenset({Packet({"f": 1})}))) == pytest.approx(1.0, abs=1e-9)
+
+    def test_non_terminating_loop_outputs_nothing(self):
+        # ``while f=0 do skip`` never exits on input f=0; the limit assigns
+        # all mass to the empty output set.
+        a = frozenset({Packet({"f": 0})})
+        out = eval_policy(s.while_do(s.test("f", 0), s.skip()), a)
+        assert out(frozenset()) == 1
+
+    def test_slowly_converging_star_raises_within_small_bound(self):
+        a = frozenset({Packet({"f": 0})})
+        p = s.while_do(s.test("f", 0), s.choice((s.assign("f", 1), 0.5), (s.skip(), 0.5)))
+        with pytest.raises(StarDivergenceError):
+            eval_policy(p, a, max_star_iterations=3, tolerance=0.0)
+
+
+class TestTheorem31:
+    """B[[p]]_{a,b} = [[p]](a)({b}) for every program and input set."""
+
+    @pytest.mark.parametrize("program", PROGRAMS, ids=[str(p) for p in PROGRAMS])
+    def test_big_step_agrees_with_denotational(self, universe, program):
+        matrix = big_step_matrix(program, universe)
+        for a in universe.subsets():
+            reference = eval_policy(program, a)
+            for b in universe.subsets():
+                assert float(matrix.entry(a, b)) == pytest.approx(
+                    float(reference(b)), abs=1e-9
+                )
+
+    @pytest.mark.parametrize("program", PROGRAMS, ids=[str(p) for p in PROGRAMS])
+    def test_big_step_matrices_are_stochastic(self, universe, program):
+        assert big_step_matrix(program, universe).is_stochastic()
+
+
+class TestSmallStep:
+    def test_small_step_chain_is_stochastic(self, universe):
+        body = big_step_matrix(
+            s.choice((s.assign("f", 0), 0.5), (s.assign("f", 1), 0.5)), universe
+        )
+        kernel = small_step_matrix(body)
+        for dist in kernel.values():
+            assert float(dist.total_mass()) == pytest.approx(1.0)
+
+    def test_closed_form_matches_iteration(self, universe):
+        body = big_step_matrix(
+            s.seq(s.test("f", 0), s.choice((s.assign("f", 1), 0.5), (s.skip(), 0.5))),
+            universe,
+        )
+        closed = star_closed_form(body)
+        iterated = big_step_matrix(
+            s.star(s.seq(s.test("f", 0), s.choice((s.assign("f", 1), 0.5), (s.skip(), 0.5)))),
+            universe,
+        )
+        assert closed.close_to(iterated, tolerance=1e-9)
+
+    def test_closed_form_is_stochastic(self, universe):
+        body = big_step_matrix(s.assign("f", 1), universe)
+        assert star_closed_form(body).is_stochastic()
+
+    def test_approximations_converge_to_closed_form(self, universe):
+        program = s.seq(s.test("f", 0), s.choice((s.assign("f", 1), 0.5), (s.skip(), 0.5)))
+        body = big_step_matrix(program, universe)
+        closed = star_closed_form(body)
+        a = frozenset({Packet({"f": 0})})
+        target = closed.kernel[a]
+        previous_distance = None
+        for steps in (1, 4, 16, 64):
+            approx = star_approximation(body, steps).kernel[a]
+            distance = approx.tv_distance(target)
+            if previous_distance is not None:
+                assert distance <= previous_distance + 1e-12
+            previous_distance = distance
+        assert previous_distance < 1e-9
+
+    def test_while_loop_equals_star_encoding(self, universe):
+        guard, body = s.test("f", 0), s.choice((s.assign("f", 1), 0.5), (s.skip(), 0.5))
+        loop = big_step_matrix(s.while_do(guard, body), universe, star_method="closed_form")
+        encoded = big_step_matrix(
+            s.seq(s.star(s.seq(guard, body)), s.neg(guard)), universe, star_method="closed_form"
+        )
+        assert loop.close_to(encoded)

@@ -1,0 +1,146 @@
+"""Tests for derived forms, the pretty printer, and the parser."""
+
+import pytest
+
+from repro.core import sugar
+from repro.core import syntax as s
+from repro.core.interpreter import Interpreter
+from repro.core.packet import DROP, Packet
+from repro.core.parser import ParseError, parse, parse_predicate
+from repro.core.pretty import pretty, pretty_multiline
+
+
+class TestSugar:
+    def test_local_initialises_and_erases(self):
+        p = sugar.local("x", 5, s.skip())
+        out = Interpreter().run_packet(p, Packet({"sw": 1}))
+        (packet,) = out.support()
+        assert packet["x"] == 0  # erased after the scope
+
+    def test_local_value_visible_inside_body(self):
+        p = sugar.local("x", 5, s.ite(s.test("x", 5), s.assign("ok", 1), s.assign("ok", 0)))
+        (packet,) = Interpreter().run_packet(p, Packet({})).support()
+        assert packet["ok"] == 1
+
+    def test_locals_in_nests(self):
+        p = sugar.locals_in([("a", 1), ("b", 2)], s.skip())
+        (packet,) = Interpreter().run_packet(p, Packet({})).support()
+        assert packet["a"] == 0 and packet["b"] == 0
+
+    def test_increment_saturates(self):
+        inc = sugar.increment("h", 2)
+        interp = Interpreter()
+        assert next(iter(interp.run_packet(inc, Packet({"h": 0})).support()))["h"] == 1
+        assert next(iter(interp.run_packet(inc, Packet({"h": 2})).support()))["h"] == 2
+
+    def test_increment_negative_max_rejected(self):
+        with pytest.raises(ValueError):
+            sugar.increment("h", -1)
+
+    def test_uniform_among_up_all_up(self):
+        p = sugar.uniform_among_up(
+            ["up1", "up2"], [s.assign("pt", 1), s.assign("pt", 2)], s.drop()
+        )
+        out = Interpreter().run_packet(p, Packet({"up1": 1, "up2": 1}))
+        assert float(out.prob_of(lambda o: o is not DROP and o["pt"] == 1)) == pytest.approx(0.5)
+
+    def test_uniform_among_up_partial(self):
+        p = sugar.uniform_among_up(
+            ["up1", "up2"], [s.assign("pt", 1), s.assign("pt", 2)], s.drop()
+        )
+        out = Interpreter().run_packet(p, Packet({"up1": 0, "up2": 1}))
+        assert float(out.prob_of(lambda o: o is not DROP and o["pt"] == 2)) == 1.0
+
+    def test_uniform_among_up_fallback(self):
+        p = sugar.uniform_among_up(
+            ["up1", "up2"], [s.assign("pt", 1), s.assign("pt", 2)], s.assign("pt", 9)
+        )
+        out = Interpreter().run_packet(p, Packet({"up1": 0, "up2": 0}))
+        assert next(iter(out.support()))["pt"] == 9
+
+    def test_uniform_among_up_length_mismatch(self):
+        with pytest.raises(ValueError):
+            sugar.uniform_among_up(["up1"], [], s.drop())
+
+    def test_first_up_prefers_earlier_candidates(self):
+        p = sugar.first_up(["up1", "up2"], [s.assign("pt", 1), s.assign("pt", 2)], s.drop())
+        out = Interpreter().run_packet(p, Packet({"up1": 1, "up2": 1}))
+        assert next(iter(out.support()))["pt"] == 1
+
+    def test_set_all(self):
+        p = sugar.set_all(["a", "b"], 7)
+        (packet,) = Interpreter().run_packet(p, Packet({})).support()
+        assert packet.as_dict() == {"a": 7, "b": 7}
+
+
+class TestPretty:
+    def test_primitives(self):
+        assert pretty(s.skip()) == "skip"
+        assert pretty(s.drop()) == "drop"
+        assert pretty(s.test("sw", 1)) == "sw=1"
+        assert pretty(s.assign("pt", 2)) == "pt<-2"
+
+    def test_conditional(self):
+        p = s.ite(s.test("sw", 1), s.assign("pt", 2), s.drop())
+        assert pretty(p) == "if sw=1 then pt<-2 else drop"
+
+    def test_choice_shows_probabilities(self):
+        p = s.choice((s.assign("f", 1), 0.5), (s.assign("f", 2), 0.5))
+        assert "@ 1/2" in pretty(p)
+
+    def test_multiline_renders_case(self):
+        p = s.case([(s.test("sw", 1), s.assign("pt", 2))], s.drop())
+        text = pretty_multiline(p)
+        assert "case sw=1 then" in text
+
+    def test_repr_uses_pretty(self):
+        assert repr(s.test("sw", 1)) == "sw=1"
+
+
+class TestParser:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "skip",
+            "drop",
+            "sw=1",
+            "pt<-2",
+            "if sw=1 then pt<-2 else drop",
+            "while ~(sw=2) do (t<-1 ; sw<-2)",
+            "(pt<-2 @ 1/2 (+) pt<-3 @ 1/2)",
+            "sw=1 ; pt=1",
+        ],
+    )
+    def test_roundtrip_through_pretty(self, source):
+        parsed = parse(source)
+        assert parse(pretty(parsed)) == parsed
+
+    def test_var_desugars_to_local(self):
+        parsed = parse("var x <- 3 in x=3")
+        (packet,) = Interpreter().run_packet(parsed, Packet({})).support()
+        assert packet["x"] == 0
+
+    def test_case_parses(self):
+        parsed = parse("case sw=1 then pt<-2 else case sw=2 then pt<-3 else drop")
+        assert isinstance(parsed, s.Case)
+        assert len(parsed.branches) == 2
+
+    def test_decimal_probabilities(self):
+        parsed = parse("(pt<-2 @ 0.25 (+) pt<-3 @ 0.75)")
+        assert isinstance(parsed, s.Choice)
+
+    def test_parse_predicate_rejects_policies(self):
+        with pytest.raises(ParseError):
+            parse_predicate("pt<-2")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(ParseError):
+            parse("(sw=1")
+
+    def test_unexpected_character_rejected(self):
+        with pytest.raises(ParseError):
+            parse("sw=1 $ pt<-2")
+
+    def test_comments_are_ignored(self):
+        parsed = parse("sw=1 -- only a test\n; pt<-2")
+        assert isinstance(parsed, s.Seq)

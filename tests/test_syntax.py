@@ -1,0 +1,130 @@
+"""Unit tests for the ProbNetKAT AST and its smart constructors."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import syntax as s
+
+
+class TestProbabilities:
+    def test_float_probabilities_become_exact(self):
+        assert s.as_prob(0.25) == Fraction(1, 4)
+        assert s.as_prob(0.1) == Fraction(1, 10)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            s.as_prob(1.5)
+        with pytest.raises(ValueError):
+            s.as_prob(-0.1)
+
+    def test_booleans_rejected(self):
+        with pytest.raises(TypeError):
+            s.as_prob(True)
+
+
+class TestSmartConstructors:
+    def test_seq_flattens_and_drops_skip(self):
+        p = s.seq(s.skip(), s.assign("f", 1), s.seq(s.assign("g", 2), s.skip()))
+        assert isinstance(p, s.Seq)
+        assert len(p.parts) == 2
+
+    def test_seq_short_circuits_on_drop(self):
+        assert s.seq(s.assign("f", 1), s.drop(), s.assign("g", 2)) == s.drop()
+
+    def test_empty_seq_is_skip(self):
+        assert s.seq() == s.skip()
+
+    def test_union_of_predicates_is_disjunction(self):
+        p = s.union(s.test("f", 1), s.test("f", 2))
+        assert isinstance(p, s.Or)
+
+    def test_union_drops_false(self):
+        assert s.union(s.drop(), s.test("f", 1)) == s.test("f", 1)
+
+    def test_conj_identity(self):
+        assert s.conj() == s.skip()
+        assert s.conj(s.test("f", 1)) == s.test("f", 1)
+
+    def test_neg_involution(self):
+        t = s.test("f", 1)
+        assert s.neg(s.neg(t)) == t
+        assert s.neg(s.skip()) == s.drop()
+        assert s.neg(s.drop()) == s.skip()
+
+    def test_choice_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            s.choice((s.skip(), 0.5), (s.drop(), 0.25))
+
+    def test_choice_merges_identical_branches(self):
+        p = s.choice((s.assign("f", 1), 0.5), (s.assign("f", 1), 0.5))
+        assert p == s.assign("f", 1)
+
+    def test_choice_removes_zero_probability_branches(self):
+        p = s.choice((s.assign("f", 1), 1), (s.assign("f", 2), 0))
+        assert p == s.assign("f", 1)
+
+    def test_uniform(self):
+        p = s.uniform(s.assign("f", 1), s.assign("f", 2))
+        assert isinstance(p, s.Choice)
+        assert all(prob == Fraction(1, 2) for _, prob in p.branches)
+
+    def test_ite_simplifies_constant_guards(self):
+        assert s.ite(s.skip(), s.assign("f", 1), s.drop()) == s.assign("f", 1)
+        assert s.ite(s.drop(), s.assign("f", 1), s.drop()) == s.drop()
+
+    def test_while_false_guard_is_skip(self):
+        assert s.while_do(s.drop(), s.assign("f", 1)) == s.skip()
+
+    def test_case_to_ite(self):
+        c = s.case(
+            [(s.test("sw", 1), s.assign("pt", 1)), (s.test("sw", 2), s.assign("pt", 2))],
+            s.drop(),
+        )
+        expanded = s.case_to_ite(c)
+        assert isinstance(expanded, s.IfThenElse)
+        assert expanded.guard == s.test("sw", 1)
+
+    def test_case_skips_false_guards(self):
+        c = s.case([(s.drop(), s.assign("pt", 1))], s.skip())
+        assert c == s.skip()
+
+    def test_test_all_and_assign_all(self):
+        assert isinstance(s.test_all({"sw": 1, "pt": 2}), s.And)
+        assert isinstance(s.assign_all({"sw": 1, "pt": 2}), s.Seq)
+
+    def test_operators(self):
+        p = s.test("f", 1) >> s.assign("g", 2)
+        assert isinstance(p, s.Seq)
+        q = s.test("f", 1) | s.test("f", 2)
+        assert isinstance(q, s.Or)
+        assert isinstance(~s.test("f", 1), s.Not)
+        assert isinstance(s.test("f", 1) & s.test("g", 1), s.And)
+
+
+class TestStructuralHelpers:
+    def test_fields_collects_tests_and_assignments(self):
+        p = s.seq(s.test("sw", 1), s.assign("pt", 2))
+        assert p.fields() == frozenset({"sw", "pt"})
+
+    def test_field_values(self):
+        p = s.seq(s.test("f", 1), s.assign("f", 2), s.test("g", 3))
+        assert p.field_values() == {"f": frozenset({1, 2}), "g": frozenset({3})}
+
+    def test_size_counts_nodes(self):
+        p = s.ite(s.test("f", 1), s.assign("g", 2), s.drop())
+        assert p.size() == 4
+
+    def test_is_guarded(self):
+        guarded = s.while_do(s.test("f", 0), s.assign("f", 1))
+        assert guarded.is_guarded()
+        assert not s.star(s.assign("f", 1)).is_guarded()
+        assert not s.Union((s.assign("f", 1), s.assign("f", 2))).is_guarded()
+        assert s.union(s.test("f", 1), s.test("f", 2)).is_guarded()
+
+    def test_nodes_are_hashable_and_comparable(self):
+        a = s.ite(s.test("f", 1), s.assign("g", 2), s.drop())
+        b = s.ite(s.test("f", 1), s.assign("g", 2), s.drop())
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1

@@ -1,0 +1,228 @@
+"""Tests for topologies: the graph class, FatTrees, AB FatTrees, DOT/GML, zoo."""
+
+import pytest
+
+from repro.core.interpreter import Interpreter
+from repro.core.packet import DROP, Packet
+from repro.topology import (
+    FatTreeShape,
+    Topology,
+    ab_fat_tree,
+    aggregation_switches,
+    chain_topology,
+    core_switches,
+    edge_switches,
+    fat_tree,
+    pod_type,
+    zoo,
+)
+from repro.topology.dot import from_dot, to_dot
+from repro.topology.zoo import from_gml, to_gml
+
+
+class TestTopologyGraph:
+    def make_line(self):
+        topo = Topology("line")
+        topo.add_switch(1)
+        topo.add_switch(2)
+        topo.add_host("h1")
+        topo.add_link(1, 2)
+        topo.add_link(2, "h1")
+        return topo
+
+    def test_ports_are_allocated_and_symmetric(self):
+        topo = self.make_line()
+        port_12 = topo.port_to(1, 2)
+        peer, peer_port = topo.peer(1, port_12)
+        assert peer == 2
+        assert topo.peer(2, peer_port) == (1, port_12)
+
+    def test_switches_and_hosts_partition_nodes(self):
+        topo = self.make_line()
+        assert set(topo.switches()) == {1, 2}
+        assert topo.hosts() == ["h1"]
+        assert topo.is_host("h1") and topo.is_switch(1)
+
+    def test_duplicate_port_rejected(self):
+        topo = self.make_line()
+        with pytest.raises(ValueError):
+            topo.add_link(1, 2, port_a=topo.port_to(1, 2))
+
+    def test_link_requires_existing_nodes(self):
+        topo = Topology()
+        topo.add_switch(1)
+        with pytest.raises(KeyError):
+            topo.add_link(1, 99)
+
+    def test_switch_links_exclude_hosts(self):
+        topo = self.make_line()
+        assert all(topo.is_switch(link.peer) for link in topo.switch_links())
+
+    def test_ingress_locations(self):
+        topo = self.make_line()
+        assert topo.ingress_locations() == [(2, topo.port_to(2, "h1"))]
+        assert topo.ingress_locations(exclude=[2]) == []
+
+    def test_program_moves_packets_over_links(self):
+        topo = self.make_line()
+        program = topo.program()
+        interp = Interpreter()
+        port = topo.port_to(1, 2)
+        out = interp.run_packet(program, Packet({"sw": 1, "pt": port}))
+        (packet,) = out.support()
+        assert packet["sw"] == 2
+
+    def test_program_drops_at_unknown_locations(self):
+        topo = self.make_line()
+        out = Interpreter().run_packet(topo.program(), Packet({"sw": 1, "pt": 99}))
+        assert out.support() == frozenset({DROP})
+
+    def test_program_respects_failable_guard(self):
+        topo = self.make_line()
+        port = topo.port_to(1, 2)
+        program = topo.program(failable={1: [port]})
+        interp = Interpreter()
+        down = interp.run_packet(program, Packet({"sw": 1, "pt": port, f"up{port}": 0}))
+        up = interp.run_packet(program, Packet({"sw": 1, "pt": port, f"up{port}": 1}))
+        assert down.support() == frozenset({DROP})
+        assert next(iter(up.support()))["sw"] == 2
+
+    def test_program_requires_integer_switch_ids(self):
+        topo = Topology()
+        topo.add_switch("a")
+        topo.add_switch("b")
+        topo.add_link("a", "b")
+        with pytest.raises(TypeError):
+            topo.program()
+
+
+class TestFatTree:
+    def test_shape_counts(self):
+        shape = FatTreeShape(4)
+        assert shape.switch_count == 20
+        assert shape.core_count == 4
+        assert shape.host_count == 16
+
+    def test_odd_p_rejected(self):
+        with pytest.raises(ValueError):
+            FatTreeShape(5)
+
+    @pytest.mark.parametrize("p", [4, 6])
+    def test_switch_and_host_counts(self, p):
+        topo = fat_tree(p)
+        shape = FatTreeShape(p)
+        assert len(topo.switches()) == shape.switch_count
+        assert len(topo.hosts()) == shape.host_count
+
+    def test_level_partition(self):
+        topo = fat_tree(4)
+        assert len(edge_switches(topo)) == 8
+        assert len(aggregation_switches(topo)) == 8
+        assert len(core_switches(topo)) == 4
+
+    def test_every_core_connects_to_every_pod(self):
+        topo = fat_tree(4)
+        for core in core_switches(topo):
+            pods = {topo.attributes(peer)["pod"] for peer in topo.neighbors(core)}
+            assert pods == {0, 1, 2, 3}
+
+    def test_standard_fattree_has_single_subtree_type(self):
+        topo = fat_tree(4)
+        assert {topo.attributes(sw)["subtree"] for sw in aggregation_switches(topo)} == {"A"}
+
+
+class TestAbFatTree:
+    def test_same_size_as_fattree(self):
+        assert len(ab_fat_tree(4).switches()) == len(fat_tree(4).switches())
+
+    def test_pod_types_alternate(self):
+        topo = ab_fat_tree(4)
+        assert pod_type(topo, 1) == "A"  # edge switch of pod 0
+        assert {pod_type(topo, sw) for sw in aggregation_switches(topo)} == {"A", "B"}
+
+    def test_core_reaches_both_subtree_types(self):
+        topo = ab_fat_tree(4)
+        for core in core_switches(topo):
+            types = {topo.attributes(peer)["subtree"] for peer in topo.neighbors(core)}
+            assert types == {"A", "B"}
+
+    def test_detour_property(self):
+        """Opposite-type aggregation switches reach the destination pod via a
+        different aggregation switch than the core they detour around."""
+        topo = ab_fat_tree(4)
+        dest_pod = 0
+        for core in core_switches(topo):
+            dest_agg = next(
+                peer for peer in topo.neighbors(core)
+                if topo.attributes(peer).get("pod") == dest_pod
+            )
+            for agg in topo.neighbors(core):
+                attrs = topo.attributes(agg)
+                if attrs.get("pod") in (dest_pod, None) or attrs.get("subtree") == "A":
+                    continue
+                other_cores = [c for c in topo.neighbors(agg) if c != core
+                               and topo.attributes(c).get("level") == "core"]
+                for other in other_cores:
+                    reached = next(
+                        peer for peer in topo.neighbors(other)
+                        if topo.attributes(peer).get("pod") == dest_pod
+                    )
+                    assert reached != dest_agg
+
+    def test_pod_type_unavailable_for_core(self):
+        topo = ab_fat_tree(4)
+        with pytest.raises(KeyError):
+            pod_type(topo, core_switches(topo)[0])
+
+
+class TestChainTopology:
+    def test_switch_count(self):
+        assert len(chain_topology(3).switches()) == 12
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            chain_topology(0)
+
+    def test_roles_assigned(self):
+        topo = chain_topology(2)
+        roles = [topo.attributes(sw)["role"] for sw in sorted(topo.switches())]
+        assert roles[:4] == ["split", "upper", "lower", "join"]
+
+
+class TestSerialisation:
+    def test_dot_roundtrip(self):
+        topo = fat_tree(4)
+        recovered = from_dot(to_dot(topo))
+        assert len(recovered.switches()) == len(topo.switches())
+        assert len(recovered.hosts()) == len(topo.hosts())
+        assert recovered.link_count() == topo.link_count()
+
+    def test_dot_preserves_port_numbers(self):
+        topo = chain_topology(1)
+        recovered = from_dot(to_dot(topo))
+        assert recovered.port_to(1, 2) == topo.port_to(1, 2)
+
+    def test_gml_roundtrip(self):
+        topo = zoo.load("abilene")
+        recovered = from_gml(to_gml(topo))
+        assert len(recovered.switches()) == len(topo.switches())
+        assert recovered.link_count() == topo.link_count()
+
+
+class TestZoo:
+    def test_available_topologies(self):
+        assert set(zoo.available_topologies()) == {"abilene", "nsfnet", "geant-lite"}
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            zoo.load("does-not-exist")
+
+    @pytest.mark.parametrize("name", ["abilene", "nsfnet", "geant-lite"])
+    def test_topologies_are_connected(self, name):
+        import networkx as nx
+
+        topo = zoo.load(name)
+        assert nx.is_connected(topo.switch_graph())
+
+    def test_hosts_optional(self):
+        assert zoo.load("abilene", with_hosts=False).hosts() == []
