@@ -1,8 +1,20 @@
-"""Helpers shared by the benchmark harnesses."""
+"""Helpers shared by the benchmark harnesses.
+
+Besides pretty-printing reproduced tables, the harness collects every
+recorded figure into machine-readable ``BENCH_<fig>.json`` summaries
+(written at session end by the ``pytest_sessionfinish`` hook in
+``conftest.py``).  CI uploads those files as artifacts, so the perf
+trajectory of the repo is tracked run over run.
+"""
 
 from __future__ import annotations
 
+import json
 import os
+import time
+
+#: Figure name -> recorded payload, collected across one pytest session.
+_RECORDS: dict[str, dict[str, object]] = {}
 
 
 def scale() -> int:
@@ -13,8 +25,48 @@ def scale() -> int:
         return 1
 
 
-def print_table(title: str, header: list[str], rows: list[list[object]]) -> None:
-    """Uniform plain-text rendering of a reproduced table/series."""
+def output_dir() -> str:
+    """Directory for ``BENCH_*.json`` summaries (override: BENCH_OUTPUT_DIR)."""
+    default = os.path.join(os.path.dirname(os.path.abspath(__file__)), "out")
+    return os.environ.get("BENCH_OUTPUT_DIR", default)
+
+
+def record(
+    fig: str,
+    title: str,
+    header: list[str],
+    rows: list[list[object]],
+    phases: dict[str, float] | None = None,
+) -> None:
+    """Register one figure's reproduced rows for JSON emission.
+
+    ``phases`` optionally attaches per-phase wall-clock seconds (compile,
+    solve, query, ...) so artifacts capture where the time went, not just
+    totals.  Re-recording a figure merges its phases and replaces rows.
+    """
+    entry = _RECORDS.setdefault(
+        fig, {"title": title, "header": header, "rows": [], "phases": {}}
+    )
+    entry["title"] = title
+    entry["header"] = header
+    entry["rows"] = rows
+    if phases:
+        merged = dict(entry.get("phases") or {})
+        merged.update({name: round(float(value), 6) for name, value in phases.items()})
+        entry["phases"] = merged
+
+
+def print_table(
+    title: str,
+    header: list[str],
+    rows: list[list[object]],
+    fig: str | None = None,
+) -> None:
+    """Uniform plain-text rendering of a reproduced table/series.
+
+    With ``fig`` the table is also recorded for the ``BENCH_<fig>.json``
+    summary artifact.
+    """
     print()
     print(f"== {title}")
     widths = [
@@ -24,3 +76,28 @@ def print_table(title: str, header: list[str], rows: list[list[object]]) -> None
     print("  " + "  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
     for row in rows:
         print("  " + "  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    if fig is not None:
+        record(fig, title, header, rows)
+
+
+def write_summaries() -> list[str]:
+    """Write one ``BENCH_<fig>.json`` per recorded figure; return the paths."""
+    if not _RECORDS:
+        return []
+    directory = output_dir()
+    os.makedirs(directory, exist_ok=True)
+    written: list[str] = []
+    stamp = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    for fig, entry in sorted(_RECORDS.items()):
+        payload = {
+            "fig": fig,
+            "generated_at": stamp,
+            "repro_scale": scale(),
+            **entry,
+        }
+        path = os.path.join(directory, f"BENCH_{fig}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+            handle.write("\n")
+        written.append(path)
+    return written

@@ -20,7 +20,16 @@ import pytest
 
 sys.path.insert(0, os.path.dirname(__file__))
 
-from bench_utils import scale  # noqa: E402
+from bench_utils import scale, write_summaries  # noqa: E402
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit machine-readable BENCH_<fig>.json summaries for CI artifacts."""
+    paths = write_summaries()
+    if paths:
+        print("\nbenchmark summaries written:")
+        for path in paths:
+            print(f"  {path}")
 
 
 @pytest.fixture(scope="session")

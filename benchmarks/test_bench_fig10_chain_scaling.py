@@ -81,5 +81,6 @@ def test_report_figure10(benchmark):
         "Figure 10 — chain topology: delivery probability H1 -> H2 and engine time",
         ["engine", "diamonds", "switches", "P[deliver]", "time"],
         RESULTS,
+        fig="fig10",
     )
     assert RESULTS

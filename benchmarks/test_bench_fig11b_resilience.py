@@ -45,5 +45,6 @@ def test_figure11b_resilience_table(benchmark):
         "Figure 11(b) — k-resilience (≡ teleport under at most k failures)",
         ["k"] + SCHEMES,
         rows,
+        fig="fig11b",
     )
     assert table == EXPECTED

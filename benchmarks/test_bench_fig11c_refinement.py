@@ -42,5 +42,6 @@ def test_figure11c_refinement_table(benchmark):
         "Figure 11(c) — refinement relationships under k failures",
         ["k"] + [f"{a} vs {b}" for a, b in PAIRS],
         rows,
+        fig="fig11c",
     )
     assert table == EXPECTED

@@ -54,6 +54,7 @@ def test_report_figure12a(benchmark):
         "Figure 12(a) — delivery probability vs link-failure probability (k = ∞)",
         ["scheme"] + [str(pr) for pr in PROBABILITIES],
         rows,
+        fig="fig12a",
     )
     # Shape checks from the paper: F10_0 dips well below the rerouting schemes.
     assert RESULTS["AB FatTree, F10_0"][-1] < 0.85

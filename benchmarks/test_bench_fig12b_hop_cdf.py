@@ -10,13 +10,16 @@ FatTree needs 8 hops for the same recovery (its detours are longer).
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.analysis import hop_count_cdf
+from repro.backends import MatrixBackend
 from repro.routing import f10_model
 from repro.topology import ab_fat_tree, fat_tree
 
-from bench_utils import print_table
+from bench_utils import print_table, record
 
 FAILURE_PROBABILITY = 1 / 4
 HOPS = [2, 4, 6, 8, 10, 12]
@@ -30,12 +33,15 @@ SERIES = [
 RESULTS: dict[str, dict[int, float]] = {}
 
 
-def compute_cdf(topology, scheme):
-    model = f10_model(
+def build_model(topology, scheme):
+    return f10_model(
         topology, 1, scheme=scheme, failure_probability=FAILURE_PROBABILITY,
         count_hops=True, max_hops=14,
     )
-    return hop_count_cdf(model, max_hops=max(HOPS))
+
+
+def compute_cdf(topology, scheme):
+    return hop_count_cdf(build_model(topology, scheme), max_hops=max(HOPS))
 
 
 @pytest.mark.parametrize("label,topo_kind,scheme", SERIES, ids=[s[0] for s in SERIES])
@@ -47,6 +53,79 @@ def test_hop_count_cdf(benchmark, label, topo_kind, scheme):
     assert values == sorted(values)
 
 
+def test_matrix_backend_batched_query(benchmark):
+    """The tentpole claim: one factorization + batched RHS beats per-packet runs.
+
+    The same all-ingress hop-CDF query is answered by per-packet forward
+    interpretation (which re-solves the loop chain for every new ingress
+    seed) and by the matrix backend (compile once, factorize ``I - Q``
+    once, batched multi-RHS solve).  The query phase — everything after
+    the one-time FDD compilation — must be at least 5x faster, and the
+    distributions must agree within 1e-9.
+    """
+    model = build_model(ab_fat_tree(4), "f10_3_5")
+
+    start = time.perf_counter()
+    native_cdf = benchmark.pedantic(
+        lambda: hop_count_cdf(model, max_hops=max(HOPS)), rounds=1, iterations=1
+    )
+    native_s = time.perf_counter() - start
+
+    # Two fresh backends, best-of-2, to keep the timing assert robust
+    # against scheduler noise on small absolute times.
+    cold_runs = []
+    for _ in range(2):
+        backend = MatrixBackend()
+        start = time.perf_counter()
+        matrix_cdf = hop_count_cdf(model, max_hops=max(HOPS), backend=backend)
+        cold_runs.append((time.perf_counter() - start, backend))
+    cold_s, backend = min(cold_runs, key=lambda run: run[0])
+    compile_s = backend.timings().get("compile", 0.0)
+    # "query" is the end-to-end query phase (its "build"/"solve" sub-phases
+    # are nested inside it, so they must not be summed on top).
+    query_s = min(
+        candidate.timings().get("query", 0.0) for _, candidate in cold_runs
+    )
+
+    start = time.perf_counter()
+    warm_cdf = hop_count_cdf(model, max_hops=max(HOPS), backend=backend)
+    warm_s = time.perf_counter() - start
+    speedup = native_s / query_s if query_s else float("inf")
+    loop_states = sum(
+        len(stage.row_cache) for stage in backend.plan(model.policy).loop_stages
+    )
+    record(
+        "fig12b",
+        "Figure 12(b) — matrix backend batched all-ingress hop-CDF query",
+        ["metric", "value"],
+        [
+            ["ingresses", len(model.ingress_packets)],
+            ["loop_states", loop_states],
+            ["native_query_s", round(native_s, 4)],
+            ["matrix_compile_s", round(compile_s, 4)],
+            ["matrix_query_s", round(query_s, 4)],
+            ["matrix_build_s", round(backend.timings().get("build", 0.0), 4)],
+            ["matrix_solve_s", round(backend.timings().get("solve", 0.0), 4)],
+            ["matrix_cold_total_s", round(cold_s, 4)],
+            ["matrix_warm_query_s", round(warm_s, 4)],
+            ["query_speedup", round(speedup, 2)],
+        ],
+        phases={
+            "native_query_s": native_s,
+            "matrix_compile_s": compile_s,
+            "matrix_query_s": query_s,
+            "matrix_warm_query_s": warm_s,
+        },
+    )
+    for h in range(0, max(HOPS) + 1):
+        assert matrix_cdf[h] == pytest.approx(native_cdf[h], abs=1e-9)
+        assert warm_cdf[h] == pytest.approx(native_cdf[h], abs=1e-9)
+    assert speedup >= 5.0, (
+        f"batched matrix query ({query_s:.3f}s) not ≥5x faster than "
+        f"per-packet interpretation ({native_s:.3f}s)"
+    )
+
+
 def test_report_figure12b(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     rows = [
@@ -56,6 +135,7 @@ def test_report_figure12b(benchmark):
         "Figure 12(b) — P[delivered within ≤ h hops] at pr = 1/4",
         ["scheme"] + [f"h={h}" for h in HOPS],
         rows,
+        fig="fig12b_cdf",
     )
     ab = RESULTS["AB FatTree, F10_3,5"]
     ft = RESULTS["FatTree, F10_3,5"]

@@ -48,6 +48,22 @@ def test_expected_hop_count_sweep(benchmark, label, topo_kind, scheme):
     assert all(2.0 <= v <= 10.0 for v in values)
 
 
+def test_matrix_backend_agrees(benchmark):
+    """The matrix backend reproduces the conditioned expectation exactly."""
+    from repro.backends import MatrixBackend
+
+    model = f10_model(
+        ab_fat_tree(4), 1, scheme="f10_3_5",
+        failure_probability=PROBABILITIES[-1], count_hops=True, max_hops=14,
+    )
+    native = expected_hop_count(model)
+    matrix = benchmark.pedantic(
+        lambda: expected_hop_count(model, backend=MatrixBackend()),
+        rounds=1, iterations=1,
+    )
+    assert matrix == pytest.approx(native, abs=1e-9)
+
+
 def test_report_figure12c(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     rows = [
@@ -57,6 +73,7 @@ def test_report_figure12c(benchmark):
         "Figure 12(c) — expected hop count conditioned on delivery",
         ["scheme"] + [str(pr) for pr in PROBABILITIES],
         rows,
+        fig="fig12c",
     )
     f10_0 = RESULTS["AB FatTree, F10_0"]
     assert f10_0[-1] < f10_0[0]  # shifts towards short intra-pod paths

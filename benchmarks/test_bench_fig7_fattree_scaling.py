@@ -6,6 +6,10 @@ backend and the PRISM backend.  This harness reproduces the sweep at
 reduced sizes (Python constant factors) and reports per-configuration
 times; the expected shape is: the native backend scales to larger
 FatTrees than the PRISM pipeline, and failures make both slower.
+
+The sweep also runs the batched matrix backend, reporting its one-time
+FDD/matrix compilation separately from the batched all-ingress query so
+the artifact records where each backend spends its time.
 """
 
 from __future__ import annotations
@@ -14,6 +18,7 @@ import time
 
 import pytest
 
+from repro.backends import MatrixBackend
 from repro.backends.prism import PrismBackend
 from repro.core.interpreter import Interpreter
 from repro.failure.models import independent_failure_program
@@ -25,6 +30,8 @@ from bench_utils import print_table, scale
 
 #: FatTree parameters swept by the native backend (scaled by REPRO_SCALE).
 NATIVE_SIZES = [4, 6, 8][: 2 + scale()]
+#: The matrix backend sweeps the same sizes as the native backend.
+MATRIX_SIZES = NATIVE_SIZES
 #: The PRISM pipeline explores the full product state space and is kept small.
 PRISM_SIZES = [4]
 
@@ -60,6 +67,13 @@ def prism_construct(p: int, failure_probability: float | None):
     return backend.probability(model.policy, model.ingress_packets[0], model.delivered)
 
 
+def matrix_construct(p: int, failure_probability: float | None):
+    model = build(p, failure_probability)
+    backend = MatrixBackend()
+    outputs = backend.output_distributions(model.policy, model.ingress_packets)
+    return outputs, backend.timings()
+
+
 @pytest.mark.parametrize("p", NATIVE_SIZES)
 @pytest.mark.parametrize("failure_probability", [None, 1 / 1000], ids=["f0", "f1000"])
 def test_native_backend_scaling(benchmark, p, failure_probability):
@@ -67,7 +81,33 @@ def test_native_backend_scaling(benchmark, p, failure_probability):
     outputs = benchmark.pedantic(native_construct, args=(p, failure_probability), rounds=1, iterations=1)
     elapsed = time.perf_counter() - start
     switches = 5 * p * p // 4
-    RESULTS.append(["native", p, switches, "0" if failure_probability is None else "1/1000", f"{elapsed:.2f}s"])
+    RESULTS.append(["native", p, switches, "0" if failure_probability is None else "1/1000", f"{elapsed:.2f}s", "-", "-"])
+    assert len(outputs) > 0
+
+
+@pytest.mark.parametrize("p", MATRIX_SIZES)
+@pytest.mark.parametrize("failure_probability", [None, 1 / 1000], ids=["f0", "f1000"])
+def test_matrix_backend_scaling(benchmark, p, failure_probability):
+    start = time.perf_counter()
+    outputs, timings = benchmark.pedantic(
+        matrix_construct, args=(p, failure_probability), rounds=1, iterations=1
+    )
+    elapsed = time.perf_counter() - start
+    switches = 5 * p * p // 4
+    compile_s = timings.get("compile", 0.0)
+    # "query" is end-to-end query time; "build"/"solve" are sub-phases of it.
+    query_s = timings.get("query", 0.0)
+    RESULTS.append(
+        [
+            "matrix",
+            p,
+            switches,
+            "0" if failure_probability is None else "1/1000",
+            f"{elapsed:.2f}s",
+            f"{compile_s:.2f}s",
+            f"{query_s:.2f}s",
+        ]
+    )
     assert len(outputs) > 0
 
 
@@ -78,15 +118,16 @@ def test_prism_backend_scaling(benchmark, p, failure_probability):
     probability = benchmark.pedantic(prism_construct, args=(p, failure_probability), rounds=1, iterations=1)
     elapsed = time.perf_counter() - start
     switches = 5 * p * p // 4
-    RESULTS.append(["prism", p, switches, "0" if failure_probability is None else "1/1000", f"{elapsed:.2f}s"])
+    RESULTS.append(["prism", p, switches, "0" if failure_probability is None else "1/1000", f"{elapsed:.2f}s", "-", "-"])
     assert float(probability) > 0.99
 
 
 def test_report_figure7(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     print_table(
-        "Figure 7 — model construction time (native vs PRISM, with/without failures)",
-        ["backend", "p", "switches", "pr(fail)", "time"],
+        "Figure 7 — model construction time (native vs matrix vs PRISM, with/without failures)",
+        ["backend", "p", "switches", "pr(fail)", "time", "compile", "query"],
         RESULTS,
+        fig="fig7",
     )
     assert RESULTS

@@ -18,7 +18,7 @@ import time
 import pytest
 
 from repro.backends.parallel import transition_rows
-from repro.core.interpreter import Interpreter, eval_predicate
+from repro.core.interpreter import Interpreter
 from repro.core import syntax as s
 from repro.routing import f10_model
 from repro.topology import ab_fat_tree
@@ -71,5 +71,6 @@ def test_report_figure8(benchmark):
         "Figure 8 — parallel speedup of per-switch row computation",
         ["workers", "loop-head states", "time", "speedup"],
         rows,
+        fig="fig8",
     )
     assert rows

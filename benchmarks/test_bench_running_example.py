@@ -47,6 +47,7 @@ def test_running_example_delivery(benchmark):
         "§2 running example (paper: naive 0.80, resilient 0.96 under f2)",
         ["failure model", "naive", "resilient", "resilient ≡ teleport"],
         rows,
+        fig="running_example",
     )
     assert rows[2][1] == "0.80"
     assert rows[2][2] == "0.96"

@@ -14,6 +14,7 @@ Run with::
 
 from __future__ import annotations
 
+from repro.backends import get_backend
 from repro.core import pretty, sugar
 from repro.core.equivalence import fdd_equivalent, output_equivalent, strictly_refines
 from repro.core.interpreter import Interpreter
@@ -67,6 +68,16 @@ def main() -> None:
             exact=True,
         ),
     )
+    print()
+
+    # The batched matrix backend answers the same query from one sparse
+    # factorization — the scalable path for many-ingress models.
+    backend = get_backend("matrix")
+    dist = backend.output_distribution(bundle.models_resilient["f2"], bundle.ingress_packet)
+    via_matrix = float(dist.prob_of(lambda o: o is not DROP and o.get("sw") == 2))
+    print("Same query via the batched matrix backend:")
+    print(f"  resilient p̂   : {via_matrix:.2%}")
+    print("  phase timings  :", {k: f"{v * 1000:.1f}ms" for k, v in backend.timings().items()})
 
 
 if __name__ == "__main__":

@@ -10,11 +10,12 @@ expected hop count conditioned on delivery.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import Mapping
 
+from repro.analysis.queries import _distribution_engine
 from repro.core.distributions import Dist
-from repro.core.interpreter import Interpreter, Outcome
-from repro.core.packet import Packet, _DropType
+from repro.core.interpreter import Interpreter
+from repro.core.packet import _DropType
 from repro.network.model import NetworkModel
 
 
@@ -30,15 +31,26 @@ def hop_count_distribution(
     model: NetworkModel,
     exact: bool = False,
     interpreter: Interpreter | None = None,
+    backend=None,
 ) -> Dist[int | None]:
     """Joint distribution of hop counts over the uniform ingress set.
 
     Dropped packets map to ``None``; delivered packets map to the value of
-    the model's hop counter.
+    the model's hop counter.  ``backend`` selects the query engine (see
+    :mod:`repro.analysis.queries`); passing a shared matrix backend makes
+    the all-ingress query a single batched solve.
     """
     hops_field = _require_hops(model)
-    interp = interpreter if interpreter is not None else Interpreter(exact=exact)
-    output = interp.run(model.policy, Dist.uniform(model.ingress_packets))
+    engine = _distribution_engine(backend, exact)
+    if engine is not None:
+        if interpreter is not None:
+            raise ValueError("pass either interpreter= or backend=, not both")
+        output = engine.output_distribution(
+            model.policy, Dist.uniform(model.ingress_packets)
+        )
+    else:
+        interp = interpreter if interpreter is not None else Interpreter(exact=exact)
+        output = interp.run(model.policy, Dist.uniform(model.ingress_packets))
     return output.map(
         lambda out: None
         if isinstance(out, _DropType) or out.get("sw") != model.dest
@@ -51,6 +63,7 @@ def hop_count_cdf(
     max_hops: int | None = None,
     exact: bool = False,
     interpreter: Interpreter | None = None,
+    backend=None,
 ) -> dict[int, float]:
     """``P[delivered within ≤ h hops]`` as a function of ``h`` (Figure 12(b)).
 
@@ -58,7 +71,9 @@ def hop_count_cdf(
     delivery), so the curve plateaus at the overall delivery probability,
     exactly like the paper's plot.
     """
-    dist = hop_count_distribution(model, exact=exact, interpreter=interpreter)
+    dist = hop_count_distribution(
+        model, exact=exact, interpreter=interpreter, backend=backend
+    )
     observed = [h for h in dist.support() if h is not None]
     top = max_hops if max_hops is not None else (max(observed) if observed else 0)
     cdf: dict[int, float] = {}
@@ -73,9 +88,12 @@ def expected_hop_count(
     model: NetworkModel,
     exact: bool = False,
     interpreter: Interpreter | None = None,
+    backend=None,
 ) -> float:
     """Expected hop count conditioned on delivery (Figure 12(c))."""
-    dist = hop_count_distribution(model, exact=exact, interpreter=interpreter)
+    dist = hop_count_distribution(
+        model, exact=exact, interpreter=interpreter, backend=backend
+    )
     total = 0.0
     mass = 0.0
     for hops, prob in dist.items():
@@ -92,9 +110,15 @@ def hop_count_series(
     models: Mapping[str, NetworkModel],
     max_hops: int | None = None,
     exact: bool = False,
+    backend=None,
 ) -> dict[str, dict[int, float]]:
-    """CDF series for several labelled models (one plot line each)."""
+    """CDF series for several labelled models (one plot line each).
+
+    A ``backend`` name is resolved once so all models in the series share
+    one instance (and therefore its compiled-plan and matrix caches).
+    """
+    engine = _distribution_engine(backend, exact)
     return {
-        label: hop_count_cdf(model, max_hops=max_hops, exact=exact)
+        label: hop_count_cdf(model, max_hops=max_hops, exact=exact, backend=engine)
         for label, model in models.items()
     }

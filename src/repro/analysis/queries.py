@@ -10,20 +10,57 @@ from __future__ import annotations
 
 from typing import Callable, Iterable
 
+from repro.backends import resolve_backend
 from repro.core import syntax as s
 from repro.core.distributions import Dist
 from repro.core.interpreter import Interpreter, Outcome, eval_predicate
-from repro.core.packet import DROP, Packet, _DropType
+from repro.core.packet import Packet, _DropType
 from repro.network.model import NetworkModel
+
+#: Type accepted by the ``backend=`` parameter of the analysis entry
+#: points: a registry name ("native", "matrix", "parallel"), a backend
+#: instance with an ``output_distribution`` method, or ``None`` for the
+#: classic per-query forward interpreter.  The PRISM backend exposes a
+#: probability-oriented API and cannot serve distribution queries.
+Backend = object
+
+
+def _distribution_engine(backend, exact: bool):
+    """Resolve ``backend=`` for a distribution query, validating conflicts."""
+    engine = resolve_backend(backend)
+    if engine is None:
+        return None
+    if exact:
+        raise ValueError(
+            "exact=True cannot be combined with backend=; configure the backend "
+            'itself instead (e.g. NativeBackend(exact=True) or backend="native")'
+        )
+    if not hasattr(engine, "output_distribution"):
+        raise TypeError(
+            f"backend {type(engine).__name__} does not support distribution "
+            "queries; use 'native', 'matrix', or 'parallel' (the PRISM backend "
+            "answers via its probability() API)"
+        )
+    return engine
 
 
 def output_distribution(
     model: NetworkModel | s.Policy,
     inputs: Iterable[Packet] | Packet | None = None,
     exact: bool = False,
+    backend: Backend | str | None = None,
 ) -> Dist[Outcome]:
-    """Output distribution of a model (uniform over its ingress set by default)."""
+    """Output distribution of a model (uniform over its ingress set by default).
+
+    ``backend`` selects the query engine: ``None`` runs a fresh forward
+    interpreter; a registry name or backend instance (e.g. ``"matrix"``)
+    delegates to that backend — a shared instance reuses its compiled
+    matrices and factorizations across calls.
+    """
     policy, packets = _unpack(model, inputs)
+    engine = _distribution_engine(backend, exact)
+    if engine is not None:
+        return engine.output_distribution(policy, Dist.uniform(packets))
     interp = Interpreter(exact=exact)
     return interp.run(policy, Dist.uniform(packets))
 
@@ -33,14 +70,15 @@ def delivery_probability(
     delivered: s.Predicate | Callable[[Packet], bool] | None = None,
     inputs: Iterable[Packet] | Packet | None = None,
     exact: bool = False,
+    backend: Backend | str | None = None,
 ) -> float:
     """Probability that a packet (uniform over the ingress set) is delivered."""
-    policy, packets = _unpack(model, inputs)
+    _, packets = _unpack(model, inputs)
     if delivered is None:
         if not isinstance(model, NetworkModel):
             raise ValueError("a delivered-predicate is required for bare policies")
         delivered = model.delivered
-    dist = Interpreter(exact=exact).run(policy, Dist.uniform(packets))
+    dist = output_distribution(model, inputs=packets, exact=exact, backend=backend)
     return float(dist.prob_of(lambda out: _is_delivered(out, delivered)))
 
 

@@ -10,11 +10,11 @@ on their delivery behaviour, which is what Figure 11(c) reports.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
+from repro.backends import resolve_backend
 from repro.core.equivalence import compare
 from repro.network.model import NetworkModel
-from repro.topology.graph import Topology
 
 #: Symbols used in the printed tables, matching the paper's figures.
 CHECK = "✓"
@@ -25,19 +25,35 @@ def resilience_table(
     model_factory: Callable[[str, int | None], NetworkModel],
     schemes: Sequence[str],
     failure_bounds: Sequence[int | None],
+    backend=None,
 ) -> dict[str, dict[int | None, bool]]:
     """Evaluate *k*-resilience of several schemes (Figure 11(b)).
 
     ``model_factory(scheme, k)`` must build the network model of the given
     scheme under failure bound ``k`` (``None`` meaning unbounded).  The
     result maps scheme → {k → certainly-delivers}.
+
+    With the default ``backend=None`` the check is the interpreter's
+    structural possibility analysis (exact).  Passing a backend (e.g.
+    ``"matrix"``) delegates to its ``certainly_delivers`` — the matrix
+    backend answers numerically from one batched absorption solve per
+    model, within solver tolerance.
     """
+    engine = resolve_backend(backend)
+    if engine is not None and not hasattr(engine, "certainly_delivers"):
+        raise TypeError(
+            f"backend {type(engine).__name__} does not support resilience "
+            "queries; use 'native', 'matrix', or 'parallel'"
+        )
     table: dict[str, dict[int | None, bool]] = {}
     for scheme in schemes:
         row: dict[int | None, bool] = {}
         for bound in failure_bounds:
             model = model_factory(scheme, bound)
-            row[bound] = model.certainly_delivers()
+            if engine is not None:
+                row[bound] = engine.certainly_delivers(model)
+            else:
+                row[bound] = model.certainly_delivers()
         table[scheme] = row
     return table
 

@@ -1,6 +1,68 @@
-"""Analysis backends: native (FDD / forward interpreter) and PRISM (§5)."""
+"""Analysis backends and the backend registry (§5–§6).
 
+Four backends answer queries about compiled network models:
+
+* ``native`` — FDD compilation plus the forward interpreter ("PNK");
+* ``matrix`` — the batched sparse-matrix engine: compile once, factorize
+  ``I - Q`` once, answer every ingress query by multi-RHS solves;
+* ``parallel`` — the native backend with multi-core loop exploration;
+* ``prism`` — the ProbNetKAT→PRISM translation with a mini DTMC engine
+  ("PPNK"; note its query API is probability-oriented, see
+  :class:`repro.backends.prism.PrismBackend`).
+
+:func:`get_backend` instantiates a backend by name so analyses and
+benchmarks can select one with a plain string.
+"""
+
+from repro.backends.matrix import MatrixBackend, QueryPlan
 from repro.backends.native import NativeBackend
-from repro.backends.parallel import ParallelInterpreter, transition_rows
+from repro.backends.parallel import ParallelBackend, ParallelInterpreter, transition_rows
+from repro.backends.prism import PrismBackend
 
-__all__ = ["NativeBackend", "ParallelInterpreter", "transition_rows"]
+#: Registry of backend names to backend classes.
+BACKENDS = {
+    "native": NativeBackend,
+    "matrix": MatrixBackend,
+    "parallel": ParallelBackend,
+    "prism": PrismBackend,
+}
+
+
+def get_backend(name: str, **options):
+    """Instantiate the backend registered under ``name``.
+
+    ``options`` are forwarded to the backend constructor, e.g.
+    ``get_backend("matrix", class_limit=10_000)``.
+    """
+    try:
+        backend_class = BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(BACKENDS))
+        raise ValueError(f"unknown backend {name!r}; available backends: {known}") from None
+    return backend_class(**options)
+
+
+def resolve_backend(backend):
+    """Normalise a ``backend=`` argument: names become fresh instances.
+
+    ``None`` and backend instances pass through unchanged, so analysis
+    entry points can accept ``backend="matrix"`` as well as a shared,
+    pre-warmed backend object.
+    """
+    if isinstance(backend, str):
+        return get_backend(backend)
+    return backend
+
+
+__all__ = [
+    "BACKENDS",
+    "MatrixBackend",
+    "NativeBackend",
+    "ParallelBackend",
+    "ParallelInterpreter",
+    "PrismBackend",
+    "QueryPlan",
+    "get_backend",
+    "resolve_backend",
+    "transition_rows",
+]

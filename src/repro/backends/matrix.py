@@ -1,0 +1,444 @@
+"""The batched sparse-matrix query backend (§5–§6).
+
+This backend realises the paper's performance story at query time: a
+network model compiles *once* into sparse stochastic matrices over
+symbolic packet classes, the absorbing-chain system ``I - Q`` of each
+loop is factorized *once* with ``splu``, and every ingress query — output
+distributions, hop-count CDFs, delivery/resilience probabilities — is
+answered by batched multi-RHS solves against the cached factorization.
+
+Compared with the native backend (which re-solves a growing absorption
+system for every new ingress seed), the matrix backend:
+
+* decomposes a guarded model ``in ; body ; while ¬out do body ; …`` into
+  loop-free *FDD stages* and *loop stages*;
+* compiles each stage to a canonical FDD once (stages are shared across
+  queries on the same policy object);
+* converts loop bodies to sparse transition matrices over the symbolic
+  classes *reachable* from the query's ingress set (dynamic domain
+  reduction restricted to the reachable subspace, §5.1);
+* solves all absorption columns with one factorization via
+  :func:`repro.core.markov.solve_absorption_batched`.
+
+Loop-free stages are evaluated exactly (rational leaf distributions);
+loop solutions are float64, like the native backend's LU path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core import syntax as s
+from repro.core.compiler import Compiler, ops_evaluate_bool
+from repro.core.distributions import Dist
+from repro.core.fdd.matrix import (
+    SymbolicPacket,
+    TransitionMatrix,
+    fdd_to_matrix,
+    matrix_domains,
+)
+from repro.core.fdd.node import FddManager, FddNode, node_size
+from repro.core.fdd.node import output_distribution as fdd_output_distribution
+from repro.core.interpreter import Outcome, eval_predicate
+from repro.core.markov import solve_absorption_batched
+from repro.core.packet import DROP, Packet, _DropType
+from repro.utils.timing import Stopwatch
+
+
+@dataclass
+class _FddStage:
+    """A loop-free policy segment, compiled to one canonical FDD."""
+
+    fdd: FddNode
+
+
+class _LoopStage:
+    """A ``while`` loop with its cached matrices and absorption solutions.
+
+    The stage owns three caches that persist across queries:
+
+    * ``row_cache`` — symbolic class → one-step body transition row;
+    * ``solutions`` — transient class → absorption distribution;
+    * ``matrix`` — the most recent reachable :class:`TransitionMatrix`.
+
+    New ingress classes extend the explored space; when that happens the
+    absorption system is re-factorized once for the union, so subsequent
+    queries are pure cache hits.
+    """
+
+    def __init__(
+        self,
+        loop: s.WhileDo,
+        guard_fdd: FddNode,
+        body_fdd: FddNode,
+        domains: dict[str, tuple[int, ...]],
+        manager: FddManager,
+    ):
+        self.loop = loop
+        self.guard_fdd = guard_fdd
+        self.body_fdd = body_fdd
+        self.domains = domains
+        self.manager = manager
+        self.row_cache: dict[SymbolicPacket, Dist] = {}
+        self.solutions: dict[SymbolicPacket, Dist] = {}
+        self.matrix: TransitionMatrix | None = None
+        self.factorizations = 0
+        self._guard_cache: dict[SymbolicPacket, bool] = {}
+        self._seeds: set[SymbolicPacket] = set()
+        # Per-field membership sets and a packet->class memo: classification
+        # runs once per distinct outcome packet, not once per occurrence.
+        self._domain_sets = {field: frozenset(values) for field, values in domains.items()}
+        self._class_cache: dict[Packet, SymbolicPacket] = {}
+
+    def guard_holds(self, cls: SymbolicPacket) -> bool:
+        cached = self._guard_cache.get(cls)
+        if cached is None:
+            cached = ops_evaluate_bool(self.manager, self.guard_fdd, cls)
+            self._guard_cache[cls] = cached
+        return cached
+
+    def classify_packet(self, packet: Packet) -> SymbolicPacket:
+        """The symbolic class of a concrete packet over this loop's domain."""
+        cached = self._class_cache.get(packet)
+        if cached is None:
+            values: dict[str, int | None] = {}
+            for field, members in self._domain_sets.items():
+                value = packet.get(field)
+                values[field] = value if value in members else None
+            cached = SymbolicPacket(values)
+            self._class_cache[packet] = cached
+        return cached
+
+
+@dataclass
+class QueryPlan:
+    """A policy decomposed into alternating FDD and loop stages."""
+
+    policy: s.Policy
+    stages: list[_FddStage | _LoopStage]
+
+    @property
+    def loop_stages(self) -> list[_LoopStage]:
+        return [stage for stage in self.stages if isinstance(stage, _LoopStage)]
+
+
+@dataclass
+class MatrixBackend:
+    """Batched sparse-matrix backend: compile once, factorize once, query many.
+
+    Parameters
+    ----------
+    class_limit:
+        Bound on the number of symbolic classes explored per loop (and on
+        full-domain conversions via :meth:`transition_matrix`).
+    exact:
+        Accepted for registry symmetry with the native backend but must
+        stay ``False``: the batched solver is float64 by design (use the
+        native backend for exact rational loop solving).
+    """
+
+    exact: bool = False
+    class_limit: int = 1_000_000
+    watch: Stopwatch = field(default_factory=Stopwatch)
+
+    def __post_init__(self) -> None:
+        if self.exact:
+            raise ValueError(
+                "MatrixBackend is float64-only (splu); use NativeBackend(exact=True) "
+                "for exact rational arithmetic"
+            )
+        self.manager = FddManager()
+        self._compiler = Compiler(manager=self.manager, class_limit=self.class_limit)
+        # Plan cache keyed by policy object identity (the policy is kept in
+        # the value so a recycled id cannot alias a different program).
+        self._plans: dict[int, tuple[s.Policy, QueryPlan]] = {}
+        # TransitionMatrix cache keyed by canonical FDD identity: FDDs are
+        # hash-consed, so semantically equal policies share one matrix.
+        self._matrices: dict[FddNode, TransitionMatrix] = {}
+
+    # -- compilation ----------------------------------------------------------
+    def compile(self, policy: s.Policy) -> FddNode:
+        """Compile ``policy`` to its canonical FDD (timed as ``"compile"``)."""
+        with self.watch.measure("compile"):
+            return self._compiler.compile(policy)
+
+    def fdd_size(self, policy: s.Policy) -> int:
+        """Number of distinct nodes in the compiled FDD of ``policy``."""
+        return node_size(self.compile(policy))
+
+    def transition_matrix(self, policy: s.Policy) -> TransitionMatrix:
+        """The full-domain sparse stochastic matrix of a (loop-free) policy.
+
+        The result is cached by the canonical FDD of the policy, so any
+        two semantically equal policies share a single matrix.
+        """
+        fdd = self.compile(policy)
+        cached = self._matrices.get(fdd)
+        if cached is None:
+            with self.watch.measure("build"):
+                cached = fdd_to_matrix(fdd, limit=self.class_limit)
+            self._matrices[fdd] = cached
+        return cached
+
+    def plan(self, policy: s.Policy) -> QueryPlan:
+        """Decompose ``policy`` into compiled stages (cached per policy)."""
+        cached = self._plans.get(id(policy))
+        if cached is not None and cached[0] is policy:
+            return cached[1]
+        with self.watch.measure("compile"):
+            plan = self._build_plan(policy)
+        self._plans[id(policy)] = (policy, plan)
+        return plan
+
+    def _build_plan(self, policy: s.Policy) -> QueryPlan:
+        parts: Sequence[s.Policy] = (
+            policy.parts if isinstance(policy, s.Seq) else [policy]
+        )
+        stages: list[_FddStage | _LoopStage] = []
+        pending: list[s.Policy] = []
+
+        def flush() -> None:
+            if not pending:
+                return
+            fdd = self._compiler.compile(s.seq(*pending))
+            if fdd is not self.manager.true_leaf:
+                stages.append(_FddStage(fdd))
+            pending.clear()
+
+        for part in parts:
+            if isinstance(part, s.WhileDo):
+                flush()
+                guard_fdd = self._compiler.compile(part.guard)
+                body_fdd = self._compiler.compile(part.body)
+                domains = matrix_domains(body_fdd, extra_values=matrix_domains(guard_fdd))
+                stages.append(
+                    _LoopStage(
+                        part,
+                        guard_fdd,
+                        body_fdd,
+                        {f: tuple(sorted(v)) for f, v in domains.items()},
+                        self.manager,
+                    )
+                )
+            else:
+                pending.append(part)
+        flush()
+        return QueryPlan(policy, stages)
+
+    # -- queries ----------------------------------------------------------------
+    def output_distributions(
+        self, policy: s.Policy, inputs: Iterable[Packet]
+    ) -> dict[Packet, Dist[Outcome]]:
+        """Per-ingress output distributions, batched over the whole set.
+
+        All ingress packets advance through the plan together, so every
+        loop is factorized at most once for the union of their entry
+        states (versus one incremental re-solve per packet in the
+        interpreter-based native path).
+        """
+        packets = list(inputs)
+        plan = self.plan(policy)
+        with self.watch.measure("query"):
+            dists: list[dict[Outcome, object]] = [{packet: 1} for packet in packets]
+            for stage in plan.stages:
+                if isinstance(stage, _FddStage):
+                    dists = self._apply_fdd_stage(stage, dists)
+                else:
+                    dists = self._apply_loop_stage(stage, dists)
+        return {
+            packet: Dist(weights, check=False)
+            for packet, weights in zip(packets, dists)
+        }
+
+    def output_distribution(
+        self, policy: s.Policy, inputs: Packet | Dist[Outcome] | Iterable[Packet]
+    ) -> Dist[Outcome]:
+        """Output distribution on a packet, a distribution, or a uniform ingress set."""
+        if isinstance(inputs, Packet):
+            weighted: list[tuple[Outcome, object]] = [(inputs, 1)]
+        elif isinstance(inputs, Dist):
+            weighted = list(inputs.items())
+        else:
+            packets = list(inputs)
+            if not packets:
+                raise ValueError("cannot build a uniform distribution over no outcomes")
+            share = s.as_prob(1) / len(packets)
+            weighted = [(packet, share) for packet in packets]
+        proper = [pk for pk, _ in weighted if not isinstance(pk, _DropType)]
+        outputs = self.output_distributions(policy, proper)
+        parts: list[tuple[Dist[Outcome], object]] = []
+        for outcome, mass in weighted:
+            if isinstance(outcome, _DropType):
+                parts.append((Dist.point(DROP), mass))
+            else:
+                parts.append((outputs[outcome], mass))
+        return Dist.convex(parts, check=False)
+
+    # -- network-model conveniences ------------------------------------------------
+    def delivery_probabilities(self, model) -> dict[Packet, float]:
+        """Per-ingress delivery probability of a network model (batched)."""
+        outputs = self.output_distributions(model.policy, model.ingress_packets)
+        return {
+            packet: float(
+                dist.prob_of(
+                    lambda out: not isinstance(out, _DropType)
+                    and out.get("sw") == model.dest
+                )
+            )
+            for packet, dist in outputs.items()
+        }
+
+    def certainly_delivers(self, model, tolerance: float = 1e-9) -> bool:
+        """Whether every ingress packet is delivered with probability one.
+
+        Numerical analogue of the interpreter's structural possibility
+        analysis: delivery mass must be within ``tolerance`` of 1 for all
+        ingresses.  All ingresses share one batched solve.
+        """
+        return all(
+            probability >= 1.0 - tolerance
+            for probability in self.delivery_probabilities(model).values()
+        )
+
+    def timings(self) -> dict[str, float]:
+        """Accumulated wall-clock time per phase.
+
+        ``"compile"`` covers FDD compilation and plan building;
+        ``"query"`` is end-to-end query time, *inclusive* of its
+        ``"build"`` (reachable-matrix construction) and ``"solve"``
+        (factorization + batched solve) sub-phases, which are also
+        reported separately.
+        """
+        return dict(self.watch.sections)
+
+    @property
+    def compiler(self) -> Compiler:
+        return self._compiler
+
+    def clear_caches(self) -> None:
+        """Drop cached plans, matrices, and loop solutions.
+
+        A shared backend accumulates one plan (plus loop caches) per
+        distinct policy queried; long-lived sweeps over many models can
+        call this between batches to bound memory.  Compiled FDD nodes
+        stay interned in the manager.
+        """
+        self._plans.clear()
+        self._matrices.clear()
+
+    # -- stage application ---------------------------------------------------------
+    def _apply_fdd_stage(
+        self, stage: _FddStage, dists: list[dict[Outcome, object]]
+    ) -> list[dict[Outcome, object]]:
+        cache: dict[Packet, Dist] = {}
+        advanced: list[dict[Outcome, object]] = []
+        for dist in dists:
+            acc: dict[Outcome, object] = {}
+            for outcome, mass in dist.items():
+                if isinstance(outcome, _DropType):
+                    acc[DROP] = acc.get(DROP, 0) + mass
+                    continue
+                row = cache.get(outcome)
+                if row is None:
+                    row = fdd_output_distribution(stage.fdd, outcome)
+                    cache[outcome] = row
+                for successor, weight in row.items():
+                    acc[successor] = acc.get(successor, 0) + mass * weight
+            advanced.append(acc)
+        return advanced
+
+    def _apply_loop_stage(
+        self, stage: _LoopStage, dists: list[dict[Outcome, object]]
+    ) -> list[dict[Outcome, object]]:
+        entries: set[Packet] = set()
+        for dist in dists:
+            for outcome in dist:
+                if isinstance(outcome, _DropType):
+                    continue
+                if eval_predicate(stage.loop.guard, outcome):
+                    entries.add(outcome)
+        self._solve_loop(stage, entries)
+        advanced: list[dict[Outcome, object]] = []
+        for dist in dists:
+            acc: dict[Outcome, object] = {}
+            for outcome, mass in dist.items():
+                if isinstance(outcome, _DropType):
+                    acc[DROP] = acc.get(DROP, 0) + mass
+                    continue
+                if outcome not in entries:  # guard already false: loop is identity
+                    acc[outcome] = acc.get(outcome, 0) + mass
+                    continue
+                solution = stage.solutions[stage.classify_packet(outcome)]
+                for cls, weight in solution.items():
+                    successor: Outcome = (
+                        DROP
+                        if isinstance(cls, _DropType)
+                        else _concretize(cls, outcome)
+                    )
+                    acc[successor] = acc.get(successor, 0) + mass * weight
+            advanced.append(acc)
+        return advanced
+
+    def _solve_loop(self, stage: _LoopStage, entries: Iterable[Packet]) -> None:
+        """Ensure absorption solutions exist for all entry packets' classes.
+
+        The reachable class space is (re)explored from the union of all
+        seeds seen so far; if anything new appears, ``I - Q`` is
+        factorized once and every absorption column is recovered in a
+        single batched multi-RHS solve.
+        """
+        entry_classes = {stage.classify_packet(packet) for packet in entries}
+        if entry_classes <= stage.solutions.keys():
+            return
+        stage._seeds |= entry_classes
+        with self.watch.measure("build"):
+            matrix = fdd_to_matrix(
+                stage.body_fdd,
+                extra_values=stage.domains,
+                limit=self.class_limit,
+                seeds=sorted(stage._seeds, key=_class_sort_key),
+                absorbing_when=lambda cls: not stage.guard_holds(cls),
+                row_cache=stage.row_cache,
+            )
+        stage.matrix = matrix
+        transient = [cls for cls in matrix.classes if stage.guard_holds(cls)]
+        absorbing: list[SymbolicPacket | _DropType] = [
+            cls for cls in matrix.classes if not stage.guard_holds(cls)
+        ]
+        absorbing.append(DROP)
+        transitions = {cls: dict(stage.row_cache[cls].items()) for cls in transient}
+        with self.watch.measure("solve"):
+            system = solve_absorption_batched(transient, absorbing, transitions)
+            result = system.result()
+        stage.factorizations += 1
+        for cls in transient:
+            row = dict(result.get(cls, {}))
+            lost = result.lost_mass.get(cls, 0)
+            if lost:
+                # Diverging mass is assigned to drop (guarded limit semantics).
+                row[DROP] = row.get(DROP, 0) + lost
+            stage.solutions[cls] = Dist(row, check=False)
+
+
+def _class_sort_key(cls: SymbolicPacket) -> tuple:
+    """A total order on symbolic classes (wildcards sort before values)."""
+    return tuple(
+        (fieldname, value is not None, 0 if value is None else value)
+        for fieldname, value in cls.values
+    )
+
+
+def _concretize(cls: SymbolicPacket, base: Packet) -> Packet:
+    """The concrete output packet of class ``cls`` for input packet ``base``.
+
+    Concretely-valued class fields are written onto the packet; wildcard
+    fields were untouched by the loop (a wildcard can only be preserved,
+    never created), so the packet keeps its own value — or stays without
+    the field — exactly like the forward interpreter.
+    """
+    values = base.as_dict()
+    for fieldname, value in cls.values:
+        if value is not None:
+            values[fieldname] = value
+    return Packet(values)

@@ -75,6 +75,14 @@ class NativeBackend:
         """Structural possibility analysis (see :meth:`Interpreter.certain_outcomes`)."""
         return self._interpreter.certain_outcomes(policy, packet)
 
+    def certainly_delivers(self, model) -> bool:
+        """Whether every ingress of a network model delivers with probability one.
+
+        Delegates to the model's structural possibility analysis, reusing
+        this backend's interpreter (and its loop caches).
+        """
+        return model.certainly_delivers(interpreter=self._interpreter)
+
     @property
     def interpreter(self) -> Interpreter:
         return self._interpreter

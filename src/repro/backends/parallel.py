@@ -15,8 +15,10 @@ import os
 import pickle
 from typing import Iterable, Sequence
 
+from dataclasses import dataclass
 from multiprocessing import get_context
 
+from repro.backends.native import NativeBackend
 from repro.core import syntax as s
 from repro.core.distributions import Dist
 from repro.core.interpreter import Interpreter, Outcome
@@ -127,3 +129,19 @@ class ParallelInterpreter(Interpreter):
                         seen_next.add(outcome)
                         next_wave.append(outcome)
             wave = next_wave
+
+
+@dataclass
+class ParallelBackend(NativeBackend):
+    """The native backend facade with multi-core loop exploration.
+
+    Identical query API to :class:`NativeBackend`, but loop-head states
+    are explored in waves by a process pool (``workers=None`` uses every
+    core).  Registered in the backend registry as ``"parallel"``.
+    """
+
+    workers: int | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._interpreter = ParallelInterpreter(workers=self.workers, exact=self.exact)

@@ -10,12 +10,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Iterable, Mapping
+from typing import Mapping
 
 from repro.core import syntax as s
 from repro.core.fields import FieldTable
 from repro.core.packet import Packet
-from repro.backends.prism.automaton import Automaton, Edge, build_automaton
+from repro.backends.prism.automaton import Edge, build_automaton
 from repro.backends.prism.model import Branch, Command, PrismModel, PrismVariable
 from repro.utils.timing import Stopwatch
 

@@ -20,9 +20,6 @@ matches, which is what the Figure 10 comparison is about.
 
 from __future__ import annotations
 
-from fractions import Fraction
-from typing import Mapping
-
 import numpy as np
 
 from repro.core import syntax as s

@@ -19,9 +19,10 @@ The main entry points are:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, MutableMapping, Sequence
 
 from scipy.sparse import csr_matrix
 
@@ -78,10 +79,21 @@ class SymbolicPacket:
             return DROP
         if action.is_identity():
             return self
-        updated = dict(self.values)
-        for field, value in action.mods:
-            updated[field] = value
-        return SymbolicPacket(updated)
+        mods = dict(action.mods)
+        # Fast path for actions confined to the class's own fields: the
+        # stored pairs are already sorted, so rebuild them in one pass
+        # (this is the hot loop of reachable-class exploration).
+        items = tuple(
+            (field, mods.pop(field)) if field in mods else (field, value)
+            for field, value in self.values
+        )
+        if not mods:
+            updated_cls = object.__new__(SymbolicPacket)
+            object.__setattr__(updated_cls, "values", items)
+            return updated_cls
+        merged = dict(items)
+        merged.update(mods)
+        return SymbolicPacket(merged)
 
     def representative(self, fresh: Mapping[str, int]) -> Packet:
         """A concrete packet in this class.
@@ -150,20 +162,12 @@ def enumerate_classes(
                 "use the forward interpreter for large programs"
             )
     fields = list(normalised)
-    classes: list[SymbolicPacket] = []
-
-    def rec(index: int, acc: dict[str, int | None]) -> None:
-        if index == len(fields):
-            classes.append(SymbolicPacket(dict(acc)))
-            return
-        field = fields[index]
-        for value in normalised[field]:
-            acc[field] = value
-            rec(index + 1, acc)
-        acc.pop(field, None)
-
-    rec(0, {})
-    return classes
+    # Iterative product enumeration: wide domains (thousands of mentioned
+    # values per field) must not be bounded by the Python recursion limit.
+    return [
+        SymbolicPacket(zip(fields, combo))
+        for combo in itertools.product(*normalised.values())
+    ]
 
 
 def classify(packet: Packet, domains: Mapping[str, Iterable[int]]) -> SymbolicPacket:
@@ -171,7 +175,7 @@ def classify(packet: Packet, domains: Mapping[str, Iterable[int]]) -> SymbolicPa
     values: dict[str, int | None] = {}
     for field, mentioned in domains.items():
         value = packet.get(field)
-        values[field] = value if value in set(mentioned) else WILDCARD
+        values[field] = value if value in mentioned else WILDCARD
     return SymbolicPacket(values)
 
 
@@ -235,21 +239,84 @@ class TransitionMatrix:
         return bool(abs(sums - 1.0).max() <= tolerance)
 
 
+def matrix_domains(
+    node: FddNode,
+    extra_values: Mapping[str, Iterable[int]] | None = None,
+) -> dict[str, set[int]]:
+    """The symbolic field domains induced by an FDD (plus extra values)."""
+    domains: dict[str, set[int]] = {f: set(v) for f, v in mentioned_values(node).items()}
+    for field, values in (extra_values or {}).items():
+        domains.setdefault(field, set()).update(values)
+    return domains
+
+
+def project_class(cls: SymbolicPacket, domains: Mapping[str, Iterable[int]]) -> SymbolicPacket:
+    """Re-express a class over (possibly different) domains.
+
+    Fields absent from ``domains`` are dropped; values not mentioned by
+    the target domain collapse to the wildcard.  Used to align seed
+    classes produced against one FDD's domain with another's.
+    """
+    values: dict[str, int | None] = {}
+    for field, mentioned in domains.items():
+        value = cls.value(field)
+        values[field] = value if value in mentioned else WILDCARD
+    return SymbolicPacket(values)
+
+
 def fdd_to_matrix(
     node: FddNode,
     extra_values: Mapping[str, Iterable[int]] | None = None,
     limit: int | None = 1_000_000,
+    seeds: Iterable[SymbolicPacket] | None = None,
+    absorbing_when: Callable[[SymbolicPacket], bool] | None = None,
+    row_cache: MutableMapping[SymbolicPacket, Dist] | None = None,
 ) -> TransitionMatrix:
     """Convert an FDD to a sparse stochastic matrix over symbolic classes.
 
     ``extra_values`` adds field values to the domain beyond those
     mentioned by the FDD itself (used when several FDDs must share one
     state space, e.g. a loop guard and its body).
+
+    With ``seeds`` the full product domain is *not* enumerated; instead
+    only the classes reachable from the seed classes are explored
+    breadth-first (dynamic domain reduction restricted to the reachable
+    subspace, the trick that lets network-scale models stay small).
+    ``absorbing_when`` marks classes that should not be expanded further
+    — they receive a self-loop row, turning the matrix into the absorbing
+    chain of a loop whose exit condition is the predicate.  ``row_cache``
+    memoises class transition rows across repeated (incremental) calls.
     """
-    domains: dict[str, set[int]] = {f: set(v) for f, v in mentioned_values(node).items()}
-    for field, values in (extra_values or {}).items():
-        domains.setdefault(field, set()).update(values)
-    classes = enumerate_classes(domains, limit=limit)
+    domains = matrix_domains(node, extra_values)
+
+    if seeds is None:
+        classes = enumerate_classes(domains, limit=limit)
+    else:
+        frontier = [project_class(cls, domains) for cls in seeds]
+        seen: dict[SymbolicPacket, None] = dict.fromkeys(frontier)
+        order: list[SymbolicPacket] = list(seen)
+        cursor = 0
+        while cursor < len(order):
+            cls = order[cursor]
+            cursor += 1
+            if absorbing_when is not None and absorbing_when(cls):
+                continue
+            row = row_cache.get(cls) if row_cache is not None else None
+            if row is None:
+                row = class_transition(node, cls)
+                if row_cache is not None:
+                    row_cache[cls] = row
+            for outcome in row.support():
+                if isinstance(outcome, _DropType) or outcome in seen:
+                    continue
+                seen[outcome] = None
+                order.append(outcome)
+            if limit is not None and len(order) > limit:
+                raise DomainTooLargeError(
+                    f"reachable symbolic space exceeds the limit {limit}"
+                )
+        classes = order
+
     index = {cls: i for i, cls in enumerate(classes)}
     drop_index = len(classes)
 
@@ -257,7 +324,17 @@ def fdd_to_matrix(
     cols: list[int] = []
     data: list[float] = []
     for i, cls in enumerate(classes):
-        for outcome, prob in class_transition(node, cls).items():
+        if absorbing_when is not None and absorbing_when(cls):
+            rows.append(i)
+            cols.append(i)
+            data.append(1.0)
+            continue
+        row = row_cache.get(cls) if row_cache is not None else None
+        if row is None:
+            row = class_transition(node, cls)
+            if row_cache is not None:
+                row_cache[cls] = row
+        for outcome, prob in row.items():
             j = drop_index if isinstance(outcome, _DropType) else index[outcome]
             rows.append(i)
             cols.append(j)
@@ -310,29 +387,34 @@ def matrix_to_fdd(
             weights[action] = weights.get(action, Fraction(0)) + prob
         return manager.leaf(Dist(weights, check=False))
 
-    def build(index: int, acc: dict[str, int | None]) -> FddNode:
-        if index == len(fields):
-            cls = SymbolicPacket(dict(acc))
-            row = rows.get(cls)
-            if row is None:
-                return default_node
-            return leaf_for(row)
-        field = fields[index]
-        values = sorted(set(domains[field]))
+    # Build the diagram bottom-up, one field level at a time, with plain
+    # loops: recursion over the per-field value chains would be bounded by
+    # the interpreter stack for wide domains (thousands of switches).
+    # Only classes present in ``rows`` are materialized — absent branches
+    # collapse to ``default`` on their own — so time and memory are
+    # O(|rows| · #fields), not O(product domain).
+    if not fields:
+        row = rows.get(SymbolicPacket({}))
+        return default_node if row is None else leaf_for(row)
 
-        def chain(value_index: int) -> FddNode:
-            if value_index == len(values):
-                acc[field] = WILDCARD
-                result = build(index + 1, acc)
-                acc.pop(field, None)
-                return result
-            value = values[value_index]
-            acc[field] = value
-            hi = build(index + 1, acc)
-            acc.pop(field, None)
-            lo = chain(value_index + 1)
-            return manager.branch(field, value, hi, lo)
+    level: dict[tuple[int | None, ...], FddNode] = {}
+    for cls, row in rows.items():
+        level[tuple(cls.value(field) for field in fields)] = leaf_for(row)
 
-        return chain(0)
+    for depth in range(len(fields) - 1, -1, -1):
+        field = fields[depth]
+        concrete = sorted(set(domains[field]))
+        grouped: dict[tuple[int | None, ...], dict[int | None, FddNode]] = {}
+        for combo, node in level.items():
+            grouped.setdefault(combo[:depth], {})[combo[depth]] = node
+        collapsed: dict[tuple[int | None, ...], FddNode] = {}
+        for prefix, children in grouped.items():
+            # The chain tests values in ascending order from the root, so
+            # assemble it from the wildcard case backwards.
+            node = children.get(WILDCARD, default_node)
+            for value in reversed(concrete):
+                node = manager.branch(field, value, children.get(value, default_node), node)
+            collapsed[prefix] = node
+        level = collapsed
 
-    return build(0, {})
+    return level.get((), default_node)

@@ -17,7 +17,7 @@ redundant tests, which keeps them canonical.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.distributions import Dist
 from repro.core.fdd.actions import DROP, IDENTITY, Action, ActionOrDrop

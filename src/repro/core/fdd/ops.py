@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 from repro.core.distributions import Dist
-from repro.core.fdd.actions import DROP, Action, ActionOrDrop
+from repro.core.fdd.actions import Action, ActionOrDrop
 from repro.core.fdd.node import Branch, FddManager, FddNode, Leaf
 from repro.core.packet import _DropType
 

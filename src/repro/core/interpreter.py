@@ -18,7 +18,7 @@ numerical computation.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Hashable, Iterable
+from typing import Iterable
 
 import networkx as nx
 

@@ -5,19 +5,24 @@ absorption probabilities ``A = (I - Q)^{-1} R`` of a finite absorbing
 Markov chain whose transient-to-transient block is ``Q`` and whose
 transient-to-absorbing block is ``R``.
 
-Two solvers are provided:
+Three solvers are provided:
 
 * :func:`solve_absorption` — float64 sparse LU via SciPy (the role played
   by UMFPACK in McNetKAT);
+* :func:`solve_absorption_batched` — like :func:`solve_absorption`, but
+  returns an :class:`AbsorptionSystem` that retains the single sparse LU
+  factorization of ``I - Q`` so arbitrarily many right-hand sides can be
+  solved against it in one batched call (the paper's "compile once,
+  query many times" story at the linear-algebra level);
 * :func:`solve_absorption_exact` — exact rational Gaussian elimination
   for small systems (mirrors the paper's use of exact arithmetic in the
   frontend and is used by the reference semantics and unit tests).
 
-Both accept the chain in a sparse "dict of rows" form and return dense
-row dictionaries mapping absorbing states to probabilities.  Probability
-mass that cannot reach any absorbing state (non-termination) is reported
-separately so callers can assign it to the drop outcome, which is the
-correct limit semantics for guarded loops.
+All accept the chain in a sparse "dict of rows" form; the dict-returning
+solvers produce dense row dictionaries mapping absorbing states to
+probabilities.  Probability mass that cannot reach any absorbing state
+(non-termination) is reported separately so callers can assign it to the
+drop outcome, which is the correct limit semantics for guarded loops.
 """
 
 from __future__ import annotations
@@ -83,12 +88,124 @@ class AbsorptionResult(dict):
         self.lost_mass = dict(lost_mass)
 
 
-def solve_absorption(
+class AbsorptionSystem:
+    """An absorbing chain with ``I - Q`` factorized exactly once.
+
+    The sparse LU factorization (:func:`scipy.sparse.linalg.splu`) is the
+    expensive part of an absorption solve; this class retains it so that
+    any number of right-hand sides — the columns of ``R``, hitting-cost
+    vectors, or arbitrary user-supplied batches — can be solved against
+    the same factorization.  This is the linear-algebra core of the
+    batched matrix backend: one factorization, many queries.
+
+    Attributes
+    ----------
+    transient:
+        The transient states that participate in the linear system (in
+        row order of ``Q``/``R``).  States that cannot reach absorption
+        are excluded and listed in :attr:`doomed` instead.
+    absorbing:
+        The absorbing states (column order of ``R``).
+    doomed:
+        Transient states whose probability of absorption is zero; their
+        entire mass is lost (diverges).
+    """
+
+    def __init__(
+        self,
+        transient: list[State],
+        absorbing: list[State],
+        doomed: list[State],
+        lu,
+        r_mat: csc_matrix,
+    ):
+        self.transient = transient
+        self.absorbing = absorbing
+        self.doomed = doomed
+        self._lu = lu
+        self._r = r_mat
+        self._t_index = {state: i for i, state in enumerate(transient)}
+        self._a_index = {state: j for j, state in enumerate(absorbing)}
+        self._absorption: np.ndarray | None = None
+
+    # -- indexing ------------------------------------------------------------
+    def transient_index(self, state: State) -> int:
+        """Row index of a (solvable) transient state."""
+        return self._t_index[state]
+
+    def absorbing_index(self, state: State) -> int:
+        """Column index of an absorbing state."""
+        return self._a_index[state]
+
+    # -- batched solves --------------------------------------------------------
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``(I - Q) X = rhs`` for a (multi-column) right-hand side.
+
+        ``rhs`` must have one row per solvable transient state; any number
+        of columns may be supplied and all are solved against the single
+        cached factorization.
+        """
+        rhs = np.asarray(rhs, dtype=np.float64)
+        if rhs.shape[0] != len(self.transient):
+            raise ValueError(
+                f"right-hand side has {rhs.shape[0]} rows, expected {len(self.transient)}"
+            )
+        if self._lu is None or rhs.size == 0:
+            return np.zeros_like(rhs)
+        return self._lu.solve(rhs)
+
+    def absorption_matrix(self) -> np.ndarray:
+        """The dense absorption matrix ``A = (I - Q)^{-1} R`` (cached).
+
+        Computed as one batched multi-RHS solve: every column of ``R`` is
+        a right-hand side, all solved against the same factorization.
+        """
+        if self._absorption is None:
+            nt, na = len(self.transient), len(self.absorbing)
+            if nt == 0 or na == 0 or self._lu is None:
+                self._absorption = np.zeros((nt, na))
+            else:
+                self._absorption = self._lu.solve(self._r.toarray())
+        return self._absorption
+
+    def result(self) -> AbsorptionResult:
+        """The absorption probabilities in dict-of-rows form.
+
+        Tiny negative LU artefacts are clamped to zero and the per-state
+        mass deficit is reported as lost (diverging) mass, exactly like
+        :func:`solve_absorption`.
+        """
+        absorption = self.absorption_matrix()
+        rows: dict[State, dict[State, float]] = {}
+        lost: dict[State, float] = {}
+        for state in self.transient:
+            i = self._t_index[state]
+            row: dict[State, float] = {}
+            for j, a_state in enumerate(self.absorbing):
+                value = float(absorption[i, j])
+                if value < 0.0:
+                    if value < -1e-6:
+                        raise ArithmeticError(
+                            f"negative absorption probability {value} for {state!r}"
+                        )
+                    value = 0.0
+                if value > 0.0:
+                    row[a_state] = min(value, 1.0)
+            rows[state] = row
+            deficit = 1.0 - sum(row.values())
+            lost[state] = deficit if deficit > SOLVER_TOLERANCE else 0.0
+        for state in self.doomed:
+            rows[state] = {}
+            lost[state] = 1.0
+        return AbsorptionResult(rows, lost)
+
+
+def solve_absorption_batched(
     transient: Sequence[State],
     absorbing: Sequence[State],
     transitions: Mapping[State, Mapping[State, float | Fraction]],
-) -> AbsorptionResult:
-    """Compute absorption probabilities with a sparse float64 LU solve.
+) -> AbsorptionSystem:
+    """Build an :class:`AbsorptionSystem` with a single ``splu`` factorization.
 
     Parameters
     ----------
@@ -100,27 +217,19 @@ def solve_absorption(
         For each transient state, a mapping from successor state to
         transition probability.  Successors may be transient or
         absorbing; rows may be sub-stochastic (mass can be lost).
-
-    Returns
-    -------
-    AbsorptionResult
-        ``result[t][a]`` is the probability of eventually reaching
-        absorbing state ``a`` from transient state ``t``.
     """
     transient = list(transient)
     absorbing = list(absorbing)
     if not transient:
-        return AbsorptionResult({}, {})
+        return AbsorptionSystem([], absorbing, [], None, csc_matrix((0, len(absorbing))))
     reaching = _states_reaching_absorption(transient, absorbing, transitions)
     doomed = [state for state in transient if state not in reaching]
     transient = [state for state in transient if state in reaching]
+    nt, na = len(transient), len(absorbing)
     if not transient:
-        return AbsorptionResult(
-            {state: {} for state in doomed}, {state: 1.0 for state in doomed}
-        )
+        return AbsorptionSystem([], absorbing, doomed, None, csc_matrix((0, na)))
     t_index = {state: i for i, state in enumerate(transient)}
     a_index = {state: j for j, state in enumerate(absorbing)}
-    nt, na = len(transient), len(absorbing)
 
     q_rows: list[int] = []
     q_cols: list[int] = []
@@ -152,30 +261,34 @@ def solve_absorption(
     r_mat = csc_matrix((r_data, (r_rows, r_cols)), shape=(nt, na))
     system = (identity(nt, format="csc") - q_mat).tocsc()
     lu = splu(system)
-    absorption = lu.solve(r_mat.toarray()) if na else np.zeros((nt, 0))
+    return AbsorptionSystem(transient, absorbing, doomed, lu, r_mat)
 
-    rows: dict[State, dict[State, float]] = {}
-    lost: dict[State, float] = {}
-    for state in transient:
-        i = t_index[state]
-        row: dict[State, float] = {}
-        for j, a_state in enumerate(absorbing):
-            value = float(absorption[i, j])
-            if value < 0.0:
-                if value < -1e-6:
-                    raise ArithmeticError(
-                        f"negative absorption probability {value} for {state!r}"
-                    )
-                value = 0.0
-            if value > 0.0:
-                row[a_state] = min(value, 1.0)
-        rows[state] = row
-        deficit = 1.0 - sum(row.values())
-        lost[state] = deficit if deficit > SOLVER_TOLERANCE else 0.0
-    for state in doomed:
-        rows[state] = {}
-        lost[state] = 1.0
-    return AbsorptionResult(rows, lost)
+
+def solve_absorption(
+    transient: Sequence[State],
+    absorbing: Sequence[State],
+    transitions: Mapping[State, Mapping[State, float | Fraction]],
+) -> AbsorptionResult:
+    """Compute absorption probabilities with a sparse float64 LU solve.
+
+    Parameters
+    ----------
+    transient:
+        The transient states (rows of ``Q`` and ``R``).
+    absorbing:
+        The absorbing states (columns of ``R``).
+    transitions:
+        For each transient state, a mapping from successor state to
+        transition probability.  Successors may be transient or
+        absorbing; rows may be sub-stochastic (mass can be lost).
+
+    Returns
+    -------
+    AbsorptionResult
+        ``result[t][a]`` is the probability of eventually reaching
+        absorbing state ``a`` from transient state ``t``.
+    """
+    return solve_absorption_batched(transient, absorbing, transitions).result()
 
 
 def solve_absorption_exact(

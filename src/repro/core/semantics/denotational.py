@@ -12,8 +12,6 @@ tests (Theorem 3.1 and friends).
 
 from __future__ import annotations
 
-from fractions import Fraction
-
 from repro.core import syntax as s
 from repro.core.distributions import Dist
 from repro.core.packet import Packet, PacketUniverse

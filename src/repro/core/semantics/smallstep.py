@@ -18,8 +18,6 @@ relied upon by the scalable single-packet compiler.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Iterable
-
 from repro.core.distributions import Dist
 from repro.core.packet import Packet
 from repro.core.semantics.bigstep import BigStepMatrix

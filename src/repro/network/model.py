@@ -30,7 +30,7 @@ from repro.core import syntax as s
 from repro.core.distributions import Dist
 from repro.core.fields import FieldTable
 from repro.core.interpreter import Interpreter, Outcome
-from repro.core.packet import DROP, Packet, _DropType
+from repro.core.packet import Packet, _DropType
 from repro.topology.graph import Topology
 
 

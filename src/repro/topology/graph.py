@@ -11,7 +11,7 @@ links that may fail.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, Iterable, Iterator, Mapping
 
 import networkx as nx

@@ -10,7 +10,7 @@ exercised on wide-area graphs in addition to data-center fabrics.
 from __future__ import annotations
 
 import re
-from typing import Mapping, Sequence
+from typing import Sequence
 
 from repro.topology.graph import Topology
 

@@ -7,7 +7,7 @@ import pytest
 from repro.core import syntax as s
 from repro.core.compiler import Compiler, GuardedFragmentError, compile_policy
 from repro.core.distributions import Dist
-from repro.core.fdd.node import FddManager, output_distribution
+from repro.core.fdd.node import output_distribution
 from repro.core.packet import DROP, Packet
 
 

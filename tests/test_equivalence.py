@@ -2,8 +2,6 @@
 
 from fractions import Fraction
 
-import pytest
-
 from repro.core import syntax as s
 from repro.core.equivalence import (
     compare,

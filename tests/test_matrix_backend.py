@@ -1,0 +1,389 @@
+"""Tests for the batched matrix backend, registry, and batched solver APIs."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.latency import expected_hop_count, hop_count_cdf
+from repro.analysis.queries import delivery_probability, output_distribution
+from repro.analysis.resilience import resilience_table
+from repro.backends import (
+    BACKENDS,
+    MatrixBackend,
+    NativeBackend,
+    ParallelBackend,
+    PrismBackend,
+    get_backend,
+    resolve_backend,
+)
+from repro.core import syntax as s
+from repro.core.compiler import compile_policy
+from repro.core.distributions import Dist
+from repro.core.fdd.matrix import (
+    SymbolicPacket,
+    classify,
+    enumerate_classes,
+    fdd_to_matrix,
+    matrix_to_fdd,
+)
+from repro.core.fdd.node import FddManager
+from repro.core.fdd.node import output_distribution as fdd_output_distribution
+from repro.core.interpreter import Interpreter
+from repro.core.markov import solve_absorption, solve_absorption_batched
+from repro.core.packet import DROP, Packet
+from repro.failure.models import independent_failure_program
+from repro.network import running_example as ex
+from repro.network.model import build_model
+from repro.routing import downward_failable_ports, ecmp_policy
+from repro.topology import fat_tree
+
+
+@pytest.fixture(scope="module")
+def example():
+    return ex.build()
+
+
+def fattree_model(failure_probability=None):
+    topo = fat_tree(4)
+    failable = downward_failable_ports(topo) if failure_probability else None
+    failure = (
+        independent_failure_program(failable, failure_probability)
+        if failure_probability
+        else None
+    )
+    return build_model(
+        topo,
+        routing=ecmp_policy(topo, 1),
+        dest=1,
+        failure=failure,
+        failable=failable,
+    )
+
+
+class TestBatchedAbsorption:
+    """solve_absorption_batched: one factorization, many right-hand sides."""
+
+    CHAIN = {
+        "a": {"b": 0.5, "drop": 0.5},
+        "b": {"a": 0.25, "done": 0.75},
+    }
+
+    def test_result_matches_unbatched_solver(self):
+        transient = ["a", "b"]
+        absorbing = ["done", "drop"]
+        batched = solve_absorption_batched(transient, absorbing, self.CHAIN).result()
+        plain = solve_absorption(transient, absorbing, self.CHAIN)
+        for state in transient:
+            for target in absorbing:
+                assert batched[state].get(target, 0.0) == pytest.approx(
+                    plain[state].get(target, 0.0), abs=1e-12
+                )
+
+    def test_multi_rhs_solve_against_cached_factorization(self):
+        import numpy as np
+
+        system = solve_absorption_batched(["a", "b"], ["done", "drop"], self.CHAIN)
+        rhs = np.eye(2)
+        fundamental = system.solve(rhs)  # N = (I - Q)^{-1}
+        # Expected number of visits from 'a' to itself: 1 / (1 - 0.5*0.25).
+        assert fundamental[0, 0] == pytest.approx(1.0 / (1.0 - 0.125))
+        assert system.solve(np.ones((2, 5))).shape == (2, 5)
+
+    def test_rhs_shape_validated(self):
+        import numpy as np
+
+        system = solve_absorption_batched(["a", "b"], ["done", "drop"], self.CHAIN)
+        with pytest.raises(ValueError):
+            system.solve(np.ones((3, 1)))
+
+    def test_doomed_states_reported(self):
+        transitions = {"a": {"done": 1.0}, "spin": {"spin2": 1.0}, "spin2": {"spin": 1.0}}
+        system = solve_absorption_batched(["a", "spin", "spin2"], ["done"], transitions)
+        assert set(system.doomed) == {"spin", "spin2"}
+        result = system.result()
+        assert result.lost_mass["spin"] == 1.0
+        assert result["a"]["done"] == pytest.approx(1.0)
+
+    def test_empty_transient(self):
+        result = solve_absorption_batched([], ["done"], {}).result()
+        assert result == {}
+
+
+def figure5_fdd(manager: FddManager):
+    """pt=1 ? (pt<-2 ⊕ pt<-3) : pt=2 ? pt<-1 : pt=3 ? pt<-1 : drop."""
+    from repro.core.fdd import ops
+
+    split = ops.convex(
+        manager,
+        [
+            (manager.from_assign("pt", 2), Fraction(1, 2)),
+            (manager.from_assign("pt", 3), Fraction(1, 2)),
+        ],
+    )
+    return ops.ite(
+        manager.from_test("pt", 1),
+        split,
+        ops.ite(
+            manager.from_test("pt", 2),
+            manager.from_assign("pt", 1),
+            ops.ite(manager.from_test("pt", 3), manager.from_assign("pt", 1), manager.false_leaf),
+        ),
+    )
+
+
+class TestSeededConversion:
+    """fdd_to_matrix restricted to the classes reachable from seeds."""
+
+    def test_seeded_exploration_matches_full_domain(self):
+        manager = FddManager()
+        fdd = figure5_fdd(manager)
+        full = fdd_to_matrix(fdd)
+        seeded = fdd_to_matrix(fdd, seeds=[SymbolicPacket({"pt": 1})])
+        assert set(seeded.classes) <= set(full.classes)
+        for cls in seeded.classes:
+            assert seeded.row(cls) == full.row(cls)
+
+    def test_seeded_exploration_skips_unreachable_classes(self):
+        manager = FddManager()
+        fdd = figure5_fdd(manager)
+        seeded = fdd_to_matrix(fdd, seeds=[SymbolicPacket({"pt": 2})])
+        # 2 -> 1 -> {2, 3} closes the reachable set without the wildcard.
+        assert SymbolicPacket({"pt": None}) not in seeded.classes
+        assert len(seeded.classes) == 3
+
+    def test_absorbing_when_freezes_classes(self):
+        manager = FddManager()
+        fdd = figure5_fdd(manager)
+        frozen = SymbolicPacket({"pt": 2})
+        seeded = fdd_to_matrix(
+            fdd,
+            seeds=[SymbolicPacket({"pt": 1})],
+            absorbing_when=lambda cls: cls == frozen,
+        )
+        assert seeded.row(frozen) == Dist.point(frozen)
+
+    def test_row_cache_is_shared_between_calls(self):
+        manager = FddManager()
+        fdd = figure5_fdd(manager)
+        cache: dict = {}
+        fdd_to_matrix(fdd, seeds=[SymbolicPacket({"pt": 1})], row_cache=cache)
+        size_after_first = len(cache)
+        assert size_after_first > 0
+        fdd_to_matrix(fdd, seeds=[SymbolicPacket({"pt": 1})], row_cache=cache)
+        assert len(cache) == size_after_first
+
+    def test_roundtrip_through_matrix_to_fdd(self):
+        manager = FddManager()
+        fdd = figure5_fdd(manager)
+        matrix = fdd_to_matrix(fdd)
+        rows = {cls: matrix.row(cls) for cls in matrix.classes}
+        rebuilt = matrix_to_fdd(manager, matrix.domains, rows)
+        for value in (1, 2, 3, 9):
+            packet = Packet({"pt": value})
+            assert fdd_output_distribution(fdd, packet).close_to(
+                fdd_output_distribution(rebuilt, packet)
+            )
+
+    def test_compiled_policy_roundtrip(self):
+        """Round trip of a compiled multi-field policy preserves semantics."""
+        manager = FddManager()
+        policy = s.seq(
+            s.ite(s.test("sw", 1), s.assign("pt", 2), s.assign("pt", 9)),
+            s.choice((s.assign("sw", 2), Fraction(1, 3)), (s.skip(), Fraction(2, 3))),
+        )
+        fdd = compile_policy(policy, manager=manager)
+        matrix = fdd_to_matrix(fdd)
+        rows = {cls: matrix.row(cls) for cls in matrix.classes}
+        rebuilt = matrix_to_fdd(manager, matrix.domains, rows)
+        for packet in (Packet({"sw": 1, "pt": 1}), Packet({"sw": 7, "pt": 2})):
+            assert fdd_output_distribution(fdd, packet).close_to(
+                fdd_output_distribution(rebuilt, packet)
+            )
+
+
+class TestWideDomains:
+    """Wide domains must not hit the Python recursion limit (iterative loops)."""
+
+    WIDTH = 5000
+
+    def test_enumerate_classes_wide_domain(self):
+        classes = enumerate_classes({"sw": range(self.WIDTH)})
+        assert len(classes) == self.WIDTH + 1
+
+    def test_matrix_to_fdd_wide_chain(self):
+        manager = FddManager()
+        domains = {"sw": tuple(range(self.WIDTH))}
+        rows = {
+            SymbolicPacket({"sw": value}): Dist.point(SymbolicPacket({"sw": 0}))
+            for value in range(self.WIDTH)
+        }
+        node = matrix_to_fdd(manager, domains, rows)
+        out = fdd_output_distribution(node, Packet({"sw": self.WIDTH - 1}))
+        assert out == Dist.point(Packet({"sw": 0}))
+        assert fdd_output_distribution(node, Packet({"sw": self.WIDTH + 7})) == Dist.point(DROP)
+
+
+class TestRegistry:
+    def test_registered_names(self):
+        assert set(BACKENDS) == {"native", "matrix", "parallel", "prism"}
+
+    def test_get_backend_instantiates(self):
+        assert isinstance(get_backend("native"), NativeBackend)
+        assert isinstance(get_backend("matrix"), MatrixBackend)
+        assert isinstance(get_backend("parallel", workers=1), ParallelBackend)
+        assert isinstance(get_backend("prism"), PrismBackend)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("umfpack")
+
+    def test_resolve_backend_passthrough(self):
+        backend = MatrixBackend()
+        assert resolve_backend(backend) is backend
+        assert resolve_backend(None) is None
+        assert isinstance(resolve_backend("matrix"), MatrixBackend)
+
+    def test_matrix_backend_is_float_only(self):
+        with pytest.raises(ValueError, match="float64"):
+            MatrixBackend(exact=True)
+
+
+class TestMatrixBackendEquivalence:
+    """The acceptance bar: matrix ≡ interpreter within 1e-9."""
+
+    def test_running_example_all_models(self, example):
+        interp = Interpreter()
+        backend = MatrixBackend()
+        models = list(example.models_naive.items()) + list(example.models_resilient.items())
+        for _, model in models:
+            expected = interp.run_packet(model, example.ingress_packet)
+            actual = backend.output_distribution(model, example.ingress_packet)
+            assert expected.close_to(actual, tolerance=1e-9)
+
+    @pytest.mark.parametrize("failure_probability", [None, 1 / 1000], ids=["f0", "f1000"])
+    def test_fattree4_per_ingress(self, failure_probability):
+        model = fattree_model(failure_probability)
+        expected = model.output_distributions(interpreter=Interpreter())
+        backend = MatrixBackend()
+        actual = backend.output_distributions(model.policy, model.ingress_packets)
+        for packet in model.ingress_packets:
+            assert expected[packet].close_to(actual[packet], tolerance=1e-9)
+
+    def test_one_factorization_for_all_ingresses(self):
+        model = fattree_model(1 / 1000)
+        backend = MatrixBackend()
+        backend.output_distributions(model.policy, model.ingress_packets)
+        stages = backend.plan(model.policy).loop_stages
+        assert stages and all(stage.factorizations == 1 for stage in stages)
+        # Re-querying hits the cached solutions: no new factorization.
+        backend.output_distributions(model.policy, model.ingress_packets)
+        assert all(stage.factorizations == 1 for stage in stages)
+
+    def test_uniform_and_dist_inputs(self, example):
+        model = example.models_resilient["f2"]
+        native = NativeBackend()
+        backend = MatrixBackend()
+        packets = [example.ingress_packet]
+        assert native.output_distribution(model, packets).close_to(
+            backend.output_distribution(model, packets), tolerance=1e-9
+        )
+        dist = Dist.point(example.ingress_packet)
+        assert native.output_distribution(model, dist).close_to(
+            backend.output_distribution(model, dist), tolerance=1e-9
+        )
+
+    def test_transition_matrix_cached_by_canonical_fdd(self):
+        backend = MatrixBackend()
+        # Two syntactically different but semantically equal loop-free policies.
+        first = s.seq(s.test("pt", 1), s.assign("pt", 2))
+        second = s.seq(s.test("pt", 1), s.skip(), s.assign("pt", 2))
+        assert backend.transition_matrix(first) is backend.transition_matrix(second)
+
+    def test_classify_concretize_consistency(self, example):
+        """Entry classes contain their concrete entry packets."""
+        backend = MatrixBackend()
+        model = example.models_resilient["f1"]
+        backend.output_distribution(model, example.ingress_packet)
+        (stage,) = backend.plan(model).loop_stages
+        cls = classify(example.ingress_packet, stage.domains)
+        assert all(
+            cls.value(field) in (value, None)
+            for field, value in example.ingress_packet.items()
+            if field in stage.domains
+        )
+
+
+class TestBackendThreading:
+    """backend= reaches the analysis entry points."""
+
+    def test_output_distribution_backend_matches_default(self, example):
+        model = example.models_naive["f2"]
+        packets = [example.ingress_packet]
+        default = output_distribution(model, inputs=packets)
+        matrix = output_distribution(model, inputs=packets, backend="matrix")
+        assert default.close_to(matrix, tolerance=1e-9)
+
+    def test_delivery_probability_backend(self):
+        model = fattree_model(1 / 1000)
+        default = delivery_probability(model)
+        matrix = delivery_probability(model, backend="matrix")
+        assert matrix == pytest.approx(default, abs=1e-9)
+
+    def test_hop_count_queries_backend(self):
+        topo = fat_tree(4)
+        failable = downward_failable_ports(topo)
+        model = build_model(
+            topo,
+            routing=ecmp_policy(topo, 1),
+            dest=1,
+            failure=independent_failure_program(failable, 1 / 100),
+            failable=failable,
+            count_hops=True,
+        )
+        backend = MatrixBackend()
+        assert hop_count_cdf(model, max_hops=8, backend=backend) == pytest.approx(
+            hop_count_cdf(model, max_hops=8), abs=1e-9
+        )
+        assert expected_hop_count(model, backend=backend) == pytest.approx(
+            expected_hop_count(model), abs=1e-9
+        )
+
+    def test_exact_with_backend_rejected(self, example):
+        with pytest.raises(ValueError, match="exact=True cannot be combined"):
+            output_distribution(
+                example.models_naive["f0"],
+                inputs=[example.ingress_packet],
+                exact=True,
+                backend="matrix",
+            )
+
+    def test_prism_backend_rejected_for_distribution_queries(self, example):
+        with pytest.raises(TypeError, match="does not support distribution"):
+            output_distribution(
+                example.models_naive["f0"],
+                inputs=[example.ingress_packet],
+                backend="prism",
+            )
+
+    def test_prism_backend_rejected_for_resilience_queries(self):
+        with pytest.raises(TypeError, match="does not support resilience"):
+            resilience_table(lambda scheme, bound: None, ["x"], [0], backend="prism")
+
+    def test_interpreter_and_backend_conflict(self):
+        model = build_model(
+            fat_tree(4), routing=ecmp_policy(fat_tree(4), 1), dest=1, count_hops=True
+        )
+        with pytest.raises(ValueError, match="not both"):
+            hop_count_cdf(model, backend="matrix", interpreter=Interpreter())
+
+    def test_resilience_table_backend_agrees_with_structural(self):
+        def factory(scheme, bound):
+            return fattree_model(1 / 1000 if scheme == "faulty" else None)
+
+        schemes = ["healthy", "faulty"]
+        exact = resilience_table(factory, schemes, [None])
+        numeric = resilience_table(factory, schemes, [None], backend="matrix")
+        native = resilience_table(factory, schemes, [None], backend="native")
+        assert exact == numeric == native
+        assert exact["healthy"][None] is True
+        assert exact["faulty"][None] is False

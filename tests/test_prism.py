@@ -4,7 +4,7 @@ from fractions import Fraction
 
 import pytest
 
-from repro.backends.prism import MiniDtmc, PrismBackend, to_prism_source, translate_policy
+from repro.backends.prism import MiniDtmc, PrismBackend, translate_policy
 from repro.backends.prism.automaton import build_automaton
 from repro.backends.prism.codegen import predicate_to_prism
 from repro.backends.prism.engine import eval_guard

@@ -4,7 +4,6 @@ from fractions import Fraction
 
 import pytest
 
-from repro.core import syntax as s
 from repro.core.interpreter import Interpreter, eval_predicate
 from repro.core.packet import DROP, Packet
 from repro.failure.models import (
@@ -23,7 +22,7 @@ from repro.routing import (
     teleport_policy,
 )
 from repro.routing.f10 import F10_SCHEMES
-from repro.topology import ab_fat_tree, fat_tree, zoo
+from repro.topology import ab_fat_tree, zoo
 
 
 @pytest.fixture(scope="module")

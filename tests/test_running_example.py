@@ -16,7 +16,7 @@ import pytest
 from repro.core import sugar
 from repro.core.equivalence import fdd_equivalent, output_equivalent, strictly_refines
 from repro.core.interpreter import Interpreter
-from repro.core.packet import DROP, Packet
+from repro.core.packet import DROP
 from repro.network import running_example as ex
 
 
