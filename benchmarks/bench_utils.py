@@ -16,6 +16,10 @@ import time
 #: Figure name -> recorded payload, collected across one pytest session.
 _RECORDS: dict[str, dict[str, object]] = {}
 
+#: (figure, kind, options) -> shared engine instance (see shared_interpreter /
+#: shared_backend).  Cleared per session; bypassed entirely in cold mode.
+_SHARED: dict[tuple, object] = {}
+
 
 def scale() -> int:
     """The REPRO_SCALE factor controlling how far parameter sweeps extend."""
@@ -23,6 +27,55 @@ def scale() -> int:
         return max(1, int(os.environ.get("REPRO_SCALE", "1")))
     except ValueError:
         return 1
+
+
+def cold() -> bool:
+    """Whether engine sharing is disabled (``--cold`` / ``REPRO_COLD=1``).
+
+    Cold mode gives every benchmark configuration a fresh interpreter or
+    backend, so each measurement includes full compilation — the escape
+    hatch for measuring cold-start costs rather than warm sweeps.
+    """
+    return os.environ.get("REPRO_COLD", "").strip() not in ("", "0")
+
+
+def shared_interpreter(fig: str, **options):
+    """One forward interpreter shared by every configuration of ``fig``.
+
+    Sharing keeps the interpreter's loop caches, compiled bodies, and the
+    FDD manager's interned nodes alive across a figure's parameter sweep
+    (the ROADMAP's "share one backend instance across benchmark figures"
+    item).  With ``--cold`` (or ``REPRO_COLD=1``) a fresh instance is
+    returned every call instead.
+    """
+    from repro.core.interpreter import Interpreter
+
+    if cold():
+        return Interpreter(**options)
+    key = (fig, "interpreter", tuple(sorted(options.items())))
+    engine = _SHARED.get(key)
+    if engine is None:
+        engine = _SHARED[key] = Interpreter(**options)
+    return engine
+
+
+def shared_backend(fig: str, name: str, **options):
+    """One registry backend shared by every configuration of ``fig``.
+
+    Same contract as :func:`shared_interpreter`, for registry backends
+    (``"native"``, ``"matrix"``, ``"parallel"``): plans, transition
+    matrices, and loop factorizations persist across the sweep unless
+    cold mode is active.
+    """
+    from repro.backends import get_backend
+
+    if cold():
+        return get_backend(name, **options)
+    key = (fig, name, tuple(sorted(options.items())))
+    engine = _SHARED.get(key)
+    if engine is None:
+        engine = _SHARED[key] = get_backend(name, **options)
+    return engine
 
 
 def output_dir() -> str:
@@ -37,15 +90,19 @@ def record(
     header: list[str],
     rows: list[list[object]],
     phases: dict[str, float] | None = None,
+    metrics: dict[str, float] | None = None,
 ) -> None:
     """Register one figure's reproduced rows for JSON emission.
 
     ``phases`` optionally attaches per-phase wall-clock seconds (compile,
     solve, query, ...) so artifacts capture where the time went, not just
-    totals.  Re-recording a figure merges its phases and replaces rows.
+    totals.  ``metrics`` attaches headline scalars (e.g. the fig7
+    interpreted-vs-compiled ``speedup``) that CI diffs against committed
+    baselines.  Re-recording a figure merges phases/metrics and replaces
+    rows.
     """
     entry = _RECORDS.setdefault(
-        fig, {"title": title, "header": header, "rows": [], "phases": {}}
+        fig, {"title": title, "header": header, "rows": [], "phases": {}, "metrics": {}}
     )
     entry["title"] = title
     entry["header"] = header
@@ -54,6 +111,10 @@ def record(
         merged = dict(entry.get("phases") or {})
         merged.update({name: round(float(value), 6) for name, value in phases.items()})
         entry["phases"] = merged
+    if metrics:
+        merged = dict(entry.get("metrics") or {})
+        merged.update({name: round(float(value), 6) for name, value in metrics.items()})
+        entry["metrics"] = merged
 
 
 def print_table(

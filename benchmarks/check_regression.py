@@ -1,0 +1,81 @@
+"""Gate benchmark metrics against committed baselines.
+
+CI runs the benchmark harness (which writes ``BENCH_<fig>.json`` under
+``benchmarks/out/``) and then invokes this script to diff headline
+metrics against the JSON baselines committed under
+``benchmarks/baselines/``.  A metric more than ``--tolerance`` (default
+30%) *worse* than its baseline fails the build; improvements are
+reported but never fail.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --current benchmarks/out/BENCH_fig7.json \
+        --baseline benchmarks/baselines/BENCH_fig7.baseline.json
+
+Only keys present in the baseline's ``metrics`` object are compared, so
+adding a new metric to the harness never breaks CI until a baseline for
+it is committed.  All compared metrics are higher-is-better (speedups).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path: str) -> dict[str, float]:
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    metrics = payload.get("metrics") or {}
+    return {name: float(value) for name, value in metrics.items()}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True, help="freshly generated BENCH_<fig>.json")
+    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional drop below the baseline (default 0.30 = 30%%)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_metrics(args.baseline)
+    current = load_metrics(args.current)
+    if not baseline:
+        print(f"no metrics in baseline {args.baseline}; nothing to check")
+        return 0
+
+    failures: list[str] = []
+    for name, base_value in sorted(baseline.items()):
+        if name not in current:
+            failures.append(f"{name}: missing from {args.current} (baseline {base_value})")
+            continue
+        value = current[name]
+        floor = base_value * (1.0 - args.tolerance)
+        status = "OK" if value >= floor else "REGRESSION"
+        print(
+            f"{name}: current={value:.3f} baseline={base_value:.3f} "
+            f"floor={floor:.3f} [{status}]"
+        )
+        if value < floor:
+            failures.append(
+                f"{name}: {value:.3f} is more than {args.tolerance:.0%} below "
+                f"the baseline {base_value:.3f}"
+            )
+
+    if failures:
+        print("\nbenchmark regression check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nbenchmark regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

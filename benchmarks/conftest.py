@@ -23,6 +23,22 @@ sys.path.insert(0, os.path.dirname(__file__))
 from bench_utils import scale, write_summaries  # noqa: E402
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--cold",
+        action="store_true",
+        default=False,
+        help="Disable engine sharing across a figure's sweep: every "
+        "configuration gets a fresh interpreter/backend (cold caches). "
+        "Equivalent to REPRO_COLD=1.",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--cold", default=False):
+        os.environ["REPRO_COLD"] = "1"
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Emit machine-readable BENCH_<fig>.json summaries for CI artifacts."""
     paths = write_summaries()

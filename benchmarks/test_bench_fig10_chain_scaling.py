@@ -22,7 +22,7 @@ from repro.core.interpreter import Interpreter
 from repro.core.packet import DROP
 from repro.topology import chain_model
 
-from bench_utils import print_table, scale
+from bench_utils import print_table, scale, shared_interpreter
 
 PFAIL = Fraction(1, 1000)
 NATIVE_SIZES = [1, 2, 4, 8, 16, 32][: 4 + scale()]
@@ -37,7 +37,14 @@ def expected_probability(diamonds: int) -> float:
 
 
 def _native(chain):
-    out = Interpreter().run_packet(chain.policy, chain.ingress)
+    out = shared_interpreter("fig10").run_packet(chain.policy, chain.ingress)
+    return float(out.prob_of(lambda o: o is not DROP and o.get("sw") == 4 * chain.diamonds))
+
+
+def _interpreted(chain):
+    out = shared_interpreter("fig10", compile_bodies=False).run_packet(
+        chain.policy, chain.ingress
+    )
     return float(out.prob_of(lambda o: o is not DROP and o.get("sw") == 4 * chain.diamonds))
 
 
@@ -63,6 +70,26 @@ def _run(benchmark, engine, runner, diamonds):
 @pytest.mark.parametrize("diamonds", NATIVE_SIZES)
 def test_native_backend(benchmark, diamonds):
     _run(benchmark, "native", _native, diamonds)
+
+
+@pytest.mark.parametrize("diamonds", NATIVE_SIZES)
+def test_interpreted_backend(benchmark, diamonds):
+    """The AST-interpreted loop path: same answers, reported separately."""
+    _run(benchmark, "native/interp", _interpreted, diamonds)
+
+
+def test_compiled_matches_interpreted_distributions(benchmark):
+    """Full output distributions of both native paths agree within 1e-9."""
+    chain = chain_model(max(NATIVE_SIZES), PFAIL)
+
+    def distributions():
+        fast = Interpreter().run_packet(chain.policy, chain.ingress)
+        slow = Interpreter(compile_bodies=False).run_packet(chain.policy, chain.ingress)
+        return fast, slow
+
+    fast, slow = benchmark.pedantic(distributions, rounds=1, iterations=1)
+    for outcome in set(fast.support()) | set(slow.support()):
+        assert float(fast(outcome)) == pytest.approx(float(slow(outcome)), abs=1e-9)
 
 
 @pytest.mark.parametrize("diamonds", PRISM_SIZES)

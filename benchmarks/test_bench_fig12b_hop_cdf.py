@@ -19,7 +19,7 @@ from repro.backends import MatrixBackend
 from repro.routing import f10_model
 from repro.topology import ab_fat_tree, fat_tree
 
-from bench_utils import print_table, record
+from bench_utils import print_table, record, shared_interpreter
 
 FAILURE_PROBABILITY = 1 / 4
 HOPS = [2, 4, 6, 8, 10, 12]
@@ -41,7 +41,13 @@ def build_model(topology, scheme):
 
 
 def compute_cdf(topology, scheme):
-    return hop_count_cdf(build_model(topology, scheme), max_hops=max(HOPS))
+    # One interpreter across the whole figure: loop caches and compiled
+    # bodies persist over the scheme sweep (disable with --cold).
+    return hop_count_cdf(
+        build_model(topology, scheme),
+        max_hops=max(HOPS),
+        interpreter=shared_interpreter("fig12b"),
+    )
 
 
 @pytest.mark.parametrize("label,topo_kind,scheme", SERIES, ids=[s[0] for s in SERIES])
@@ -56,20 +62,32 @@ def test_hop_count_cdf(benchmark, label, topo_kind, scheme):
 def test_matrix_backend_batched_query(benchmark):
     """The tentpole claim: one factorization + batched RHS beats per-packet runs.
 
-    The same all-ingress hop-CDF query is answered by per-packet forward
-    interpretation (which re-solves the loop chain for every new ingress
-    seed) and by the matrix backend (compile once, factorize ``I - Q``
-    once, batched multi-RHS solve).  The query phase — everything after
-    the one-time FDD compilation — must be at least 5x faster, and the
-    distributions must agree within 1e-9.
+    The same all-ingress hop-CDF query is answered by per-packet AST
+    interpretation (which re-walks the loop body for every reachable
+    state), by the compiled-body native path, and by the matrix backend
+    (compile once, factorize ``I - Q`` once, batched multi-RHS solve).
+    The matrix query phase — everything after the one-time FDD
+    compilation — must be at least 5x faster than per-packet
+    interpretation, and all three distributions must agree within 1e-9.
     """
+    from repro.core.interpreter import Interpreter
+
     model = build_model(ab_fat_tree(4), "f10_3_5")
 
     start = time.perf_counter()
     native_cdf = benchmark.pedantic(
-        lambda: hop_count_cdf(model, max_hops=max(HOPS)), rounds=1, iterations=1
+        lambda: hop_count_cdf(
+            model, max_hops=max(HOPS), interpreter=Interpreter(compile_bodies=False)
+        ),
+        rounds=1, iterations=1,
     )
     native_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    compiled_cdf = hop_count_cdf(
+        model, max_hops=max(HOPS), interpreter=Interpreter()
+    )
+    compiled_s = time.perf_counter() - start
 
     # Two fresh backends, best-of-2, to keep the timing assert robust
     # against scheduler noise on small absolute times.
@@ -101,7 +119,8 @@ def test_matrix_backend_batched_query(benchmark):
         [
             ["ingresses", len(model.ingress_packets)],
             ["loop_states", loop_states],
-            ["native_query_s", round(native_s, 4)],
+            ["interpreted_query_s", round(native_s, 4)],
+            ["compiled_native_query_s", round(compiled_s, 4)],
             ["matrix_compile_s", round(compile_s, 4)],
             ["matrix_query_s", round(query_s, 4)],
             ["matrix_build_s", round(backend.timings().get("build", 0.0), 4)],
@@ -111,13 +130,15 @@ def test_matrix_backend_batched_query(benchmark):
             ["query_speedup", round(speedup, 2)],
         ],
         phases={
-            "native_query_s": native_s,
+            "interpreted_query_s": native_s,
+            "compiled_native_query_s": compiled_s,
             "matrix_compile_s": compile_s,
             "matrix_query_s": query_s,
             "matrix_warm_query_s": warm_s,
         },
     )
     for h in range(0, max(HOPS) + 1):
+        assert compiled_cdf[h] == pytest.approx(native_cdf[h], abs=1e-9)
         assert matrix_cdf[h] == pytest.approx(native_cdf[h], abs=1e-9)
         assert warm_cdf[h] == pytest.approx(native_cdf[h], abs=1e-9)
     assert speedup >= 5.0, (

@@ -17,7 +17,7 @@ from repro.analysis import expected_hop_count
 from repro.routing import f10_model
 from repro.topology import ab_fat_tree, fat_tree
 
-from bench_utils import print_table
+from bench_utils import print_table, shared_interpreter
 
 PROBABILITIES = [Fraction(1, 128), Fraction(1, 32), Fraction(1, 8), Fraction(1, 4)]
 SERIES = [
@@ -36,7 +36,10 @@ def sweep(topology, scheme):
         model = f10_model(
             topology, 1, scheme=scheme, failure_probability=pr, count_hops=True, max_hops=14
         )
-        values.append(expected_hop_count(model))
+        # One interpreter across the figure's whole (scheme × pr) sweep.
+        values.append(
+            expected_hop_count(model, interpreter=shared_interpreter("fig12c"))
+        )
     return values
 
 
@@ -62,6 +65,24 @@ def test_matrix_backend_agrees(benchmark):
         rounds=1, iterations=1,
     )
     assert matrix == pytest.approx(native, abs=1e-9)
+
+
+def test_compiled_body_agrees_with_interpreted(benchmark):
+    """Compiled-body and AST-interpreted loop paths agree within 1e-9."""
+    from repro.core.interpreter import Interpreter
+
+    model = f10_model(
+        ab_fat_tree(4), 1, scheme="f10_3_5",
+        failure_probability=PROBABILITIES[-1], count_hops=True, max_hops=14,
+    )
+    interpreted = expected_hop_count(
+        model, interpreter=Interpreter(compile_bodies=False)
+    )
+    compiled = benchmark.pedantic(
+        lambda: expected_hop_count(model, interpreter=Interpreter()),
+        rounds=1, iterations=1,
+    )
+    assert compiled == pytest.approx(interpreted, abs=1e-9)
 
 
 def test_report_figure12c(benchmark):

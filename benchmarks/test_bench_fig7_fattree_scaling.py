@@ -7,6 +7,15 @@ reduced sizes (Python constant factors) and reports per-configuration
 times; the expected shape is: the native backend scales to larger
 FatTrees than the PRISM pipeline, and failures make both slower.
 
+Two claims are under test on the native path:
+
+* the *compiled-body fast path* (loop bodies compiled once into
+  per-switch FDDs, rows computed by diagram evaluation) constructs the
+  model at least 3x faster than pure AST interpretation over the sweep —
+  the headline speedup recorded in ``BENCH_fig7.json`` and gated by CI
+  against a committed baseline;
+* both paths produce identical output distributions (asserted to 1e-9).
+
 The sweep also runs the batched matrix backend, reporting its one-time
 FDD/matrix compilation separately from the batched all-ingress query so
 the artifact records where each backend spends its time.
@@ -18,7 +27,6 @@ import time
 
 import pytest
 
-from repro.backends import MatrixBackend
 from repro.backends.prism import PrismBackend
 from repro.core.interpreter import Interpreter
 from repro.failure.models import independent_failure_program
@@ -26,7 +34,7 @@ from repro.network.model import build_model
 from repro.routing import downward_failable_ports, ecmp_policy
 from repro.topology import fat_tree
 
-from bench_utils import print_table, scale
+from bench_utils import print_table, record, scale, shared_backend, shared_interpreter
 
 #: FatTree parameters swept by the native backend (scaled by REPRO_SCALE).
 NATIVE_SIZES = [4, 6, 8][: 2 + scale()]
@@ -36,6 +44,8 @@ MATRIX_SIZES = NATIVE_SIZES
 PRISM_SIZES = [4]
 
 RESULTS: list[list[object]] = []
+#: Accumulated wall-clock totals of the interpreted-vs-compiled comparison.
+SPEEDUP_TOTALS = {"interpreted": 0.0, "compiled": 0.0}
 
 
 def build(p: int, failure_probability: float | None):
@@ -55,9 +65,13 @@ def build(p: int, failure_probability: float | None):
     )
 
 
+def fail_label(failure_probability: float | None) -> str:
+    return "0" if failure_probability is None else "1/1000"
+
+
 def native_construct(p: int, failure_probability: float | None):
     model = build(p, failure_probability)
-    interpreter = Interpreter()
+    interpreter = shared_interpreter("fig7")
     return model.output_distributions(interpreter=interpreter)
 
 
@@ -69,7 +83,7 @@ def prism_construct(p: int, failure_probability: float | None):
 
 def matrix_construct(p: int, failure_probability: float | None):
     model = build(p, failure_probability)
-    backend = MatrixBackend()
+    backend = shared_backend("fig7", "matrix")
     outputs = backend.output_distributions(model.policy, model.ingress_packets)
     return outputs, backend.timings()
 
@@ -81,8 +95,48 @@ def test_native_backend_scaling(benchmark, p, failure_probability):
     outputs = benchmark.pedantic(native_construct, args=(p, failure_probability), rounds=1, iterations=1)
     elapsed = time.perf_counter() - start
     switches = 5 * p * p // 4
-    RESULTS.append(["native", p, switches, "0" if failure_probability is None else "1/1000", f"{elapsed:.2f}s", "-", "-"])
+    RESULTS.append(["native", p, switches, fail_label(failure_probability), f"{elapsed:.2f}s", "-", "-"])
     assert len(outputs) > 0
+
+
+@pytest.mark.parametrize("p", NATIVE_SIZES)
+@pytest.mark.parametrize("failure_probability", [None, 1 / 1000], ids=["f0", "f1000"])
+def test_interpreted_vs_compiled_construction(benchmark, p, failure_probability):
+    """One configuration of the headline comparison.
+
+    Fresh interpreters on both sides (construction must include each
+    path's full one-time work); distributions must agree within 1e-9.
+    """
+
+    def construct():
+        model = build(p, failure_probability)
+        t0 = time.perf_counter()
+        interpreted = model.output_distributions(
+            interpreter=Interpreter(compile_bodies=False)
+        )
+        interpreted_s = time.perf_counter() - t0
+
+        model = build(p, failure_probability)
+        t0 = time.perf_counter()
+        compiled = model.output_distributions(interpreter=Interpreter())
+        compiled_s = time.perf_counter() - t0
+        return interpreted, compiled, interpreted_s, compiled_s
+
+    interpreted, compiled, interpreted_s, compiled_s = benchmark.pedantic(
+        construct, rounds=1, iterations=1
+    )
+    SPEEDUP_TOTALS["interpreted"] += interpreted_s
+    SPEEDUP_TOTALS["compiled"] += compiled_s
+    switches = 5 * p * p // 4
+    ratio = interpreted_s / compiled_s if compiled_s else float("inf")
+    RESULTS.append([
+        "native/interp", p, switches, fail_label(failure_probability),
+        f"{interpreted_s:.2f}s", f"{compiled_s:.2f}s", f"{ratio:.2f}x",
+    ])
+    for packet, dist in interpreted.items():
+        fast = compiled[packet]
+        for outcome in set(dist.support()) | set(fast.support()):
+            assert float(fast(outcome)) == pytest.approx(float(dist(outcome)), abs=1e-9)
 
 
 @pytest.mark.parametrize("p", MATRIX_SIZES)
@@ -102,7 +156,7 @@ def test_matrix_backend_scaling(benchmark, p, failure_probability):
             "matrix",
             p,
             switches,
-            "0" if failure_probability is None else "1/1000",
+            fail_label(failure_probability),
             f"{elapsed:.2f}s",
             f"{compile_s:.2f}s",
             f"{query_s:.2f}s",
@@ -118,15 +172,46 @@ def test_prism_backend_scaling(benchmark, p, failure_probability):
     probability = benchmark.pedantic(prism_construct, args=(p, failure_probability), rounds=1, iterations=1)
     elapsed = time.perf_counter() - start
     switches = 5 * p * p // 4
-    RESULTS.append(["prism", p, switches, "0" if failure_probability is None else "1/1000", f"{elapsed:.2f}s", "-", "-"])
+    RESULTS.append(["prism", p, switches, fail_label(failure_probability), f"{elapsed:.2f}s", "-", "-"])
     assert float(probability) > 0.99
+
+
+def test_compiled_body_speedup(benchmark):
+    """The tentpole claim: compiled-body construction is ≥3x faster.
+
+    Summed over the whole fattree sweep (all sizes, with and without
+    failures), model construction through the compiled-body fast path
+    must be at least 3x faster than AST interpretation.  The measured
+    ratio is recorded as the ``speedup`` metric of ``BENCH_fig7.json``
+    and diffed against a committed baseline by CI.
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    interpreted_s = SPEEDUP_TOTALS["interpreted"]
+    compiled_s = SPEEDUP_TOTALS["compiled"]
+    assert compiled_s > 0.0, "comparison sweep did not run"
+    speedup = interpreted_s / compiled_s
+    record(
+        "fig7",
+        "Figure 7 — model construction time (native vs matrix vs PRISM, with/without failures)",
+        ["backend", "p", "switches", "pr(fail)", "time", "compile/interp-compiled", "query/speedup"],
+        RESULTS,
+        phases={
+            "interpreted_construction_s": interpreted_s,
+            "compiled_construction_s": compiled_s,
+        },
+        metrics={"speedup": speedup},
+    )
+    assert speedup >= 3.0, (
+        f"compiled-body construction ({compiled_s:.2f}s) not ≥3x faster than "
+        f"AST interpretation ({interpreted_s:.2f}s) over the fig7 sweep"
+    )
 
 
 def test_report_figure7(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     print_table(
         "Figure 7 — model construction time (native vs matrix vs PRISM, with/without failures)",
-        ["backend", "p", "switches", "pr(fail)", "time", "compile", "query"],
+        ["backend", "p", "switches", "pr(fail)", "time", "compile/interp-compiled", "query/speedup"],
         RESULTS,
         fig="fig7",
     )

@@ -41,7 +41,10 @@ class NativeBackend:
         self._compiler = Compiler(
             manager=self.manager, exact=self.exact, class_limit=self.class_limit
         )
-        self._interpreter = Interpreter(exact=self.exact)
+        # The interpreter shares the backend's compiler, so loop bodies
+        # compiled for the fast path intern into the same FDD manager as
+        # full compilations.
+        self._interpreter = Interpreter(exact=self.exact, compiler=self._compiler)
 
     # -- full compilation --------------------------------------------------------
     def compile(self, policy: s.Policy) -> FddNode:

@@ -4,16 +4,25 @@ McNetKAT parallelises model construction by compiling the per-switch
 branches of the ``case sw=…`` program independently and combining the
 results map-reduce style.  In this reproduction the analogous expensive,
 embarrassingly parallel work is computing the transition row of every
-reachable loop-head state (one row = one forward run of the loop body, a
-per-switch computation for network models).  This module distributes that
-work over a :mod:`multiprocessing` pool.
+reachable loop-head state (one row = one evaluation of the loop body, a
+per-switch computation for network models).  This module distributes
+that work over a :mod:`multiprocessing` pool.
+
+Workers receive the *compiled* loop body — the manager-independent spec
+of its per-switch FDDs (:meth:`repro.core.fdd.evaluator.CompiledBody.to_spec`)
+— not the pickled AST, so they evaluate diagrams instead of re-walking
+the syntax tree.  Bodies the compiler cannot handle fall back to
+shipping the AST.  Exact interpreters keep exact weights end to end:
+worker rows preserve :class:`~fractions.Fraction` probabilities instead
+of coercing them through ``float``.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
-from typing import Iterable, Sequence
+from contextlib import contextmanager
+from typing import Callable, Iterable, Sequence
 
 from dataclasses import dataclass
 from multiprocessing import get_context
@@ -21,26 +30,45 @@ from multiprocessing import get_context
 from repro.backends.native import NativeBackend
 from repro.core import syntax as s
 from repro.core.distributions import Dist
+from repro.core.fdd.evaluator import CompiledBody
 from repro.core.interpreter import Interpreter, Outcome
 from repro.core.packet import DROP, Packet, _DropType
 
 # Worker-process state, initialised once per worker by ``_worker_init``.
 _WORKER: dict[str, object] = {}
 
+#: A worker payload: ("spec", compiled-body spec, exact) or
+#: ("ast", pickled body, exact).
+_Payload = tuple[str, object, bool]
 
-def _worker_init(body_bytes: bytes) -> None:
-    _WORKER["body"] = pickle.loads(body_bytes)
-    _WORKER["interp"] = Interpreter()
+
+def _make_payload(body: s.Policy, exact: bool, compiled: CompiledBody | None) -> _Payload:
+    if compiled is not None:
+        return ("spec", compiled.to_spec(), exact)
+    return ("ast", pickle.dumps(body), exact)
 
 
-def _worker_rows(packets: Sequence[Packet]) -> list[tuple[Packet, list[tuple[Packet | None, float]]]]:
-    body: s.Policy = _WORKER["body"]  # type: ignore[assignment]
-    interp: Interpreter = _WORKER["interp"]  # type: ignore[assignment]
+def _worker_init(payload: _Payload) -> None:
+    kind, data, exact = payload
+    if kind == "spec":
+        _WORKER["runner"] = CompiledBody.from_spec(data).run_packet
+    else:
+        body: s.Policy = pickle.loads(data)
+        interpreter = Interpreter(exact=exact)
+        _WORKER["runner"] = lambda packet: interpreter.run_packet(body, packet)
+
+
+def _worker_rows(
+    packets: Sequence[Packet],
+) -> list[tuple[Packet, list[tuple[Packet | None, object]]]]:
+    runner: Callable[[Packet], Dist[Outcome]] = _WORKER["runner"]  # type: ignore[assignment]
     results = []
     for packet in packets:
-        dist = interp.run_packet(body, packet)
+        dist = runner(packet)
+        # Probabilities keep their type (Fraction stays Fraction): exact
+        # interpreters must not silently degrade to floats.
         row = [
-            (None if isinstance(outcome, _DropType) else outcome, float(prob))
+            (None if isinstance(outcome, _DropType) else outcome, prob)
             for outcome, prob in dist.items()
         ]
         results.append((packet, row))
@@ -53,50 +81,73 @@ def _chunk(items: Sequence[Packet], chunks: int) -> list[list[Packet]]:
     return [list(items[i : i + size]) for i in range(0, len(items), size)]
 
 
+def _merge_batches(batches, rows: dict[Packet, Dist[Outcome]]) -> None:
+    for batch in batches:
+        for packet, row in batch:
+            weights = {
+                (DROP if outcome is None else outcome): prob for outcome, prob in row
+            }
+            rows[packet] = Dist(weights, check=False)
+
+
+@contextmanager
+def _row_pool(payload: _Payload, workers: int):
+    """A worker pool computing ``{packet: row}`` maps, reused across waves."""
+    try:
+        context = get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = get_context("spawn")
+    with context.Pool(
+        processes=workers, initializer=_worker_init, initargs=(payload,)
+    ) as pool:
+
+        def compute(packets: Sequence[Packet]) -> dict[Packet, Dist[Outcome]]:
+            rows: dict[Packet, Dist[Outcome]] = {}
+            _merge_batches(
+                pool.map(_worker_rows, _chunk(list(packets), workers * 4)), rows
+            )
+            return rows
+
+        yield compute
+
+
 def transition_rows(
     body: s.Policy,
     packets: Iterable[Packet],
     workers: int | None = None,
+    exact: bool = False,
+    compiled: CompiledBody | None = None,
 ) -> dict[Packet, Dist[Outcome]]:
     """Compute ``{packet: body-output-distribution}`` with a process pool.
 
     With ``workers`` ≤ 1 (or very small inputs) the computation runs
     sequentially in-process, so the function is safe to use
-    unconditionally.
+    unconditionally.  ``compiled`` supplies an already-compiled body
+    whose spec is shipped to the workers (and used directly on the
+    sequential path).
     """
     packets = list(packets)
     workers = workers if workers is not None else (os.cpu_count() or 1)
     if workers <= 1 or len(packets) < 4:
-        interp = Interpreter()
+        if compiled is not None:
+            return {packet: compiled.run_packet(packet) for packet in packets}
+        interp = Interpreter(exact=exact)
         return {packet: interp.run_packet(body, packet) for packet in packets}
 
-    body_bytes = pickle.dumps(body)
-    try:
-        context = get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        context = get_context("spawn")
-    rows: dict[Packet, Dist[Outcome]] = {}
-    with context.Pool(
-        processes=workers, initializer=_worker_init, initargs=(body_bytes,)
-    ) as pool:
-        for batch in pool.map(_worker_rows, _chunk(packets, workers * 4)):
-            for packet, row in batch:
-                weights = {
-                    (DROP if outcome is None else outcome): prob for outcome, prob in row
-                }
-                rows[packet] = Dist(weights, check=False)
-    return rows
+    with _row_pool(_make_payload(body, exact, compiled), workers) as compute:
+        return compute(packets)
 
 
 class ParallelInterpreter(Interpreter):
     """A forward interpreter whose loop exploration runs on multiple cores.
 
     Loop-head states are explored breadth-first in waves; the transition
-    rows of each wave are computed in parallel worker processes.  The
-    absorption solve itself remains sequential (it is a single sparse LU
-    factorisation), matching the structure of McNetKAT's parallel backend
-    where per-switch compilation is parallel and the final combination is
-    not.
+    rows of each wave are computed in parallel worker processes, each of
+    which evaluates the compiled body FDDs rebuilt from the spec shipped
+    at pool start-up.  The absorption solve itself remains sequential
+    (it is a single sparse LU factorisation), matching the structure of
+    McNetKAT's parallel backend where per-switch compilation is parallel
+    and the final combination is not.
     """
 
     def __init__(self, workers: int | None = None, exact: bool = False, **kwargs):
@@ -104,31 +155,66 @@ class ParallelInterpreter(Interpreter):
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
 
     def _explore_loop(self, loop: s.WhileDo, seed: Packet) -> None:
+        rows = self._loop_rows.setdefault(id(loop), {})
+        if seed in rows:
+            return
+        if self.workers <= 1:
+            super()._explore_loop(loop, seed)
+            return
+        compiled = self._compiled_body(loop)
+        pool_cm = None
+        compute = None
+        try:
+            wave = [seed]
+            while wave:
+                if len(wave) < 4:
+                    # Tiny waves (incremental seeds over a mostly-explored
+                    # loop) are cheaper in-process than over IPC — no pool
+                    # is even started for them.
+                    computed = {
+                        packet: compiled.run_packet(packet)
+                        if compiled is not None
+                        else self.run_packet(loop.body, packet)
+                        for packet in wave
+                    }
+                else:
+                    if compute is None:
+                        payload = _make_payload(loop.body, self.exact, compiled)
+                        pool_cm = _row_pool(payload, self.workers)
+                        compute = pool_cm.__enter__()
+                    computed = compute(wave)
+                rows.update(computed)
+                if len(rows) > self.max_loop_states:
+                    raise RuntimeError(
+                        f"loop exploration exceeded {self.max_loop_states} states"
+                    )
+                wave = self._next_wave(loop, computed, rows)
+        finally:
+            if pool_cm is not None:
+                pool_cm.__exit__(None, None, None)
+
+    def _next_wave(
+        self,
+        loop: s.WhileDo,
+        computed: dict[Packet, Dist[Outcome]],
+        rows: dict[Packet, Dist[Outcome]],
+    ) -> list[Packet]:
         from repro.core.interpreter import eval_predicate
 
-        rows = self._loop_rows.setdefault(id(loop), {})
-        wave = [seed] if seed not in rows else []
-        while wave:
-            computed = transition_rows(loop.body, wave, workers=self.workers)
-            rows.update(computed)
-            if len(rows) > self.max_loop_states:
-                raise RuntimeError(
-                    f"loop exploration exceeded {self.max_loop_states} states"
-                )
-            next_wave: list[Packet] = []
-            seen_next: set[Packet] = set()
-            for row in computed.values():
-                for outcome in row.support():
-                    if isinstance(outcome, _DropType):
-                        continue
-                    if (
-                        eval_predicate(loop.guard, outcome)
-                        and outcome not in rows
-                        and outcome not in seen_next
-                    ):
-                        seen_next.add(outcome)
-                        next_wave.append(outcome)
-            wave = next_wave
+        next_wave: list[Packet] = []
+        seen_next: set[Packet] = set()
+        for row in computed.values():
+            for outcome in row.support():
+                if isinstance(outcome, _DropType):
+                    continue
+                if (
+                    eval_predicate(loop.guard, outcome)
+                    and outcome not in rows
+                    and outcome not in seen_next
+                ):
+                    seen_next.add(outcome)
+                    next_wave.append(outcome)
+        return next_wave
 
 
 @dataclass
@@ -144,4 +230,6 @@ class ParallelBackend(NativeBackend):
 
     def __post_init__(self) -> None:
         super().__post_init__()
-        self._interpreter = ParallelInterpreter(workers=self.workers, exact=self.exact)
+        self._interpreter = ParallelInterpreter(
+            workers=self.workers, exact=self.exact, compiler=self._compiler
+        )

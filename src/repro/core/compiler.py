@@ -71,6 +71,10 @@ class Compiler:
         # Memoisation keyed by AST node identity.  The policy object is kept
         # in the value so its id cannot be recycled for a different node.
         self._cache: dict[int, tuple[s.Policy, FddNode]] = {}
+        self._raw_cache: dict[int, tuple[s.Policy, FddNode]] = {}
+        # Depth counter: >0 while inside compile_unreduced, where nested
+        # compile() calls (sub-policies) also skip the reduce pass.
+        self._unreduced = 0
 
     # -- public API -----------------------------------------------------------
     def compile(self, policy: s.Policy) -> FddNode:
@@ -80,11 +84,34 @@ class Compiler:
         that semantically equal programs compile to the identical interned
         node, making FDD comparison a complete equivalence check.
         """
+        if self._unreduced:
+            return self.compile_unreduced(policy)
         cached = self._cache.get(id(policy))
         if cached is not None and cached[0] is policy:
             return cached[1]
         result = ops.reduce(self._compile(policy))
         self._cache[id(policy)] = (policy, result)
+        return result
+
+    def compile_unreduced(self, policy: s.Policy) -> FddNode:
+        """Compile without the :func:`~repro.core.fdd.ops.reduce` passes.
+
+        The reduce normalisation only matters when FDDs are compared for
+        semantic equality; evaluation-only consumers (the interpreter's
+        compiled-body fast path) skip it — for the whole subtree — as
+        redundant leaf modifications are harmless no-ops under action
+        application.  The two entry points keep separate memo tables but
+        share all interned structure through the manager.
+        """
+        cached = self._raw_cache.get(id(policy))
+        if cached is not None and cached[0] is policy:
+            return cached[1]
+        self._unreduced += 1
+        try:
+            result = self._compile(policy)
+        finally:
+            self._unreduced -= 1
+        self._raw_cache[id(policy)] = (policy, result)
         return result
 
     def compile_predicate(self, pred: s.Predicate) -> FddNode:
@@ -130,7 +157,13 @@ class Compiler:
             guard = self.compile(policy.guard)
             return ops.ite(guard, self.compile(policy.then), self.compile(policy.otherwise))
         if isinstance(policy, s.Case):
-            return self.compile(s.case_to_ite(policy))
+            # Fold the branches iteratively (equivalent to case_to_ite):
+            # a wide case (one branch per switch) must not consume stack
+            # proportional to the number of branches.
+            result = self.compile(policy.default)
+            for guard, branch in reversed(policy.branches):
+                result = ops.ite(self.compile(guard), self.compile(branch), result)
+            return result
         if isinstance(policy, s.WhileDo):
             return self._compile_while(policy)
         if isinstance(policy, s.Star):

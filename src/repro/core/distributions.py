@@ -87,6 +87,19 @@ class Dist(Generic[T]):
                 raise ValueError(f"distribution mass is {total}, expected 1")
 
     # -- constructors ---------------------------------------------------------
+    @classmethod
+    def _from_weights(cls, weights: dict[T, "Fraction | float"]) -> "Dist[T]":
+        """Wrap an already-clean weight dict without validation.
+
+        Internal hot-path constructor: the caller must own ``weights``
+        (it is stored, not copied) and guarantee positive, normalised
+        numeric masses — e.g. products of probabilities from validated
+        distributions.
+        """
+        dist = object.__new__(cls)
+        dist._weights = weights
+        return dist
+
     @staticmethod
     def point(outcome: T) -> "Dist[T]":
         """The Dirac (point-mass) distribution on ``outcome``."""

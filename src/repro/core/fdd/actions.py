@@ -55,6 +55,17 @@ class Action:
         """Apply the modifications to a packet."""
         if not self.mods:
             return packet
+        mods = dict(self.mods)
+        # Fast path for modifications confined to the packet's own fields
+        # (the common case on the loop-exploration hot path): the stored
+        # items are already sorted, so rebuild them in one pass without
+        # re-sorting or re-validating.
+        items = tuple(
+            (name, mods.pop(name)) if name in mods else (name, value)
+            for name, value in packet.items()
+        )
+        if not mods:
+            return Packet._from_sorted_items(items)
         return packet.set_many(dict(self.mods))
 
     def then(self, other: "Action | _DropType") -> "Action | _DropType":

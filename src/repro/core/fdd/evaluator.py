@@ -1,0 +1,443 @@
+"""Compiled loop bodies: one-shot FDD compilation for fast exploration.
+
+McNetKAT's scalability rests on compiling each switch's policy to an FDD
+*once* and never re-interpreting the AST (§5–§6).  The forward
+interpreter's loop exploration used to re-run the loop body AST for
+every reachable loop-head state — a full tree walk with per-node
+:class:`~repro.core.distributions.Dist` allocation and
+:class:`~fractions.Fraction` arithmetic.  A :class:`CompiledBody`
+replaces that walk:
+
+* the body is split into *segments*: maximal loop-free runs compile
+  eagerly into one canonical FDD each, while ``case`` nodes dispatching
+  on a single field (the per-switch shape produced by the network model
+  builders) keep their branches separate and compile each branch
+  *lazily*, on the first packet that reaches it — so no global product
+  of all switches' class spaces is ever built, mirroring McNetKAT's
+  per-switch compilation;
+* a transition row is computed by FDD evaluation (walk to a leaf, apply
+  its actions) instead of AST interpretation;
+* when ``exact`` is off, leaf action distributions are cached with
+  pre-converted ``float`` weights, so exploration performs no
+  ``Fraction`` arithmetic at all.
+
+Compiled bodies serialize into manager-independent *specs*
+(:meth:`CompiledBody.to_spec`) so the parallel backend can ship the
+compiled FDDs — not the pickled AST — to worker processes.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core import syntax as s
+from repro.core.distributions import Dist
+from repro.core.fdd.actions import ActionOrDrop, apply_action
+from repro.core.fdd.node import (
+    Branch,
+    FddManager,
+    FddNode,
+    Leaf,
+    node_from_spec,
+    node_to_spec,
+)
+from repro.core.packet import DROP, Packet, _DropType
+
+Outcome = Packet | _DropType
+
+#: Leaf-uid -> tuple of (action, weight) pairs; shared across the
+#: segments of one compiled body so interned leaves convert only once.
+_LeafCache = dict[int, tuple[tuple[ActionOrDrop, object], ...]]
+
+
+def _leaf_of(node: FddNode, packet: Packet) -> Leaf:
+    """Walk an FDD to the leaf selected by a concrete packet.
+
+    Tests on fields the packet does not carry are false, matching the
+    interpreter and the reference semantics.
+    """
+    current = node
+    while isinstance(current, Branch):
+        if packet.get(current.field) == current.value:
+            current = current.hi
+        else:
+            current = current.lo
+    assert isinstance(current, Leaf)
+    return current
+
+
+class _Segment:
+    """Common row machinery: per-packet row cache + leaf weight cache."""
+
+    __slots__ = ("exact", "_leaf_cache", "_rows")
+
+    def __init__(self, exact: bool, leaf_cache: _LeafCache):
+        self.exact = exact
+        self._leaf_cache = leaf_cache
+        self._rows: dict[Packet, tuple[tuple[Outcome, object], ...]] = {}
+
+    def _fdd_for(self, packet: Packet) -> FddNode:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _leaf_weights(self, leaf: Leaf) -> tuple[tuple[ActionOrDrop, object], ...]:
+        cached = self._leaf_cache.get(leaf.uid)
+        if cached is None:
+            if self.exact:
+                cached = tuple(
+                    (action, Fraction(prob)) for action, prob in leaf.dist.items()
+                )
+            else:
+                cached = tuple(
+                    (action, float(prob)) for action, prob in leaf.dist.items()
+                )
+            self._leaf_cache[leaf.uid] = cached
+        return cached
+
+    def row(self, packet: Packet) -> tuple[tuple[Outcome, object], ...]:
+        """The one-step output distribution of this segment on ``packet``."""
+        row = self._rows.get(packet)
+        if row is None:
+            leaf = _leaf_of(self._fdd_for(packet), packet)
+            row = tuple(
+                (apply_action(action, packet), prob)
+                for action, prob in self._leaf_weights(leaf)
+            )
+            self._rows[packet] = row
+        return row
+
+
+class _FddSegment(_Segment):
+    """A maximal loop-free run of the body, compiled to one FDD."""
+
+    __slots__ = ("fdd",)
+
+    def __init__(self, fdd: FddNode, exact: bool, leaf_cache: _LeafCache):
+        super().__init__(exact, leaf_cache)
+        self.fdd = fdd
+
+    def _fdd_for(self, packet: Packet) -> FddNode:
+        return self.fdd
+
+
+class _CaseSegment(_Segment):
+    """A single-field ``case`` whose branches compile lazily, per value.
+
+    This is the per-switch compilation of the paper: each branch of
+    ``case sw=1 … case sw=n`` becomes its own small FDD the first time a
+    packet at that switch is explored.  The branches never merge into
+    one diagram, so the symbolic class space stays per-switch.
+    """
+
+    __slots__ = (
+        "field",
+        "_branch_fdds",
+        "_default_fdd",
+        "_branch_policies",
+        "_default_policy",
+        "_compiler",
+    )
+
+    def __init__(
+        self,
+        field: str,
+        branch_policies: dict[int, s.Policy] | None,
+        default_policy: s.Policy | None,
+        compiler,
+        exact: bool,
+        leaf_cache: _LeafCache,
+        branch_fdds: dict[int, FddNode] | None = None,
+        default_fdd: FddNode | None = None,
+    ):
+        super().__init__(exact, leaf_cache)
+        self.field = field
+        self._branch_policies = branch_policies
+        self._default_policy = default_policy
+        self._compiler = compiler
+        self._branch_fdds: dict[int, FddNode] = dict(branch_fdds or {})
+        self._default_fdd = default_fdd
+
+    def _fdd_for(self, packet: Packet) -> FddNode:
+        value = packet.get(self.field)
+        if value is not None:
+            fdd = self._branch_fdds.get(value)
+            if fdd is not None:
+                return fdd
+            if self._branch_policies is not None and value in self._branch_policies:
+                fdd = self._compiler.compile_unreduced(self._branch_policies[value])
+                self._branch_fdds[value] = fdd
+                return fdd
+        return self._require_default()
+
+    def _require_default(self) -> FddNode:
+        if self._default_fdd is None:
+            assert self._compiler is not None and self._default_policy is not None
+            self._default_fdd = self._compiler.compile_unreduced(self._default_policy)
+        return self._default_fdd
+
+    def compile_all(self) -> None:
+        """Force compilation of every branch (and the default)."""
+        if self._branch_policies is not None:
+            for value, policy in self._branch_policies.items():
+                if value not in self._branch_fdds:
+                    self._branch_fdds[value] = self._compiler.compile_unreduced(policy)
+        self._require_default()
+
+    @property
+    def compiled_branches(self) -> int:
+        return len(self._branch_fdds)
+
+
+class CompiledBody:
+    """A loop body compiled into FDD segments for fast row computation.
+
+    Build with :meth:`try_compile` (returns ``None`` when the body is
+    not eligible, e.g. it contains a nested loop) or :meth:`from_spec`
+    (worker processes).  The central operation is :meth:`run_packet`:
+    the output distribution of the body on one concrete packet, computed
+    purely by FDD evaluation.
+    """
+
+    def __init__(self, segments: list[_Segment], exact: bool, manager: FddManager):
+        self._segments = segments
+        self.exact = exact
+        self.manager = manager
+
+    # -- construction -----------------------------------------------------------
+    @classmethod
+    def try_compile(cls, body: s.Policy, compiler, exact: bool = False) -> "CompiledBody | None":
+        """Compile ``body`` into segments, or ``None`` when ineligible.
+
+        Ineligible bodies (nested ``while``/``star``/``union``, or
+        constructs the compiler rejects) fall back to AST interpretation;
+        eligibility is decided up front so no fallback can be needed
+        mid-exploration.  ``union`` is excluded even over predicates,
+        where the compiler could handle it, so the fast path accepts
+        exactly the programs the interpreter accepts.
+        """
+        for node in body.walk():
+            if isinstance(node, (s.WhileDo, s.Star, s.Union)):
+                return None
+        from repro.core.compiler import GuardedFragmentError
+
+        parts = list(body.parts) if isinstance(body, s.Seq) else [body]
+        leaf_cache: _LeafCache = {}
+        segments: list[_Segment] = []
+        pending: list[s.Policy] = []
+
+        spine = _specialize_spine(parts)
+        if spine is not None:
+            # The whole body specializes per value of one dispatch field
+            # (per switch, for network models): each value's body is a
+            # single FDD composing that switch's failure/routing/topology
+            # branches, compiled on the first packet that reaches it.
+            field, table, default = spine
+            segments.append(
+                _CaseSegment(field, table, default, compiler, exact, leaf_cache)
+            )
+            return cls(segments, exact, compiler.manager)
+
+        def flush() -> None:
+            if not pending:
+                return
+            fdd = compiler.compile_unreduced(s.seq(*pending))
+            segments.append(_FddSegment(fdd, exact, leaf_cache))
+            pending.clear()
+
+        try:
+            for part in parts:
+                dispatch = _dispatch_table(part) if isinstance(part, s.Case) else None
+                if dispatch is not None:
+                    flush()
+                    field, table = dispatch
+                    segments.append(
+                        _CaseSegment(
+                            field, table, part.default, compiler, exact, leaf_cache
+                        )
+                    )
+                else:
+                    pending.append(part)
+            flush()
+        except GuardedFragmentError:
+            return None
+        return cls(segments, exact, compiler.manager)
+
+    # -- evaluation -------------------------------------------------------------
+    def run_packet(self, packet: Packet) -> Dist[Outcome]:
+        """Output distribution of the compiled body on one input packet."""
+        one: object = Fraction(1) if self.exact else 1.0
+        acc: dict[Outcome, object] = {packet: one}
+        for segment in self._segments:
+            advanced: dict[Outcome, object] = {}
+            get = advanced.get
+            row = segment.row
+            for outcome, mass in acc.items():
+                if outcome is DROP:
+                    advanced[DROP] = get(DROP, 0) + mass
+                    continue
+                for successor, prob in row(outcome):
+                    advanced[successor] = get(successor, 0) + mass * prob
+            acc = advanced
+        return Dist._from_weights(acc)
+
+    # -- introspection ----------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Segment/branch/cache counts (benchmark and test introspection)."""
+        case_segments = [
+            segment for segment in self._segments if isinstance(segment, _CaseSegment)
+        ]
+        return {
+            "segments": len(self._segments),
+            "case_segments": len(case_segments),
+            "compiled_branches": sum(
+                segment.compiled_branches for segment in case_segments
+            ),
+            "cached_rows": sum(len(segment._rows) for segment in self._segments),
+        }
+
+    # -- worker serialization ----------------------------------------------------
+    def to_spec(self) -> tuple:
+        """A picklable, manager-independent spec of this compiled body.
+
+        Lazily pending ``case`` branches are force-compiled first, so the
+        spec is complete: workers rebuilt from it never need the AST.
+        """
+        seg_specs: list[tuple] = []
+        for segment in self._segments:
+            if isinstance(segment, _CaseSegment):
+                segment.compile_all()
+                seg_specs.append((
+                    "case",
+                    segment.field,
+                    tuple(
+                        (value, node_to_spec(fdd))
+                        for value, fdd in sorted(segment._branch_fdds.items())
+                    ),
+                    node_to_spec(segment._require_default()),
+                ))
+            else:
+                assert isinstance(segment, _FddSegment)
+                seg_specs.append(("fdd", node_to_spec(segment.fdd)))
+        return ("compiled-body/v1", self.exact, self.manager.fields, tuple(seg_specs))
+
+    @classmethod
+    def from_spec(cls, spec: tuple) -> "CompiledBody":
+        """Rebuild a compiled body (in a fresh manager) from its spec."""
+        tag, exact, field_order, seg_specs = spec
+        if tag != "compiled-body/v1":
+            raise ValueError(f"unknown compiled-body spec tag {tag!r}")
+        manager = FddManager(field_order)
+        leaf_cache: _LeafCache = {}
+        segments: list[_Segment] = []
+        for entry in seg_specs:
+            if entry[0] == "fdd":
+                segments.append(
+                    _FddSegment(node_from_spec(manager, entry[1]), exact, leaf_cache)
+                )
+            else:
+                _, field, branch_specs, default_spec = entry
+                segments.append(
+                    _CaseSegment(
+                        field,
+                        branch_policies=None,
+                        default_policy=None,
+                        compiler=None,
+                        exact=exact,
+                        leaf_cache=leaf_cache,
+                        branch_fdds={
+                            value: node_from_spec(manager, fdd_spec)
+                            for value, fdd_spec in branch_specs
+                        },
+                        default_fdd=node_from_spec(manager, default_spec),
+                    )
+                )
+        return cls(segments, exact, manager)
+
+
+def _assigned_fields(policy: s.Policy) -> frozenset[str]:
+    """Fields that some execution of ``policy`` may assign."""
+    return frozenset(
+        node.field for node in policy.walk() if isinstance(node, s.Assign)
+    )
+
+
+def _specialize_spine(
+    parts: list[s.Policy],
+) -> tuple[str, dict[int, s.Policy], s.Policy] | None:
+    """Specialize a whole body per value of one dispatch field.
+
+    Network-model bodies are sequences of ``case`` nodes dispatching on
+    the switch field (failure model, routing, topology) followed by flag
+    resets and a hop counter.  For a packet at switch ``v`` the entire
+    sequence collapses to ``failure_v ; routing_v ; topology_v ; …`` —
+    one small per-switch program whose FDD composes those branches and
+    integrates the intermediate flag samples out symbolically, so a
+    transition row costs a single diagram walk instead of enumerating
+    every flag combination as a concrete packet.
+
+    A ``case`` on the spine field may only be specialized while no
+    earlier part can have reassigned that field (the topology step
+    assigns ``sw``, so only cases *before* it qualify — for network
+    bodies that is all of them).  Returns ``(field, value -> specialized
+    body, default body)``, or ``None`` when the body does not have this
+    shape (the caller falls back to segment-pipeline evaluation).
+    """
+    dispatches = [
+        _dispatch_table(part) if isinstance(part, s.Case) else None for part in parts
+    ]
+    field = next((d[0] for d in dispatches if d is not None), None)
+    if field is None:
+        return None
+    marked: list[dict[int, s.Policy] | None] = []
+    assigned = False
+    for part, dispatch in zip(parts, dispatches):
+        if dispatch is not None and dispatch[0] == field and not assigned:
+            marked.append(dispatch[1])
+        elif dispatch is not None and len(dispatch[1]) > 64:
+            # An unspecialized wide case would compile into one huge FDD;
+            # the lazy segment pipeline handles it better.
+            return None
+        else:
+            marked.append(None)
+        if field in _assigned_fields(part):
+            assigned = True
+    if not any(table is not None for table in marked):
+        return None
+
+    values = sorted({
+        value for table in marked if table is not None for value in table
+    })
+    specialized: dict[int, s.Policy] = {}
+    for value in values:
+        specialized[value] = s.seq(*[
+            table.get(value, part.default) if table is not None else part
+            for part, table in zip(parts, marked)
+        ])
+    default = s.seq(*[
+        part.default if table is not None else part
+        for part, table in zip(parts, marked)
+    ])
+    return field, specialized, default
+
+
+def _dispatch_table(policy: s.Case) -> tuple[str, dict[int, s.Policy]] | None:
+    """``(field, value -> branch)`` when every guard tests one common field.
+
+    The same shape the interpreter's dispatch uses; ``None`` for mixed
+    guards (those cases compile eagerly as part of a loop-free segment).
+    """
+    field: str | None = None
+    table: dict[int, s.Policy] = {}
+    for guard, branch in policy.branches:
+        if not isinstance(guard, s.Test):
+            return None
+        if field is None:
+            field = guard.field
+        elif guard.field != field:
+            return None
+        if guard.value in table:
+            # Later duplicate guards are unreachable; keep the first.
+            continue
+        table[guard.value] = branch
+    if field is None:
+        return None
+    return field, table

@@ -16,7 +16,6 @@ redundant tests, which keeps them canonical.
 
 from __future__ import annotations
 
-from fractions import Fraction
 from typing import Iterable, Iterator, Sequence
 
 from repro.core.distributions import Dist
@@ -105,6 +104,10 @@ class FddManager:
         self._branches: dict[tuple, Branch] = {}
         self._next_uid = 0
         self.cache: dict[tuple, FddNode] = {}
+        # Per-operation memo tables (restrict/ite/sequence/...), keyed by
+        # plain tuples without an operation tag: smaller keys, no repeated
+        # hashing of operation-name strings on the hot compile paths.
+        self._op_caches: dict[str, dict[tuple, FddNode]] = {}
         # Frequently used constants.
         self.true_leaf = self.leaf(Dist.point(IDENTITY))
         self.false_leaf = self.leaf(Dist.point(DROP))
@@ -187,9 +190,18 @@ class FddManager:
         """Total number of distinct nodes interned so far."""
         return len(self._leaves) + len(self._branches)
 
+    def op_cache(self, name: str) -> dict[tuple, FddNode]:
+        """The dedicated memo table of one FDD operation (created on demand)."""
+        cache = self._op_caches.get(name)
+        if cache is None:
+            cache = self._op_caches[name] = {}
+        return cache
+
     def clear_caches(self) -> None:
         """Drop memoisation caches (interning tables are kept)."""
         self.cache.clear()
+        for cache in self._op_caches.values():
+            cache.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -208,10 +220,17 @@ def _dist_key(dist: Dist[ActionOrDrop]) -> tuple:
     ))
 
 
-def _num_key(value) -> tuple:
-    if isinstance(value, Fraction):
-        return ("frac", value.numerator, value.denominator)
-    return ("float", float(value))
+def _num_key(value) -> tuple[int, int]:
+    """A numeric interning key independent of the representation.
+
+    ``Fraction(1, 2)``, ``0.5``, and ``Fraction(2, 4)`` all key to
+    ``(1, 2)``: :class:`Dist` treats equal masses as equal regardless of
+    their arithmetic type, so leaves holding them must hash-cons to the
+    same node or mixed exact/float pipelines would duplicate diagrams.
+    Floats key by their exact binary ratio, so only genuinely equal
+    numbers collide.
+    """
+    return value.as_integer_ratio()
 
 
 # ---------------------------------------------------------------------------
@@ -266,6 +285,85 @@ def leaves(node: FddNode) -> Iterator[Leaf]:
     for current in iter_nodes(node):
         if isinstance(current, Leaf):
             yield current
+
+
+# ---------------------------------------------------------------------------
+# manager-independent serialization (multiprocessing)
+# ---------------------------------------------------------------------------
+
+def node_to_spec(node: FddNode) -> tuple:
+    """Serialize an FDD into a manager-independent, picklable spec.
+
+    The spec lists the distinct nodes of the diagram children-first:
+    leaves as ``("leaf", ((mods | None, prob), ...))`` (``None`` encodes
+    the drop action) and branches as ``("branch", field, value, hi_index,
+    lo_index)`` referring to earlier positions.  The root is the last
+    entry.  Rebuild with :func:`node_from_spec`; probabilities keep their
+    exact type (:class:`~fractions.Fraction` or ``float``).
+    """
+    order: list[FddNode] = []
+    done: set[int] = set()
+    stack: list[tuple[FddNode, bool]] = [(node, False)]
+    while stack:
+        current, expanded = stack.pop()
+        if current.uid in done:
+            continue
+        if expanded or isinstance(current, Leaf):
+            done.add(current.uid)
+            order.append(current)
+            continue
+        assert isinstance(current, Branch)
+        stack.append((current, True))
+        stack.append((current.hi, False))
+        stack.append((current.lo, False))
+    index = {n.uid: i for i, n in enumerate(order)}
+    entries: list[tuple] = []
+    for current in order:
+        if isinstance(current, Leaf):
+            entries.append((
+                "leaf",
+                tuple(
+                    (None if isinstance(action, _DropType) else action.mods, prob)
+                    for action, prob in current.dist.items()
+                ),
+            ))
+        else:
+            assert isinstance(current, Branch)
+            entries.append((
+                "branch",
+                current.field,
+                current.value,
+                index[current.hi.uid],
+                index[current.lo.uid],
+            ))
+    return tuple(entries)
+
+
+def node_from_spec(manager: FddManager, spec: tuple) -> FddNode:
+    """Rebuild an FDD from a :func:`node_to_spec` spec into ``manager``.
+
+    The caller is responsible for registering the originating manager's
+    field order first (see :meth:`FddManager.register_fields`) when the
+    rebuilt diagram will be composed with others.
+    """
+    from repro.core.fdd.actions import Action
+    from repro.core.packet import DROP
+
+    nodes: list[FddNode] = []
+    for entry in spec:
+        if entry[0] == "leaf":
+            weights = {
+                (DROP if mods is None else Action(mods)): prob
+                for mods, prob in entry[1]
+            }
+            nodes.append(manager.from_action_dist(Dist(weights, check=False)))
+        else:
+            _, field, value, hi, lo = entry
+            manager.field_rank(field)
+            nodes.append(manager.branch(field, value, nodes[hi], nodes[lo]))
+    if not nodes:
+        raise ValueError("empty FDD spec")
+    return nodes[-1]
 
 
 def mentioned_values(node: FddNode) -> dict[str, set[int]]:

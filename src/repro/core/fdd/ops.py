@@ -4,6 +4,17 @@ All operations preserve the canonical form (ordered tests, no redundant
 tests, interned nodes) by always splitting on the *smallest* test among
 the operands' roots, in the style of classic BDD ``apply`` algorithms.
 
+Every operation is implemented with an explicit worklist instead of
+recursion: the diagrams of network-scale programs contain chains with
+one branch per switch (thousands of values on a single field), so
+recursive descent would hit the Python recursion limit long before the
+diagrams become expensive to process.  Memoisation lives in dedicated
+per-operation tables on the :class:`~repro.core.fdd.node.FddManager`
+(see :meth:`~repro.core.fdd.node.FddManager.op_cache`), keyed by plain
+tuples of node uids — numeric weights are keyed by their exact integer
+ratio, so :class:`~fractions.Fraction` and ``float`` representations of
+the same number share cache entries.
+
 The operations provided here are exactly those needed to compile the
 guarded fragment of ProbNetKAT:
 
@@ -38,31 +49,48 @@ def restrict_eq(node: FddNode, field: str, value: int) -> FddNode:
     to false otherwise).
     """
     manager = node.manager
-    key = ("req", node.uid, field, value)
-    cached = manager.cache.get(key)
+    cache = manager.op_cache("restrict_eq")
+    root_key = (node.uid, field, value)
+    cached = cache.get(root_key)
     if cached is not None:
         return cached
-    if isinstance(node, Leaf):
-        result: FddNode = node
-    else:
-        assert isinstance(node, Branch)
-        if node.field == field:
-            if node.value == value:
-                result = restrict_eq(node.hi, field, value)
-            else:
-                result = restrict_eq(node.lo, field, value)
-        elif manager.field_rank(node.field) > manager.field_rank(field):
+    rank = manager.field_rank(field)
+    stack = [node]
+    while stack:
+        current = stack[-1]
+        key = (current.uid, field, value)
+        if key in cache:
+            stack.pop()
+            continue
+        if isinstance(current, Leaf):
+            cache[key] = current
+            stack.pop()
+            continue
+        assert isinstance(current, Branch)
+        if current.field == field:
+            child = current.hi if current.value == value else current.lo
+            result = cache.get((child.uid, field, value))
+            if result is None:
+                stack.append(child)
+                continue
+            cache[key] = result
+            stack.pop()
+        elif manager.field_rank(current.field) > rank:
             # Ordered diagrams cannot test `field` below this point.
-            result = node
+            cache[key] = current
+            stack.pop()
         else:
-            result = manager.branch(
-                node.field,
-                node.value,
-                restrict_eq(node.hi, field, value),
-                restrict_eq(node.lo, field, value),
-            )
-    manager.cache[key] = result
-    return result
+            hi = cache.get((current.hi.uid, field, value))
+            lo = cache.get((current.lo.uid, field, value))
+            if hi is None or lo is None:
+                if hi is None:
+                    stack.append(current.hi)
+                if lo is None:
+                    stack.append(current.lo)
+                continue
+            cache[key] = manager.branch(current.field, current.value, hi, lo)
+            stack.pop()
+    return cache[root_key]
 
 
 def restrict_ne(node: FddNode, field: str, value: int) -> FddNode:
@@ -72,31 +100,47 @@ def restrict_ne(node: FddNode, field: str, value: int) -> FddNode:
     tests on the same field remain undetermined.
     """
     manager = node.manager
-    key = ("rne", node.uid, field, value)
-    cached = manager.cache.get(key)
+    cache = manager.op_cache("restrict_ne")
+    root_key = (node.uid, field, value)
+    cached = cache.get(root_key)
     if cached is not None:
         return cached
-    if isinstance(node, Leaf):
-        result: FddNode = node
-    else:
-        assert isinstance(node, Branch)
-        if node.field == field and node.value == value:
-            result = node.lo
-        elif node.field == field and node.value > value:
+    rank = manager.field_rank(field)
+    stack = [node]
+    while stack:
+        current = stack[-1]
+        key = (current.uid, field, value)
+        if key in cache:
+            stack.pop()
+            continue
+        if isinstance(current, Leaf):
+            cache[key] = current
+            stack.pop()
+            continue
+        assert isinstance(current, Branch)
+        if current.field == field and current.value == value:
+            cache[key] = current.lo
+            stack.pop()
+        elif current.field == field and current.value > value:
             # Tests increase strictly along paths, so `field = value`
             # cannot occur below.
-            result = node
-        elif node.field != field and manager.field_rank(node.field) > manager.field_rank(field):
-            result = node
+            cache[key] = current
+            stack.pop()
+        elif current.field != field and manager.field_rank(current.field) > rank:
+            cache[key] = current
+            stack.pop()
         else:
-            result = manager.branch(
-                node.field,
-                node.value,
-                restrict_ne(node.hi, field, value),
-                restrict_ne(node.lo, field, value),
-            )
-    manager.cache[key] = result
-    return result
+            hi = cache.get((current.hi.uid, field, value))
+            lo = cache.get((current.lo.uid, field, value))
+            if hi is None or lo is None:
+                if hi is None:
+                    stack.append(current.hi)
+                if lo is None:
+                    stack.append(current.lo)
+                continue
+            cache[key] = manager.branch(current.field, current.value, hi, lo)
+            stack.pop()
+    return cache[root_key]
 
 
 def restrict_action(node: FddNode, action: Action) -> FddNode:
@@ -124,42 +168,70 @@ def _min_test(manager: FddManager, nodes: Sequence[FddNode]) -> tuple[str, int] 
     return best_test
 
 
+def _weight_key(weight) -> tuple[int, int]:
+    """Representation-independent cache key of a probability weight."""
+    return weight.as_integer_ratio()
+
+
 # ---------------------------------------------------------------------------
 # convex combination and conditionals
 # ---------------------------------------------------------------------------
 
-def convex(manager: FddManager, parts: Sequence[tuple[FddNode, object]]) -> FddNode:
-    """Convex combination ``Σ_i w_i · d_i`` of FDDs (weights sum to 1)."""
-    parts = [(node, weight) for node, weight in parts if weight != 0]
-    if not parts:
-        raise ValueError("convex combination of an empty family")
+_Parts = tuple[tuple[FddNode, object], ...]
+
+
+def _convex_key(parts: _Parts) -> tuple:
+    return tuple((node.uid, _weight_key(weight)) for node, weight in parts)
+
+
+def _convex_resolve(cache: dict, parts: _Parts) -> FddNode | None:
     if len(parts) == 1 and parts[0][1] == 1:
         return parts[0][0]
-    key = ("convex",) + tuple(
-        (node.uid, _weight_key(weight)) for node, weight in parts
+    return cache.get(_convex_key(parts))
+
+
+def convex(manager: FddManager, parts: Sequence[tuple[FddNode, object]]) -> FddNode:
+    """Convex combination ``Σ_i w_i · d_i`` of FDDs (weights sum to 1)."""
+    filtered: _Parts = tuple(
+        (node, weight) for node, weight in parts if weight != 0
     )
-    cached = manager.cache.get(key)
-    if cached is not None:
-        return cached
-    test = _min_test(manager, [node for node, _ in parts])
-    if test is None:
-        dists = [(node.dist, weight) for node, weight in parts]  # type: ignore[union-attr]
-        result: FddNode = manager.leaf(Dist.convex(dists, check=False))
-    else:
+    if not filtered:
+        raise ValueError("convex combination of an empty family")
+    quick = _convex_resolve(manager.op_cache("convex"), filtered)
+    if quick is not None:
+        return quick
+    cache = manager.op_cache("convex")
+    stack: list[_Parts] = [filtered]
+    while stack:
+        current = stack[-1]
+        key = _convex_key(current)
+        if key in cache:
+            stack.pop()
+            continue
+        test = _min_test(manager, [node for node, _ in current])
+        if test is None:
+            dists = [(node.dist, weight) for node, weight in current]  # type: ignore[union-attr]
+            cache[key] = manager.leaf(Dist.convex(dists, check=False))
+            stack.pop()
+            continue
         field, value = test
-        hi = convex(manager, [(restrict_eq(node, field, value), w) for node, w in parts])
-        lo = convex(manager, [(restrict_ne(node, field, value), w) for node, w in parts])
-        result = manager.branch(field, value, hi, lo)
-    manager.cache[key] = result
-    return result
-
-
-def _weight_key(weight) -> tuple:
-    from fractions import Fraction
-
-    if isinstance(weight, Fraction):
-        return ("frac", weight.numerator, weight.denominator)
-    return ("float", float(weight))
+        hi_parts: _Parts = tuple(
+            (restrict_eq(node, field, value), weight) for node, weight in current
+        )
+        lo_parts: _Parts = tuple(
+            (restrict_ne(node, field, value), weight) for node, weight in current
+        )
+        hi = _convex_resolve(cache, hi_parts)
+        lo = _convex_resolve(cache, lo_parts)
+        if hi is None or lo is None:
+            if hi is None:
+                stack.append(hi_parts)
+            if lo is None:
+                stack.append(lo_parts)
+            continue
+        cache[key] = manager.branch(field, value, hi, lo)
+        stack.pop()
+    return cache[_convex_key(filtered)]
 
 
 def _is_true_leaf(manager: FddManager, node: FddNode) -> bool:
@@ -170,6 +242,30 @@ def _is_false_leaf(manager: FddManager, node: FddNode) -> bool:
     return node is manager.false_leaf
 
 
+def _ite_shortcut(
+    manager: FddManager, guard: FddNode, then: FddNode, otherwise: FddNode
+) -> FddNode | None:
+    """Terminal cases of ``ite`` (None when a split is required)."""
+    if guard is manager.true_leaf:
+        return then
+    if guard is manager.false_leaf:
+        return otherwise
+    if isinstance(guard, Leaf):
+        raise ValueError(f"guard FDD has a non-boolean leaf: {guard!r}")
+    if then is otherwise:
+        return then
+    return None
+
+
+def _ite_resolve(
+    manager: FddManager, cache: dict, guard: FddNode, then: FddNode, otherwise: FddNode
+) -> FddNode | None:
+    quick = _ite_shortcut(manager, guard, then, otherwise)
+    if quick is not None:
+        return quick
+    return cache.get((guard.uid, then.uid, otherwise.uid))
+
+
 def ite(guard: FddNode, then: FddNode, otherwise: FddNode) -> FddNode:
     """Conditional: behave as ``then`` where ``guard`` is true, else ``otherwise``.
 
@@ -177,37 +273,40 @@ def ite(guard: FddNode, then: FddNode, otherwise: FddNode) -> FddNode:
     true leaf (identity action) or the constant false leaf (drop).
     """
     manager = guard.manager
-    if _is_true_leaf(manager, guard):
-        return then
-    if _is_false_leaf(manager, guard):
-        return otherwise
-    if isinstance(guard, Leaf):
-        raise ValueError(f"guard FDD has a non-boolean leaf: {guard!r}")
-    if then is otherwise:
-        return then
-    key = ("ite", guard.uid, then.uid, otherwise.uid)
-    cached = manager.cache.get(key)
-    if cached is not None:
-        return cached
-    test = _min_test(manager, [guard, then, otherwise])
-    assert test is not None
-    field, value = test
-    result = manager.branch(
-        field,
-        value,
-        ite(
-            restrict_eq(guard, field, value),
-            restrict_eq(then, field, value),
-            restrict_eq(otherwise, field, value),
-        ),
-        ite(
-            restrict_ne(guard, field, value),
-            restrict_ne(then, field, value),
-            restrict_ne(otherwise, field, value),
-        ),
-    )
-    manager.cache[key] = result
-    return result
+    cache = manager.op_cache("ite")
+    quick = _ite_resolve(manager, cache, guard, then, otherwise)
+    if quick is not None:
+        return quick
+    root_key = (guard.uid, then.uid, otherwise.uid)
+    stack = [(guard, then, otherwise)]
+    while stack:
+        g, t, o = stack[-1]
+        key = (g.uid, t.uid, o.uid)
+        if key in cache:
+            stack.pop()
+            continue
+        # Frames are only pushed when no shortcut applies, so ``g`` is a
+        # branch and a smallest test exists.
+        test = _min_test(manager, (g, t, o))
+        assert test is not None
+        field, value = test
+        hi_g = restrict_eq(g, field, value)
+        hi_t = restrict_eq(t, field, value)
+        hi_o = restrict_eq(o, field, value)
+        lo_g = restrict_ne(g, field, value)
+        lo_t = restrict_ne(t, field, value)
+        lo_o = restrict_ne(o, field, value)
+        hi = _ite_resolve(manager, cache, hi_g, hi_t, hi_o)
+        lo = _ite_resolve(manager, cache, lo_g, lo_t, lo_o)
+        if hi is None or lo is None:
+            if hi is None:
+                stack.append((hi_g, hi_t, hi_o))
+            if lo is None:
+                stack.append((lo_g, lo_t, lo_o))
+            continue
+        cache[key] = manager.branch(field, value, hi, lo)
+        stack.pop()
+    return cache[root_key]
 
 
 def negate(pred: FddNode) -> FddNode:
@@ -250,21 +349,28 @@ def map_leaves(
     """Apply ``func`` to every leaf distribution, rebuilding the diagram."""
     manager = node.manager
     cache = _cache if _cache is not None else {}
-    cached = cache.get(node.uid)
-    if cached is not None:
-        return cached
-    if isinstance(node, Leaf):
-        result: FddNode = manager.leaf(func(node.dist))
-    else:
-        assert isinstance(node, Branch)
-        result = manager.branch(
-            node.field,
-            node.value,
-            map_leaves(node.hi, func, cache),
-            map_leaves(node.lo, func, cache),
-        )
-    cache[node.uid] = result
-    return result
+    stack = [node]
+    while stack:
+        current = stack[-1]
+        if current.uid in cache:
+            stack.pop()
+            continue
+        if isinstance(current, Leaf):
+            cache[current.uid] = manager.leaf(func(current.dist))
+            stack.pop()
+            continue
+        assert isinstance(current, Branch)
+        hi = cache.get(current.hi.uid)
+        lo = cache.get(current.lo.uid)
+        if hi is None or lo is None:
+            if hi is None:
+                stack.append(current.hi)
+            if lo is None:
+                stack.append(current.lo)
+            continue
+        cache[current.uid] = manager.branch(current.field, current.value, hi, lo)
+        stack.pop()
+    return cache[node.uid]
 
 
 def sequence(first: FddNode, second: FddNode) -> FddNode:
@@ -286,21 +392,38 @@ _Neqs = tuple[tuple[str, int], ...]
 
 def _sequence(first: FddNode, second: FddNode, eqs: _Eqs, neqs: _Neqs) -> FddNode:
     manager = first.manager
-    key = ("seq", first.uid, second.uid, eqs, neqs)
-    cached = manager.cache.get(key)
+    cache = manager.op_cache("sequence")
+    root_key = (first.uid, second.uid, eqs, neqs)
+    cached = cache.get(root_key)
     if cached is not None:
         return cached
-    if isinstance(first, Leaf):
-        result = _sequence_leaf(manager, first.dist, second, eqs, neqs)
-    else:
-        assert isinstance(first, Branch)
-        field, value = first.field, first.value
+    stack = [(first, second, eqs, neqs)]
+    while stack:
+        fst, snd, eq, ne = stack[-1]
+        key = (fst.uid, snd.uid, eq, ne)
+        if key in cache:
+            stack.pop()
+            continue
+        if isinstance(fst, Leaf):
+            cache[key] = _sequence_leaf(manager, fst.dist, snd, eq, ne)
+            stack.pop()
+            continue
+        assert isinstance(fst, Branch)
+        field, value = fst.field, fst.value
+        hi_eq = eq + ((field, value),)
+        lo_ne = ne + ((field, value),)
+        hi = cache.get((fst.hi.uid, snd.uid, hi_eq, ne))
+        lo = cache.get((fst.lo.uid, snd.uid, eq, lo_ne))
+        if hi is None or lo is None:
+            if hi is None:
+                stack.append((fst.hi, snd, hi_eq, ne))
+            if lo is None:
+                stack.append((fst.lo, snd, eq, lo_ne))
+            continue
         guard = manager.branch(field, value, manager.true_leaf, manager.false_leaf)
-        hi = _sequence(first.hi, second, eqs + ((field, value),), neqs)
-        lo = _sequence(first.lo, second, eqs, neqs + ((field, value),))
-        result = ite(guard, hi, lo)
-    manager.cache[key] = result
-    return result
+        cache[key] = ite(guard, hi, lo)
+        stack.pop()
+    return cache[root_key]
 
 
 def _sequence_leaf(
@@ -344,36 +467,52 @@ def reduce(node: FddNode) -> FddNode:
     canonical node, which is what makes FDD equality a sound *and*
     complete equivalence check for the programs the compiler produces.
     """
-    return _reduce(node, ())
-
-
-def _reduce(node: FddNode, eqs: _Eqs) -> FddNode:
     manager = node.manager
-    key = ("reduce", node.uid, eqs)
-    cached = manager.cache.get(key)
+    cache = manager.op_cache("reduce")
+    root_key = (node.uid, ())
+    cached = cache.get(root_key)
     if cached is not None:
         return cached
-    if isinstance(node, Leaf):
-        known = dict(eqs)
+    stack: list[tuple[FddNode, _Eqs]] = [(node, ())]
+    while stack:
+        current, eqs = stack[-1]
+        key = (current.uid, eqs)
+        if key in cache:
+            stack.pop()
+            continue
+        if isinstance(current, Leaf):
+            cache[key] = manager.leaf(current.dist.map(_simplifier(dict(eqs))))
+            stack.pop()
+            continue
+        assert isinstance(current, Branch)
+        hi_eqs = eqs + ((current.field, current.value),)
+        hi = cache.get((current.hi.uid, hi_eqs))
+        lo = cache.get((current.lo.uid, eqs))
+        if hi is None or lo is None:
+            if hi is None:
+                stack.append((current.hi, hi_eqs))
+            if lo is None:
+                stack.append((current.lo, eqs))
+            continue
+        cache[key] = manager.branch(current.field, current.value, hi, lo)
+        stack.pop()
+    return cache[root_key]
 
-        def simplify(action: ActionOrDrop) -> ActionOrDrop:
-            if isinstance(action, _DropType):
-                return action
-            kept = {
-                field: value
-                for field, value in action.mods
-                if known.get(field) != value
-            }
-            return Action(kept)
 
-        result: FddNode = manager.leaf(node.dist.map(simplify))
-    else:
-        assert isinstance(node, Branch)
-        hi = _reduce(node.hi, eqs + ((node.field, node.value),))
-        lo = _reduce(node.lo, eqs)
-        result = manager.branch(node.field, node.value, hi, lo)
-    manager.cache[key] = result
-    return result
+def _simplifier(known: dict[str, int]):
+    """Leaf-map dropping modifications already implied by path tests."""
+
+    def simplify(action: ActionOrDrop) -> ActionOrDrop:
+        if isinstance(action, _DropType):
+            return action
+        kept = {
+            field: value
+            for field, value in action.mods
+            if known.get(field) != value
+        }
+        return Action(kept)
+
+    return simplify
 
 
 def sequence_all(nodes: Sequence[FddNode]) -> FddNode:

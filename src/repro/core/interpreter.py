@@ -23,9 +23,11 @@ from typing import Iterable
 import networkx as nx
 
 from repro.core import syntax as s
-from repro.core.compiler import GuardedFragmentError
+from repro.core.compiler import Compiler, GuardedFragmentError
 from repro.core.distributions import Dist
-from repro.core.markov import solve_absorption, solve_absorption_exact
+from repro.core.fdd.evaluator import CompiledBody
+from repro.core.fdd.node import FddManager
+from repro.core.markov import IncrementalAbsorptionSolver
 from repro.core.packet import DROP, Packet, _DropType
 
 Outcome = Packet | _DropType
@@ -59,11 +61,30 @@ class Interpreter:
         sparse float64 LU solver.
     max_loop_states:
         Safety bound on the number of reachable states explored per loop.
+    compile_bodies:
+        Compile loop bodies once into FDD segments and compute transition
+        rows by FDD evaluation instead of AST interpretation (the
+        McNetKAT fast path; see :mod:`repro.core.fdd.evaluator`).  Bodies
+        the compiler cannot handle — e.g. nested loops — silently fall
+        back to AST interpretation, so the flag is always safe to leave
+        on; turn it off to measure the interpreted baseline.
+    compiler:
+        Optional :class:`~repro.core.compiler.Compiler` to compile loop
+        bodies with (shared with a backend, so FDDs intern in one
+        manager).  A private compiler is created on first use otherwise.
     """
 
-    def __init__(self, exact: bool = False, max_loop_states: int = 2_000_000):
+    def __init__(
+        self,
+        exact: bool = False,
+        max_loop_states: int = 2_000_000,
+        compile_bodies: bool = True,
+        compiler: Compiler | None = None,
+    ):
         self.exact = exact
         self.max_loop_states = max_loop_states
+        self.compile_bodies = compile_bodies
+        self._compiler = compiler
         # Per-Case dispatch tables: id(case) -> (case, dispatch table).  The
         # node itself is kept in the value so its id cannot be recycled.
         self._dispatch: dict[
@@ -73,19 +94,20 @@ class Interpreter:
         self._loop_nodes: dict[int, s.WhileDo] = {}
         self._loop_rows: dict[int, dict[Packet, Dist[Outcome]]] = {}
         self._loop_solutions: dict[int, dict[Packet, Dist[Outcome]]] = {}
+        # Compiled-policy fast path: id(policy) -> (policy, CompiledBody|None).
+        # Keyed by the *body* AST node, so a loop body and the unrolled
+        # first hop preceding the loop (the same node in network models)
+        # share one compiled body.
+        self._compiled: dict[int, tuple[s.Policy, CompiledBody | None]] = {}
+        # Incremental absorption state, per loop.
+        self._loop_solvers: dict[int, IncrementalAbsorptionSolver] = {}
 
     # -- public API -----------------------------------------------------------
     def run(self, policy: s.Policy, inputs: Dist[Outcome] | Packet) -> Dist[Outcome]:
         """Run ``policy`` on an input packet or distribution over packets."""
         if isinstance(inputs, Packet):
             return self.run_packet(policy, inputs)
-        parts: list[tuple[Dist[Outcome], object]] = []
-        for outcome, mass in inputs.items():
-            if isinstance(outcome, _DropType):
-                parts.append((Dist.point(DROP), mass))
-            else:
-                parts.append((self.run_packet(policy, outcome), mass))
-        return Dist.convex(parts, check=False)
+        return self._bind(policy, inputs)
 
     def run_packet(self, policy: s.Policy, packet: Packet) -> Dist[Outcome]:
         """Output distribution of ``policy`` on one concrete input packet."""
@@ -121,10 +143,13 @@ class Interpreter:
 
     # -- helpers ---------------------------------------------------------------
     def _bind(self, policy: s.Policy, dist: Dist[Outcome]) -> Dist[Outcome]:
+        compiled = self._compiled_policy(policy)
         parts: list[tuple[Dist[Outcome], object]] = []
         for outcome, mass in dist.items():
             if isinstance(outcome, _DropType):
                 parts.append((Dist.point(DROP), mass))
+            elif compiled is not None:
+                parts.append((compiled.run_packet(outcome), mass))
             else:
                 parts.append((self.run_packet(policy, outcome), mass))
         return Dist.convex(parts, check=False)
@@ -159,9 +184,7 @@ class Interpreter:
         if self._loop_nodes.get(id(loop)) is not loop:
             # Either a new loop or an id collision with a collected node:
             # (re)initialise the caches for this loop object.
-            self._loop_nodes[id(loop)] = loop
-            self._loop_rows[id(loop)] = {}
-            self._loop_solutions[id(loop)] = {}
+            self._reset_loop(loop)
         solutions = self._loop_solutions.setdefault(id(loop), {})
         cached = solutions.get(packet)
         if cached is not None:
@@ -169,9 +192,50 @@ class Interpreter:
         self._solve_loop_from(loop, packet)
         return self._loop_solutions[id(loop)][packet]
 
+    def _reset_loop(self, loop: s.WhileDo) -> None:
+        key = id(loop)
+        self._loop_nodes[key] = loop
+        self._loop_rows[key] = {}
+        self._loop_solutions[key] = {}
+        self._loop_solvers.pop(key, None)
+
+    def body_compiler(self) -> Compiler:
+        """The compiler used for loop bodies (created on first use)."""
+        if self._compiler is None:
+            self._compiler = Compiler(manager=FddManager(), exact=self.exact)
+        return self._compiler
+
+    def _compiled_policy(self, policy: s.Policy) -> CompiledBody | None:
+        """The compiled fast-path evaluator of ``policy`` (``None`` = interpret).
+
+        Cached per AST node; ineligible policies (nested loops, unions,
+        anything the compiler rejects) cache ``None`` so the check is one
+        dictionary lookup on every subsequent visit.
+        """
+        if not self.compile_bodies:
+            return None
+        entry = self._compiled.get(id(policy))
+        if entry is not None and entry[0] is policy:
+            return entry[1]
+        compiled = CompiledBody.try_compile(
+            policy, self.body_compiler(), exact=self.exact
+        )
+        self._compiled[id(policy)] = (policy, compiled)
+        return compiled
+
+    def _compiled_body(self, loop: s.WhileDo) -> CompiledBody | None:
+        """The loop's compiled body, or ``None`` when it must be interpreted."""
+        return self._compiled_policy(loop.body)
+
     def _explore_loop(self, loop: s.WhileDo, seed: Packet) -> None:
-        """Explore the reachable loop-head states starting from ``seed``."""
+        """Explore the reachable loop-head states starting from ``seed``.
+
+        Transition rows come from the compiled body (one FDD walk per
+        state) whenever the body is eligible; otherwise from a full AST
+        interpretation of the body per state.
+        """
         rows = self._loop_rows.setdefault(id(loop), {})
+        compiled = self._compiled_body(loop)
         frontier = [seed]
         while frontier:
             state = frontier.pop()
@@ -181,7 +245,10 @@ class Interpreter:
                 raise RuntimeError(
                     f"loop exploration exceeded {self.max_loop_states} states"
                 )
-            row = self.run_packet(loop.body, state)
+            if compiled is not None:
+                row = compiled.run_packet(state)
+            else:
+                row = self.run_packet(loop.body, state)
             rows[state] = row
             for outcome in row.support():
                 if isinstance(outcome, _DropType):
@@ -192,45 +259,78 @@ class Interpreter:
     def _solve_loop_from(self, loop: s.WhileDo, seed: Packet) -> None:
         """Solve the loop's absorbing chain for all currently known states.
 
-        New seeds extend the explored state space; the absorption system
-        is (re)solved for the union so that subsequent queries are cache
-        hits.
+        The solve is incremental: the per-loop
+        :class:`~repro.core.markov.IncrementalAbsorptionSolver` keeps the
+        factorized absorption system alive, transition rows are converted
+        to solver weights only once (when first explored), and the system
+        is re-factorized only when new transient states appeared since
+        the last solve.
         """
         self._explore_loop(loop, seed)
-        rows = self._loop_rows[id(loop)]
+        key = id(loop)
+        rows = self._loop_rows[key]
+        solver = self._loop_solvers.get(key)
+        if solver is None:
+            solver = self._loop_solvers[key] = IncrementalAbsorptionSolver(
+                exact=self.exact
+            )
+
+        # The solver only reads rows of not-yet-solved states (solved
+        # distributions are final), so only those are converted — and
+        # nothing converted is retained past the solve.
+        solved = solver.solved_states
+        transitions: dict[Packet, dict[Outcome, object]] = {}
+        for state, row in rows.items():
+            if state in solved:
+                continue
+            if self.exact:
+                transitions[state] = {
+                    succ: Fraction(prob) for succ, prob in row.items()
+                }
+            else:
+                transitions[state] = {
+                    succ: float(prob) for succ, prob in row.items()
+                }
+        if not transitions:
+            return
         transient = list(rows)
-        absorbing_set: set[Outcome] = set()
-        for row in rows.values():
-            for outcome in row.support():
-                if isinstance(outcome, _DropType) or not eval_predicate(loop.guard, outcome):
-                    absorbing_set.add(outcome)
-        absorbing_set.add(DROP)
-        absorbing = sorted(
-            absorbing_set,
-            key=lambda o: ("", ()) if isinstance(o, _DropType) else ("p", o.items()),
-        )
+        result = solver.solve(transient, transitions)
 
-        if self.exact:
-            transitions = {
-                state: {succ: Fraction(prob) for succ, prob in rows[state].items()}
-                for state in transient
-            }
-            result = solve_absorption_exact(transient, absorbing, transitions)
-        else:
-            transitions = {
-                state: {succ: float(prob) for succ, prob in rows[state].items()}
-                for state in transient
-            }
-            result = solve_absorption(transient, absorbing, transitions)
-
-        solutions = self._loop_solutions.setdefault(id(loop), {})
+        solutions = self._loop_solutions.setdefault(key, {})
         for state in transient:
+            if state in solutions:
+                # Solved states never gain successors, so their
+                # absorption distributions are final.
+                continue
             out = dict(result.get(state, {}))
             lost = result.lost_mass.get(state, 0)
             if lost:
                 # Diverging mass is assigned to drop (guarded limit semantics).
                 out[DROP] = out.get(DROP, 0) + lost
             solutions[state] = Dist(out, check=False)
+
+    # -- statistics ----------------------------------------------------------------
+    def loop_stats(self) -> dict[str, int]:
+        """Aggregate statistics over every loop this interpreter has solved.
+
+        ``factorizations`` counts actual linear-system factorizations
+        (growth events); repeated seeds over an already-solved state
+        space do not increase it.  ``compiled_loops`` counts loops whose
+        bodies run on the compiled-FDD fast path.
+        """
+        return {
+            "loops": len(self._loop_nodes),
+            "states": sum(len(rows) for rows in self._loop_rows.values()),
+            "factorizations": sum(
+                solver.factorizations for solver in self._loop_solvers.values()
+            ),
+            "compiled_loops": sum(
+                1
+                for loop in self._loop_nodes.values()
+                if (entry := self._compiled.get(id(loop.body))) is not None
+                and entry[1] is not None
+            ),
+        }
 
     # -- structural possibility analysis ----------------------------------------
     def certain_outcomes(self, policy: s.Policy, packet: Packet) -> tuple[frozenset[Outcome], bool]:
@@ -331,22 +431,19 @@ _MISSING = object()
 def _build_dispatch(
     policy: s.Case,
 ) -> tuple[str, dict[int, s.Policy], s.Policy] | None:
-    """Build a dictionary dispatch table for single-field ``case`` guards."""
-    field: str | None = None
-    table: dict[int, s.Policy] = {}
-    for guard, branch in policy.branches:
-        if not isinstance(guard, s.Test):
-            return None
-        if field is None:
-            field = guard.field
-        elif guard.field != field:
-            return None
-        if guard.value in table:
-            # Later duplicate guards are unreachable; keep the first.
-            continue
-        table[guard.value] = branch
-    if field is None:
+    """Build a dictionary dispatch table for single-field ``case`` guards.
+
+    Delegates to the evaluator's :func:`~repro.core.fdd.evaluator._dispatch_table`
+    so the AST interpreter and the compiled-body fast path share one
+    definition of case-dispatch semantics (first duplicate guard wins,
+    mixed guards fall back to a linear scan).
+    """
+    from repro.core.fdd.evaluator import _dispatch_table
+
+    dispatch = _dispatch_table(policy)
+    if dispatch is None:
         return None
+    field, table = dispatch
     return field, table, policy.default
 
 

@@ -264,6 +264,132 @@ def solve_absorption_batched(
     return AbsorptionSystem(transient, absorbing, doomed, lu, r_mat)
 
 
+class IncrementalAbsorptionSolver:
+    """An absorption solver that factorizes only the *growth* of a chain.
+
+    Forward exploration of a loop discovers its transient states
+    incrementally: every new seed may extend the reachable state space,
+    but (a) the transition row of a state never changes once computed,
+    and (b) exploration always closes a seed's forward reachability —
+    so a previously solved state can never gain a successor later.  Its
+    absorption distribution is therefore *final* the moment it is
+    solved, and a later growth step only needs to solve the subsystem of
+    the newly discovered states, treating already-solved states as
+    absorbing *gateways* whose (known) absorption distributions are
+    composed in afterwards.
+
+    The result: every transient state participates in exactly one —
+    small — factorization, instead of the whole chain being re-solved
+    from scratch on every new seed.
+
+    Attributes
+    ----------
+    factorizations:
+        Number of linear-system factorizations performed (one per growth
+        step).  Callers use this to assert that repeated seeds over an
+        already-solved state space perform no linear algebra at all.
+    system:
+        The :class:`AbsorptionSystem` of the most recent float subsystem
+        solve (``None`` before the first solve and in exact mode).
+    """
+
+    def __init__(self, exact: bool = False):
+        self.exact = exact
+        self.factorizations = 0
+        self.system: AbsorptionSystem | None = None
+        self._solutions: dict[State, dict[State, Fraction | float]] = {}
+        self._lost: dict[State, Fraction | float] = {}
+
+    @property
+    def solved_states(self) -> frozenset:
+        """The transient states whose absorption rows are already final."""
+        return frozenset(self._solutions)
+
+    def needs_solve(self, transient: Sequence[State]) -> bool:
+        """Whether ``transient`` contains states not yet solved."""
+        solutions = self._solutions
+        return any(state not in solutions for state in transient)
+
+    def solution(self, state: State) -> dict[State, Fraction | float]:
+        """The (final) absorption row of a solved transient state."""
+        return self._solutions[state]
+
+    def lost_mass(self, state: State) -> Fraction | float:
+        """The diverging probability mass of a solved transient state."""
+        return self._lost[state]
+
+    def solve(
+        self,
+        transient: Sequence[State],
+        transitions: Mapping[State, Mapping[State, float | Fraction]],
+    ) -> AbsorptionResult:
+        """Absorption probabilities for ``transient``, solving only growth.
+
+        ``transitions`` must contain one (immutable) row per *not yet
+        solved* transient state (rows of already-solved states are never
+        read); successors not themselves transient (or previously
+        solved) are taken to be absorbing.  States already solved by an
+        earlier call are answered from the cache; only genuinely new
+        states enter the subsystem factorization.
+        """
+        solutions = self._solutions
+        new = [state for state in transient if state not in solutions]
+        if new:
+            self._solve_subsystem(new, transitions)
+        rows = {state: solutions[state] for state in transient}
+        lost = {state: self._lost[state] for state in transient}
+        return AbsorptionResult(rows, lost)
+
+    def _solve_subsystem(
+        self,
+        new: list[State],
+        transitions: Mapping[State, Mapping[State, float | Fraction]],
+    ) -> None:
+        solutions = self._solutions
+        new_set = set(new)
+        gateways: list[State] = []
+        gateway_set: set[State] = set()
+        targets: list[State] = []
+        target_set: set[State] = set()
+        for state in new:
+            for successor in transitions[state]:
+                if successor in new_set:
+                    continue
+                if successor in solutions:
+                    if successor not in gateway_set:
+                        gateway_set.add(successor)
+                        gateways.append(successor)
+                elif successor not in target_set:
+                    target_set.add(successor)
+                    targets.append(successor)
+        sub_absorbing = targets + gateways
+        sub_transitions = {state: transitions[state] for state in new}
+        if self.exact:
+            result = solve_absorption_exact(new, sub_absorbing, sub_transitions)
+            self.system = None
+        else:
+            self.system = solve_absorption_batched(new, sub_absorbing, sub_transitions)
+            result = self.system.result()
+        self.factorizations += 1
+
+        zero: Fraction | float = Fraction(0) if self.exact else 0.0
+        for state in new:
+            raw = result.get(state, {})
+            lost = result.lost_mass.get(state, zero)
+            final: dict[State, Fraction | float] = {}
+            for target, probability in raw.items():
+                if target in gateway_set:
+                    # Mass entering an already-solved state follows that
+                    # state's final absorption distribution.
+                    for outcome, weight in solutions[target].items():
+                        final[outcome] = final.get(outcome, zero) + probability * weight
+                    lost = lost + probability * self._lost[target]
+                else:
+                    final[target] = final.get(target, zero) + probability
+            solutions[state] = final
+            self._lost[state] = lost
+
+
 def solve_absorption(
     transient: Sequence[State],
     absorbing: Sequence[State],

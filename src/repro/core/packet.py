@@ -47,7 +47,7 @@ DROP = _DropType()
 """The unique "packet was dropped" outcome."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Packet:
     """An immutable packet: a mapping from field names to integer values.
 
@@ -83,6 +83,27 @@ class Packet:
                     f"field values must be integers, got {name}={value!r}"
                 )
         object.__setattr__(self, "_items", items)
+        object.__setattr__(self, "_hash", hash(items))
+
+    @classmethod
+    def _from_sorted_items(cls, items: tuple[tuple[str, int], ...]) -> "Packet":
+        """Packets are Markov-chain states: building and hashing them is a
+        hot path, so this constructor skips validation and sorting for
+        items already in canonical (sorted, type-checked) form — e.g.
+        those derived from an existing packet's items.
+        """
+        packet = object.__new__(cls)
+        object.__setattr__(packet, "_items", items)
+        object.__setattr__(packet, "_hash", hash(items))
+        return packet
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Packet):
+            return NotImplemented
+        return self._items == other._items
 
     # -- mapping-like access -------------------------------------------------
     def __getitem__(self, field: str) -> int:

@@ -80,3 +80,77 @@ class TestParallelBackend:
         sequential = Interpreter().run_packet(model, example.ingress_packet)
         parallel = ParallelInterpreter(workers=2).run_packet(model, example.ingress_packet)
         assert sequential.close_to(parallel, tolerance=1e-9)
+
+
+class TestParallelExactness:
+    """ParallelBackend(exact=True) must not degrade weights to floats."""
+
+    def exact_body(self):
+        from fractions import Fraction
+
+        return s.case(
+            [
+                (s.test("sw", i), s.choice(
+                    (s.assign("sw", i + 1), Fraction(1, 3)),
+                    (s.assign("sw", 0), Fraction(2, 3)),
+                ))
+                for i in range(1, 7)
+            ],
+            s.drop(),
+        )
+
+    def test_transition_rows_preserve_fractions(self):
+        from fractions import Fraction
+
+        packets = [Packet({"sw": i}) for i in range(1, 7)]
+        rows = transition_rows(self.exact_body(), packets, workers=2, exact=True)
+        for dist in rows.values():
+            assert all(isinstance(prob, Fraction) for _, prob in dist.items())
+
+    def test_exact_parallel_backend_loop(self):
+        from fractions import Fraction
+
+        from repro.backends import ParallelBackend
+
+        body = s.case(
+            [
+                (s.test("sw", i), s.choice(
+                    (s.assign("sw", i + 1), Fraction(1, 2)),
+                    (s.assign("sw", i), Fraction(1, 2)),
+                ))
+                for i in range(1, 5)
+            ],
+            s.drop(),
+        )
+        policy = s.seq(s.test("sw", 1), s.while_do(s.neg(s.test("sw", 5)), body))
+        backend = ParallelBackend(exact=True, workers=2)
+        dist = backend.output_distribution(policy, Packet({"sw": 1}))
+        assert dist(Packet({"sw": 5})) == 1
+        assert all(isinstance(prob, Fraction) for _, prob in dist.items())
+
+
+class TestParallelCompiledShipping:
+    """Workers evaluate the shipped compiled-body spec, not the AST."""
+
+    def test_transition_rows_with_precompiled_body(self):
+        from repro.core.compiler import Compiler
+        from repro.core.fdd.evaluator import CompiledBody
+
+        body = s.case(
+            [(s.test("sw", i), s.choice((s.assign("sw", i + 1), 0.5), (s.drop(), 0.5)))
+             for i in range(1, 7)],
+            s.drop(),
+        )
+        compiled = CompiledBody.try_compile(body, Compiler())
+        assert compiled is not None
+        packets = [Packet({"sw": i}) for i in range(1, 7)]
+        via_spec = transition_rows(body, packets, workers=2, compiled=compiled)
+        via_ast = transition_rows(body, packets, workers=1)
+        for packet in packets:
+            assert via_spec[packet].close_to(via_ast[packet])
+
+    def test_parallel_interpreter_uses_compiled_loops(self, example):
+        interp = ParallelInterpreter(workers=2)
+        model = example.models_resilient["f2"]
+        interp.run_packet(model, example.ingress_packet)
+        assert interp.loop_stats()["compiled_loops"] >= 1

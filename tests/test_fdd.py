@@ -191,3 +191,50 @@ class TestDot:
         assert "sw=1" in dot
         assert "pt:=2" in dot
         assert dot.startswith("digraph")
+
+
+class TestLeafInterningAcrossNumericTypes:
+    """Equal masses intern to one leaf regardless of arithmetic type."""
+
+    def test_fraction_and_float_halves_share_a_leaf(self, manager):
+        from fractions import Fraction
+
+        a, b = Action({"f": 1}), Action({"f": 2})
+        exact = manager.leaf(Dist({a: Fraction(1, 2), b: Fraction(1, 2)}))
+        inexact = manager.leaf(Dist({a: 0.5, b: 0.5}))
+        assert exact is inexact
+
+    def test_unreduced_fractions_normalise(self, manager):
+        from fractions import Fraction
+
+        a = Action({"f": 1})
+        assert manager.leaf(
+            Dist({a: Fraction(2, 4), DROP: Fraction(1, 2)})
+        ) is manager.leaf(Dist({a: Fraction(1, 2), DROP: 0.5}))
+
+    def test_genuinely_different_numbers_stay_distinct(self, manager):
+        from fractions import Fraction
+
+        a, b = Action({"f": 1}), Action({"f": 2})
+        third = manager.leaf(Dist({a: Fraction(1, 3), b: Fraction(2, 3)}))
+        float_third = manager.leaf(Dist({a: 1 / 3, b: 2 / 3}))
+        # float(1/3) is not the rational 1/3: these are different numbers
+        # and must not be conflated by the interning key.
+        assert third is not float_third
+
+
+class TestSpecRoundTrip:
+    def test_node_spec_round_trip(self, manager):
+        from fractions import Fraction
+
+        from repro.core.fdd.node import node_from_spec, node_to_spec
+
+        node = manager.branch(
+            "sw", 1,
+            manager.leaf(Dist({Action({"pt": 2}): Fraction(1, 2), DROP: Fraction(1, 2)})),
+            manager.from_test("pt", 7),
+        )
+        fresh = FddManager()
+        rebuilt = node_from_spec(fresh, node_to_spec(node))
+        for pk in [Packet({"sw": 1, "pt": 0}), Packet({"sw": 0, "pt": 7}), Packet({"sw": 0, "pt": 0})]:
+            assert output_distribution(rebuilt, pk) == output_distribution(node, pk)

@@ -175,3 +175,109 @@ class TestCertainOutcomes:
         policy = s.Seq((s.drop(), s.assign("f", 1)))
         outcomes, _ = interp.certain_outcomes(policy, Packet({}))
         assert outcomes == frozenset({DROP})
+
+
+class TestIncrementalAbsorption:
+    """The per-loop solver re-factorizes only when the chain grows."""
+
+    def walk_loop(self, n: int = 6) -> s.Policy:
+        body = s.case(
+            [
+                (s.test("n", i), s.choice((s.assign("n", i + 1), Fraction(1, 2)),
+                                          (s.assign("n", i), Fraction(1, 2))))
+                for i in range(n)
+            ],
+            s.drop(),
+        )
+        return s.while_do(s.neg(s.test("n", 6)), body)
+
+    def factorizations(self, interp: Interpreter) -> int:
+        return interp.loop_stats()["factorizations"]
+
+    def test_repeated_seed_reuses_solve(self):
+        interp = Interpreter()
+        loop = self.walk_loop()
+        interp.run_packet(loop, Packet({"n": 0}))
+        count = self.factorizations(interp)
+        assert count == 1
+        interp.run_packet(loop, Packet({"n": 0}))
+        assert self.factorizations(interp) == count
+
+    def test_seed_inside_solved_space_reuses_solve(self):
+        interp = Interpreter()
+        loop = self.walk_loop()
+        interp.run_packet(loop, Packet({"n": 0}))
+        count = self.factorizations(interp)
+        # n=3 was reached (and solved) while exploring from n=0.
+        interp.run_packet(loop, Packet({"n": 3}))
+        assert self.factorizations(interp) == count
+
+    def test_growth_factorizes_only_the_new_states(self):
+        interp = Interpreter()
+        body = s.case(
+            [
+                (s.test("n", i), s.choice((s.assign("n", i + 1), Fraction(1, 2)),
+                                          (s.assign("n", i), Fraction(1, 2))))
+                for i in range(6)
+            ],
+            s.drop(),
+        )
+        loop = s.while_do(s.neg(s.test("n", 6)), body)
+        first = interp.run_packet(loop, Packet({"n": 4}))
+        assert self.factorizations(interp) == 1
+        solutions = interp._loop_solutions[id(loop)]
+        before = {state: dist for state, dist in solutions.items()}
+        # A second seed *below* the solved space grows the chain once more;
+        # previously solved states keep their (final) solutions untouched.
+        second = interp.run_packet(loop, Packet({"n": 0}))
+        assert self.factorizations(interp) == 2
+        for state, dist in before.items():
+            assert solutions[state] is dist
+        assert float(first(Packet({"n": 6}))) == pytest.approx(1.0)
+        assert float(second(Packet({"n": 6}))) == pytest.approx(1.0)
+
+    def test_incremental_solutions_match_fresh_interpreter(self):
+        grown = Interpreter()
+        loop = self.walk_loop()
+        for start in (4, 2, 0):
+            grown.run_packet(loop, Packet({"n": start}))
+        fresh = Interpreter()
+        fresh_out = fresh.run_packet(loop, Packet({"n": 0}))
+        grown_out = grown.run_packet(loop, Packet({"n": 0}))
+        assert grown_out.close_to(fresh_out, tolerance=1e-9)
+        assert self.factorizations(grown) == 3
+        assert self.factorizations(fresh) == 1
+
+    def test_exact_mode_is_incremental_too(self):
+        interp = Interpreter(exact=True)
+        loop = self.walk_loop()
+        out = interp.run_packet(loop, Packet({"n": 4}))
+        assert out(Packet({"n": 6})) == 1
+        assert self.factorizations(interp) == 1
+        interp.run_packet(loop, Packet({"n": 5}))
+        assert self.factorizations(interp) == 1
+
+
+class TestCompiledBodyFastPath:
+    """The interpreter's compiled-body exploration agrees with the AST walk."""
+
+    def test_compiled_and_interpreted_loop_agree(self):
+        body = s.case(
+            [
+                (s.test("sw", i), s.choice((s.assign("sw", i + 1), Fraction(9, 10)),
+                                           (s.drop(), Fraction(1, 10))))
+                for i in range(1, 5)
+            ],
+            s.drop(),
+        )
+        loop = s.seq(s.test("sw", 1), s.while_do(s.neg(s.test("sw", 5)), body))
+        fast = Interpreter(exact=True)
+        slow = Interpreter(exact=True, compile_bodies=False)
+        pk = Packet({"sw": 1})
+        assert fast.run_packet(loop, pk) == slow.run_packet(loop, pk)
+        assert fast.loop_stats()["compiled_loops"] == 1
+        assert slow.loop_stats()["compiled_loops"] == 0
+
+    def test_compile_bodies_flag_defaults_on(self):
+        assert Interpreter().compile_bodies
+        assert not Interpreter(compile_bodies=False).compile_bodies

@@ -123,3 +123,68 @@ def test_absorption_probabilities_sum_to_one(loop, split):
     total = sum(result["t"].values(), Fraction(0))
     assert total == 1
     assert result.lost_mass["t"] == 0
+
+
+class TestIncrementalAbsorptionSolver:
+    def chain(self, n: int):
+        """A 1-D random walk 0..n-1 absorbed at "win" (from n-1) or looping."""
+        transitions = {}
+        for i in range(n):
+            up = "win" if i == n - 1 else i + 1
+            transitions[i] = {up: Fraction(1, 2), i: Fraction(1, 2)}
+        return transitions
+
+    def test_single_solve_matches_batch_solver(self):
+        from repro.core.markov import IncrementalAbsorptionSolver
+
+        transitions = self.chain(4)
+        solver = IncrementalAbsorptionSolver()
+        result = solver.solve(list(range(4)), transitions)
+        reference = solve_absorption(list(range(4)), ["win"], transitions)
+        for state in range(4):
+            assert result[state]["win"] == pytest.approx(reference[state]["win"], abs=1e-12)
+        assert solver.factorizations == 1
+
+    def test_growth_composes_through_gateways(self):
+        from repro.core.markov import IncrementalAbsorptionSolver
+
+        transitions = self.chain(6)
+        solver = IncrementalAbsorptionSolver()
+        solver.solve([3, 4, 5], transitions)          # upper half first
+        assert solver.factorizations == 1
+        result = solver.solve(list(range(6)), transitions)  # grow downwards
+        assert solver.factorizations == 2
+        reference = solve_absorption(list(range(6)), ["win"], transitions)
+        for state in range(6):
+            assert result[state]["win"] == pytest.approx(reference[state]["win"], abs=1e-12)
+        # No growth: answered from the cache, no further factorization.
+        solver.solve(list(range(6)), transitions)
+        assert solver.factorizations == 2
+        assert not solver.needs_solve(list(range(6)))
+
+    def test_exact_growth(self):
+        from repro.core.markov import IncrementalAbsorptionSolver
+
+        transitions = self.chain(4)
+        solver = IncrementalAbsorptionSolver(exact=True)
+        solver.solve([2, 3], transitions)
+        result = solver.solve([0, 1, 2, 3], transitions)
+        assert solver.factorizations == 2
+        for state in range(4):
+            assert result[state]["win"] == 1
+
+    def test_lost_mass_composes_through_gateways(self):
+        from repro.core.markov import IncrementalAbsorptionSolver
+
+        # 1 -> 2 (solved first, diverges); 0 -> 1 or "out".
+        transitions = {
+            2: {2: Fraction(1)},
+            1: {2: Fraction(1)},
+            0: {1: Fraction(1, 2), "out": Fraction(1, 2)},
+        }
+        solver = IncrementalAbsorptionSolver(exact=True)
+        first = solver.solve([1, 2], transitions)
+        assert first.lost_mass[1] == 1
+        result = solver.solve([0, 1, 2], transitions)
+        assert result[0]["out"] == Fraction(1, 2)
+        assert result.lost_mass[0] == Fraction(1, 2)
