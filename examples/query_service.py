@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Serving query streams from a persistent analysis session.
+
+Opens one :class:`repro.service.AnalysisSession` over a FatTree running
+ECMP with link failures, then serves the all-pairs delivery batch (every
+(ingress, destination) pair) three ways:
+
+1. sharded by destination — each shard is one batched absorption solve;
+2. the same batch again — answered from the canonical-FDD result cache;
+3. a mixed-kind batch (delivery + expected hop count + full output
+   distribution) through the ``repro.analysis`` entry points' ``session=``
+   parameter.
+
+Equivalent CLI::
+
+    python -m repro.service --topology fattree:4 --scheme ecmp \\
+        --dest 1 --dest 2 --dest 3 --all-pairs --workers 4
+
+Run with::
+
+    python examples/query_service.py [p]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import hop_count_cdf
+from repro.failure.models import independent_failure_program
+from repro.network.model import build_model
+from repro.routing import downward_failable_ports, ecmp_policy
+from repro.service import AnalysisSession, Query
+from repro.topology import edge_switches, fat_tree
+
+FAILURE_PROBABILITY = 1 / 1000
+
+
+def main() -> None:
+    p = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    topo = fat_tree(p)
+    failable = downward_failable_ports(topo)
+
+    def factory(dest: int):
+        return build_model(
+            topo,
+            routing=ecmp_policy(topo, dest),
+            dest=dest,
+            failure=independent_failure_program(failable, FAILURE_PROBABILITY),
+            failable=failable,
+            count_hops=True,
+        )
+
+    dests = edge_switches(topo)[:3]
+    batch = [
+        Query.delivery((sw, pt), dest)
+        for dest in dests
+        for sw, pt in topo.ingress_locations(exclude=[dest])
+    ]
+
+    with AnalysisSession(model_factory=factory, planner="destination", workers=4) as session:
+        print(f"serving {len(batch)} (ingress, destination) delivery queries "
+              f"over {len(dests)} destinations ...")
+        results = session.query_batch(batch)
+        print(f"  cold: {results.seconds:.3f}s "
+              f"({results.queries_per_second:.0f} q/s, {len(results.shards)} shards)")
+        for report in results.shards:
+            print(f"    shard [{report.label}]: {report.queries} queries "
+                  f"in {report.seconds:.3f}s")
+
+        again = session.query_batch(batch)
+        print(f"  warm: {again.seconds:.4f}s "
+              f"({again.cache_hits}/{len(again)} served from cache)")
+
+        worst = min(results, key=lambda r: r.value)
+        print(f"  lowest delivery probability: {worst.value:.6f} "
+              f"at ingress {dict(worst.query.ingress.as_dict())} -> {worst.query.dest}")
+
+        # Mixed kinds and the analysis session= glue share the same cache.
+        model = session.model_for(dests[0])
+        hops = session.query("hops", model.ingress_packets[0], dests[0])
+        cdf = hop_count_cdf(model, max_hops=6, session=session)
+        print(f"  expected hops (first ingress -> {dests[0]}): {hops:.3f}")
+        print(f"  P[delivered within <=6 hops]: {cdf[6]:.4f}")
+
+        stats = session.stats()
+        print(f"  session stats: {stats['queries']} queries, "
+              f"{stats['shards']} shards, backend={stats['backend']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,9 @@ Probabilistic NetKAT.  This package provides:
   F10), failure models, and network model builders;
 * :mod:`repro.analysis` — delivery probability, resilience, and latency
   queries;
+* :mod:`repro.service` — the persistent, sharded analysis service: an
+  ``AnalysisSession`` compiles models once and serves concurrent query
+  streams (``python -m repro.service`` is its CLI);
 * :mod:`repro.baselines` — a Bayonet-style general-purpose exact
   inference baseline used for performance comparisons.
 """

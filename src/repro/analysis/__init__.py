@@ -1,4 +1,11 @@
-"""Analyses over network models: delivery, resilience, and latency."""
+"""Analyses over network models: delivery, resilience, and latency.
+
+Every distribution-backed entry point accepts ``backend=`` (a registry
+name or shared backend instance) and ``session=`` (a persistent
+:class:`~repro.service.AnalysisSession`, re-exported here lazily as
+``repro.analysis.AnalysisSession``): sessions pool one compiled backend,
+shard batched queries, and cache results across calls.
+"""
 
 from repro.analysis.queries import (
     delivery_probability,
@@ -17,7 +24,19 @@ from repro.analysis.latency import (
     hop_count_distribution,
 )
 
+def __getattr__(name: str):
+    # Lazy re-export: repro.service imports analysis helpers' siblings,
+    # so the session class is resolved on first attribute access instead
+    # of at import time (no circular import).
+    if name == "AnalysisSession":
+        from repro.service import AnalysisSession
+
+        return AnalysisSession
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "AnalysisSession",
     "compare_schemes",
     "delivery_probability",
     "expected_hop_count",

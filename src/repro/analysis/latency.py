@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
-from repro.analysis.queries import _distribution_engine
+from repro.analysis.queries import _distribution_engine, _with_session
 from repro.core.distributions import Dist
 from repro.core.interpreter import Interpreter
 from repro.core.packet import _DropType
@@ -32,16 +32,19 @@ def hop_count_distribution(
     exact: bool = False,
     interpreter: Interpreter | None = None,
     backend=None,
+    session=None,
 ) -> Dist[int | None]:
     """Joint distribution of hop counts over the uniform ingress set.
 
     Dropped packets map to ``None``; delivered packets map to the value of
     the model's hop counter.  ``backend`` selects the query engine (see
     :mod:`repro.analysis.queries`); passing a shared matrix backend makes
-    the all-ingress query a single batched solve.
+    the all-ingress query a single batched solve, and ``session`` routes
+    it through a persistent :class:`~repro.service.AnalysisSession` and
+    its result cache.
     """
     hops_field = _require_hops(model)
-    engine = _distribution_engine(backend, exact)
+    engine = _distribution_engine(_with_session(backend, session), exact)
     if engine is not None:
         if interpreter is not None:
             raise ValueError("pass either interpreter= or backend=, not both")
@@ -64,6 +67,7 @@ def hop_count_cdf(
     exact: bool = False,
     interpreter: Interpreter | None = None,
     backend=None,
+    session=None,
 ) -> dict[int, float]:
     """``P[delivered within ≤ h hops]`` as a function of ``h`` (Figure 12(b)).
 
@@ -72,7 +76,7 @@ def hop_count_cdf(
     exactly like the paper's plot.
     """
     dist = hop_count_distribution(
-        model, exact=exact, interpreter=interpreter, backend=backend
+        model, exact=exact, interpreter=interpreter, backend=backend, session=session
     )
     observed = [h for h in dist.support() if h is not None]
     top = max_hops if max_hops is not None else (max(observed) if observed else 0)
@@ -89,10 +93,11 @@ def expected_hop_count(
     exact: bool = False,
     interpreter: Interpreter | None = None,
     backend=None,
+    session=None,
 ) -> float:
     """Expected hop count conditioned on delivery (Figure 12(c))."""
     dist = hop_count_distribution(
-        model, exact=exact, interpreter=interpreter, backend=backend
+        model, exact=exact, interpreter=interpreter, backend=backend, session=session
     )
     total = 0.0
     mass = 0.0
@@ -111,13 +116,15 @@ def hop_count_series(
     max_hops: int | None = None,
     exact: bool = False,
     backend=None,
+    session=None,
 ) -> dict[str, dict[int, float]]:
     """CDF series for several labelled models (one plot line each).
 
     A ``backend`` name is resolved once so all models in the series share
-    one instance (and therefore its compiled-plan and matrix caches).
+    one instance (and therefore its compiled-plan and matrix caches); a
+    ``session`` additionally shares its result cache.
     """
-    engine = _distribution_engine(backend, exact)
+    engine = _distribution_engine(_with_session(backend, session), exact)
     return {
         label: hop_count_cdf(model, max_hops=max_hops, exact=exact, backend=engine)
         for label, model in models.items()

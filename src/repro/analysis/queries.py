@@ -25,15 +25,39 @@ from repro.network.model import NetworkModel
 Backend = object
 
 
+def _with_session(backend, session):
+    """Fold ``session=`` into ``backend=`` (they are mutually exclusive).
+
+    An :class:`~repro.service.session.AnalysisSession` implements the
+    engine protocol (``output_distribution`` / ``certainly_delivers``),
+    so the analysis entry points treat a session exactly like a shared
+    backend instance — but one whose answers flow through the session's
+    canonical-FDD-keyed result cache.
+    """
+    if session is None:
+        return backend
+    if backend is not None:
+        raise ValueError("pass either backend= or session=, not both")
+    return session
+
+
 def _distribution_engine(backend, exact: bool):
-    """Resolve ``backend=`` for a distribution query, validating conflicts."""
+    """Resolve ``backend=`` for a distribution query, validating conflicts.
+
+    ``exact=True`` is compatible with a backend only when the resolved
+    backend itself runs in exact mode (e.g. a ``NativeBackend(exact=True)``
+    instance): the flag then simply asserts what the engine already does.
+    Registry *names* instantiate backends with their defaults (float), so
+    ``exact=True`` with ``backend="native"`` is still rejected — configure
+    the instance instead.
+    """
     engine = resolve_backend(backend)
     if engine is None:
         return None
-    if exact:
+    if exact and not getattr(engine, "exact", False):
         raise ValueError(
-            "exact=True cannot be combined with backend=; configure the backend "
-            'itself instead (e.g. NativeBackend(exact=True) or backend="native")'
+            "exact=True requires an exact-mode backend instance; configure the "
+            "backend itself (e.g. NativeBackend(exact=True)) or drop backend="
         )
     if not hasattr(engine, "output_distribution"):
         raise TypeError(
@@ -49,16 +73,20 @@ def output_distribution(
     inputs: Iterable[Packet] | Packet | None = None,
     exact: bool = False,
     backend: Backend | str | None = None,
+    session=None,
 ) -> Dist[Outcome]:
     """Output distribution of a model (uniform over its ingress set by default).
 
     ``backend`` selects the query engine: ``None`` runs a fresh forward
     interpreter; a registry name or backend instance (e.g. ``"matrix"``)
     delegates to that backend — a shared instance reuses its compiled
-    matrices and factorizations across calls.
+    matrices and factorizations across calls.  ``session`` routes the
+    query through a persistent :class:`~repro.service.AnalysisSession`
+    (shared backend plus result cache); it is mutually exclusive with
+    ``backend``.
     """
     policy, packets = _unpack(model, inputs)
-    engine = _distribution_engine(backend, exact)
+    engine = _distribution_engine(_with_session(backend, session), exact)
     if engine is not None:
         return engine.output_distribution(policy, Dist.uniform(packets))
     interp = Interpreter(exact=exact)
@@ -71,6 +99,7 @@ def delivery_probability(
     inputs: Iterable[Packet] | Packet | None = None,
     exact: bool = False,
     backend: Backend | str | None = None,
+    session=None,
 ) -> float:
     """Probability that a packet (uniform over the ingress set) is delivered."""
     _, packets = _unpack(model, inputs)
@@ -78,7 +107,9 @@ def delivery_probability(
         if not isinstance(model, NetworkModel):
             raise ValueError("a delivered-predicate is required for bare policies")
         delivered = model.delivered
-    dist = output_distribution(model, inputs=packets, exact=exact, backend=backend)
+    dist = output_distribution(
+        model, inputs=packets, exact=exact, backend=backend, session=session
+    )
     return float(dist.prob_of(lambda out: _is_delivered(out, delivered)))
 
 

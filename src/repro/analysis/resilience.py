@@ -26,6 +26,7 @@ def resilience_table(
     schemes: Sequence[str],
     failure_bounds: Sequence[int | None],
     backend=None,
+    session=None,
 ) -> dict[str, dict[int | None, bool]]:
     """Evaluate *k*-resilience of several schemes (Figure 11(b)).
 
@@ -37,9 +38,13 @@ def resilience_table(
     structural possibility analysis (exact).  Passing a backend (e.g.
     ``"matrix"``) delegates to its ``certainly_delivers`` — the matrix
     backend answers numerically from one batched absorption solve per
-    model, within solver tolerance.
+    model, within solver tolerance.  ``session`` serves the sweep from a
+    persistent :class:`~repro.service.AnalysisSession` (cached verdicts);
+    it is mutually exclusive with ``backend``.
     """
-    engine = resolve_backend(backend)
+    from repro.analysis.queries import _with_session
+
+    engine = resolve_backend(_with_session(backend, session))
     if engine is not None and not hasattr(engine, "certainly_delivers"):
         raise TypeError(
             f"backend {type(engine).__name__} does not support resilience "

@@ -41,7 +41,7 @@ from repro.core.fdd.matrix import (
 from repro.core.fdd.node import FddManager, FddNode, node_size
 from repro.core.fdd.node import output_distribution as fdd_output_distribution
 from repro.core.interpreter import Outcome, eval_predicate
-from repro.core.markov import solve_absorption_batched
+from repro.core.markov import IncrementalAbsorptionSolver
 from repro.core.packet import DROP, Packet, _DropType
 from repro.utils.timing import Stopwatch
 
@@ -62,9 +62,12 @@ class _LoopStage:
     * ``solutions`` — transient class → absorption distribution;
     * ``matrix`` — the most recent reachable :class:`TransitionMatrix`.
 
-    New ingress classes extend the explored space; when that happens the
-    absorption system is re-factorized once for the union, so subsequent
-    queries are pure cache hits.
+    New ingress classes extend the explored space; when that happens only
+    the *newly discovered* subsystem is factorized — already-solved
+    classes act as absorbing gateways whose final distributions are
+    composed in (:class:`~repro.core.markov.IncrementalAbsorptionSolver`)
+    — so subsequent queries are pure cache hits and no class ever
+    participates in more than one factorization.
     """
 
     def __init__(
@@ -83,13 +86,18 @@ class _LoopStage:
         self.row_cache: dict[SymbolicPacket, Dist] = {}
         self.solutions: dict[SymbolicPacket, Dist] = {}
         self.matrix: TransitionMatrix | None = None
-        self.factorizations = 0
+        self.solver = IncrementalAbsorptionSolver()
         self._guard_cache: dict[SymbolicPacket, bool] = {}
         self._seeds: set[SymbolicPacket] = set()
         # Per-field membership sets and a packet->class memo: classification
         # runs once per distinct outcome packet, not once per occurrence.
         self._domain_sets = {field: frozenset(values) for field, values in domains.items()}
         self._class_cache: dict[Packet, SymbolicPacket] = {}
+
+    @property
+    def factorizations(self) -> int:
+        """Linear-system factorizations performed so far (one per growth step)."""
+        return self.solver.factorizations
 
     def guard_holds(self, cls: SymbolicPacket) -> bool:
         cached = self._guard_cache.get(cls)
@@ -316,6 +324,34 @@ class MatrixBackend:
     def compiler(self) -> Compiler:
         return self._compiler
 
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Release backend resources (registry/session API symmetry).
+
+        The matrix backend owns no worker pool; ``close()`` exists so
+        sessions can manage any registry backend uniformly.
+        """
+
+    def __enter__(self) -> "MatrixBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def warm(self, policy: s.Policy, inputs: Iterable[Packet]) -> "MatrixBackend":
+        """Pre-compile ``policy`` and pre-solve its loops for an ingress set.
+
+        Calling this once with the *union* of an expected query stream's
+        ingress packets factorizes every loop for the whole set up front,
+        so subsequent slice-wise :meth:`output_distributions` calls hit
+        the row/solution caches instead of growing the system query by
+        query.  (Sessions achieve the same through
+        ``AnalysisSession.warm``, which additionally populates the
+        session-level result cache.)
+        """
+        self.output_distributions(policy, inputs)
+        return self
+
     def clear_caches(self) -> None:
         """Drop cached plans, matrices, and loop solutions.
 
@@ -384,9 +420,14 @@ class MatrixBackend:
         """Ensure absorption solutions exist for all entry packets' classes.
 
         The reachable class space is (re)explored from the union of all
-        seeds seen so far; if anything new appears, ``I - Q`` is
-        factorized once and every absorption column is recovered in a
-        single batched multi-RHS solve.
+        seeds seen so far (transition rows are memoised, so only genuinely
+        new classes are expanded).  When growth is discovered, only the
+        subsystem of the *new* transient classes is factorized: classes
+        solved by an earlier seed are treated as absorbing gateways whose
+        final absorption distributions are composed in afterwards
+        (:class:`~repro.core.markov.IncrementalAbsorptionSolver`), so each
+        class participates in exactly one — small — factorization instead
+        of the whole reachable system being re-solved on every growth.
         """
         entry_classes = {stage.classify_packet(packet) for packet in entries}
         if entry_classes <= stage.solutions.keys():
@@ -403,16 +444,22 @@ class MatrixBackend:
             )
         stage.matrix = matrix
         transient = [cls for cls in matrix.classes if stage.guard_holds(cls)]
-        absorbing: list[SymbolicPacket | _DropType] = [
-            cls for cls in matrix.classes if not stage.guard_holds(cls)
-        ]
-        absorbing.append(DROP)
-        transitions = {cls: dict(stage.row_cache[cls].items()) for cls in transient}
+        # The incremental solver only reads rows of not-yet-solved states
+        # (solved distributions are final; exploration closes forward
+        # reachability, so a solved class can never gain a successor).
+        solved = stage.solver.solved_states
+        transitions = {
+            cls: dict(stage.row_cache[cls].items())
+            for cls in transient
+            if cls not in solved
+        }
+        if not transitions:
+            return
         with self.watch.measure("solve"):
-            system = solve_absorption_batched(transient, absorbing, transitions)
-            result = system.result()
-        stage.factorizations += 1
+            result = stage.solver.solve(transient, transitions)
         for cls in transient:
+            if cls in stage.solutions:
+                continue
             row = dict(result.get(cls, {}))
             lost = result.lost_mass.get(cls, 0)
             if lost:

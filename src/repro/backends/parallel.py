@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import weakref
 from contextlib import contextmanager
 from typing import Callable, Iterable, Sequence
 
@@ -90,25 +91,45 @@ def _merge_batches(batches, rows: dict[Packet, Dist[Outcome]]) -> None:
             rows[packet] = Dist(weights, check=False)
 
 
-@contextmanager
-def _row_pool(payload: _Payload, workers: int):
-    """A worker pool computing ``{packet: row}`` maps, reused across waves."""
+def _shutdown_pool(pool) -> None:
+    """Terminate and join a worker pool (finalizer-safe, idempotent)."""
+    pool.terminate()
+    pool.join()
+
+
+def _start_pool(payload: _Payload, workers: int):
+    """Start a worker pool computing ``{packet: row}`` maps.
+
+    Returns ``(pool, compute)``; the caller owns the pool and must
+    ``terminate()``/``join()`` it (or use :func:`_row_pool` for scoped
+    use).  The pool is reused across exploration waves — and, via
+    :class:`ParallelInterpreter`, across whole loop explorations.
+    """
     try:
         context = get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         context = get_context("spawn")
-    with context.Pool(
-        processes=workers, initializer=_worker_init, initargs=(payload,)
-    ) as pool:
+    pool = context.Pool(processes=workers, initializer=_worker_init, initargs=(payload,))
 
-        def compute(packets: Sequence[Packet]) -> dict[Packet, Dist[Outcome]]:
-            rows: dict[Packet, Dist[Outcome]] = {}
-            _merge_batches(
-                pool.map(_worker_rows, _chunk(list(packets), workers * 4)), rows
-            )
-            return rows
+    def compute(packets: Sequence[Packet]) -> dict[Packet, Dist[Outcome]]:
+        rows: dict[Packet, Dist[Outcome]] = {}
+        _merge_batches(
+            pool.map(_worker_rows, _chunk(list(packets), workers * 4)), rows
+        )
+        return rows
 
-        yield compute
+    return pool, compute
+
+
+@contextmanager
+def _row_pool(payload: _Payload, workers: int):
+    """Scoped wrapper around :func:`_start_pool` (pool torn down on exit)."""
+    pool, compute = _start_pool(payload, workers)
+    try:
+        with pool:
+            yield compute
+    finally:
+        pool.join()
 
 
 def transition_rows(
@@ -148,11 +169,49 @@ class ParallelInterpreter(Interpreter):
     (it is a single sparse LU factorisation), matching the structure of
     McNetKAT's parallel backend where per-switch compilation is parallel
     and the final combination is not.
+
+    The worker pool is *persistent*: started on the first wave that needs
+    it and reused across waves, incremental re-explorations, and every
+    loop sharing the same body (the common case — a network model's
+    pre-loop hop and its loop share one body).  Exploring a loop with a
+    *different* body restarts the pool, since workers are initialised
+    with one compiled-body spec.  The pool lives until :meth:`close` —
+    call it explicitly, use the interpreter as a context manager, or let
+    the owning backend/session close it.
     """
 
     def __init__(self, workers: int | None = None, exact: bool = False, **kwargs):
         super().__init__(exact=exact, **kwargs)
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.pools_started = 0
+        self._pool_body: s.Policy | None = None
+        self._pool = None
+        self._pool_compute: Callable[[Sequence[Packet]], dict[Packet, Dist[Outcome]]] | None = None
+        self._pool_finalizer: weakref.finalize | None = None
+
+    def close(self) -> None:
+        """Terminate the persistent worker pool (idempotent)."""
+        if self._pool_finalizer is not None:
+            self._pool_finalizer()  # terminates + joins the pool, once
+        self._pool_finalizer = None
+        self._pool = None
+        self._pool_compute = None
+        self._pool_body = None
+
+    def _pool_for(self, body: s.Policy, compiled: CompiledBody | None):
+        """The persistent pool's compute function, (re)starting it if needed."""
+        if self._pool_compute is not None and self._pool_body is body:
+            return self._pool_compute
+        self.close()
+        payload = _make_payload(body, self.exact, compiled)
+        self._pool, self._pool_compute = _start_pool(payload, self.workers)
+        # Safety net for interpreters nobody closes (e.g. a throwaway
+        # backend="parallel" resolved inside an analysis call): when this
+        # interpreter is garbage-collected, its worker processes go too.
+        self._pool_finalizer = weakref.finalize(self, _shutdown_pool, self._pool)
+        self._pool_body = body
+        self.pools_started += 1
+        return self._pool_compute
 
     def _explore_loop(self, loop: s.WhileDo, seed: Packet) -> None:
         rows = self._loop_rows.setdefault(id(loop), {})
@@ -162,36 +221,26 @@ class ParallelInterpreter(Interpreter):
             super()._explore_loop(loop, seed)
             return
         compiled = self._compiled_body(loop)
-        pool_cm = None
-        compute = None
-        try:
-            wave = [seed]
-            while wave:
-                if len(wave) < 4:
-                    # Tiny waves (incremental seeds over a mostly-explored
-                    # loop) are cheaper in-process than over IPC — no pool
-                    # is even started for them.
-                    computed = {
-                        packet: compiled.run_packet(packet)
-                        if compiled is not None
-                        else self.run_packet(loop.body, packet)
-                        for packet in wave
-                    }
-                else:
-                    if compute is None:
-                        payload = _make_payload(loop.body, self.exact, compiled)
-                        pool_cm = _row_pool(payload, self.workers)
-                        compute = pool_cm.__enter__()
-                    computed = compute(wave)
-                rows.update(computed)
-                if len(rows) > self.max_loop_states:
-                    raise RuntimeError(
-                        f"loop exploration exceeded {self.max_loop_states} states"
-                    )
-                wave = self._next_wave(loop, computed, rows)
-        finally:
-            if pool_cm is not None:
-                pool_cm.__exit__(None, None, None)
+        wave = [seed]
+        while wave:
+            if len(wave) < 4:
+                # Tiny waves (incremental seeds over a mostly-explored
+                # loop) are cheaper in-process than over IPC — no pool
+                # is even started for them.
+                computed = {
+                    packet: compiled.run_packet(packet)
+                    if compiled is not None
+                    else self.run_packet(loop.body, packet)
+                    for packet in wave
+                }
+            else:
+                computed = self._pool_for(loop.body, compiled)(wave)
+            rows.update(computed)
+            if len(rows) > self.max_loop_states:
+                raise RuntimeError(
+                    f"loop exploration exceeded {self.max_loop_states} states"
+                )
+            wave = self._next_wave(loop, computed, rows)
 
     def _next_wave(
         self,

@@ -102,6 +102,22 @@ class Interpreter:
         # Incremental absorption state, per loop.
         self._loop_solvers: dict[int, IncrementalAbsorptionSolver] = {}
 
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        """Release pooled resources owned by this interpreter.
+
+        A no-op for the sequential interpreter; subclasses that own
+        worker pools (:class:`repro.backends.parallel.ParallelInterpreter`)
+        override it.  Backends and analysis sessions call ``close()`` on
+        the interpreters they own, tying pool lifetime to their own.
+        """
+
+    def __enter__(self) -> "Interpreter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     # -- public API -----------------------------------------------------------
     def run(self, policy: s.Policy, inputs: Dist[Outcome] | Packet) -> Dist[Outcome]:
         """Run ``policy`` on an input packet or distribution over packets."""

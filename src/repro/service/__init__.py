@@ -1,0 +1,76 @@
+"""repro.service — a persistent, sharded, concurrent analysis engine.
+
+The paper's scalability story is *compile once, query many times*; this
+subsystem is that story turned into a serving layer.  Where the
+functions in :mod:`repro.analysis` historically re-entered module-level
+code with per-call engine setup, a :class:`AnalysisSession` holds
+compiled state for as long as you keep it open and answers arbitrary
+streams of queries against it.
+
+Architecture (**session → shards → backend**):
+
+* :mod:`repro.service.session` — the :class:`AnalysisSession`: one
+  shared backend (one FDD manager, one family of ``splu``
+  factorizations, one worker pool), one compiled model per destination,
+  and a canonical-FDD-keyed result cache;
+* :mod:`repro.service.shards` — pluggable :class:`ShardPlanner`
+  strategies (by destination, by ingress block, round-robin) that cut a
+  batch into exact partitions;
+* :mod:`repro.service.executor` — the persistent :class:`ShardExecutor`
+  running shards concurrently;
+* :mod:`repro.service.results` — :class:`Query`, :class:`ResultSet`,
+  and per-shard reports;
+* :mod:`repro.service.cli` — ``python -m repro.service``, serving a
+  batch query file against a topology + routing scheme.
+
+Quick start::
+
+    from repro.service import AnalysisSession, Query
+
+    session = AnalysisSession(model_factory=lambda dest: build_model(...))
+    batch = [Query.delivery((sw, pt), dest) for ...]
+    results = session.query_batch(batch)       # sharded, cached, concurrent
+    session.close()
+
+Sessions also satisfy the analysis engine protocol, so every
+``repro.analysis`` entry point accepts ``session=`` (or the session as
+``backend=``) and gains the session's caches transparently.
+"""
+
+from repro.service.executor import ShardExecutor
+from repro.service.results import (
+    QUERY_KINDS,
+    Query,
+    QueryResult,
+    ResultSet,
+    ShardReport,
+)
+from repro.service.session import AnalysisSession
+from repro.service.shards import (
+    PLANNERS,
+    ByDestinationPlanner,
+    ByIngressBlockPlanner,
+    RoundRobinPlanner,
+    Shard,
+    ShardPlanner,
+    get_planner,
+    validate_partition,
+)
+
+__all__ = [
+    "PLANNERS",
+    "QUERY_KINDS",
+    "AnalysisSession",
+    "ByDestinationPlanner",
+    "ByIngressBlockPlanner",
+    "Query",
+    "QueryResult",
+    "ResultSet",
+    "RoundRobinPlanner",
+    "Shard",
+    "ShardExecutor",
+    "ShardPlanner",
+    "ShardReport",
+    "get_planner",
+    "validate_partition",
+]

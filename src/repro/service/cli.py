@@ -1,0 +1,247 @@
+"""Command-line front end of the analysis service.
+
+``python -m repro.service`` loads a topology and a routing scheme,
+builds one network model per requested destination, opens an
+:class:`~repro.service.session.AnalysisSession` over them, and serves a
+batch query file — the same entry point the benchmarks and examples
+drive, so measured serving numbers reflect what a user would see.
+
+Batch files are JSON: either a bare list of queries or an object with a
+``"queries"`` list, each query shaped like::
+
+    {"kind": "delivery", "ingress": [sw, pt], "dest": 1}
+
+(``kind`` defaults to ``"delivery"``; kinds: ``delivery``,
+``distribution``, ``hops``).  Alternatively ``--all-pairs`` generates
+the full (ingress × destination) delivery batch for the given
+destinations.
+
+Example::
+
+    python -m repro.service --topology fattree:4 --scheme ecmp \\
+        --dest 1 --dest 2 --all-pairs --planner destination \\
+        --workers 4 --output results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from fractions import Fraction
+from typing import Callable, Sequence
+
+from repro.network.model import NetworkModel
+from repro.service.results import Query
+from repro.service.session import AnalysisSession
+from repro.service.shards import PLANNERS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve a batch of network-analysis queries from one "
+        "persistent, sharded session.",
+    )
+    parser.add_argument(
+        "--topology",
+        default="fattree:4",
+        help="topology spec: fattree:P or abfattree:P (default fattree:4)",
+    )
+    parser.add_argument(
+        "--scheme",
+        default="ecmp",
+        choices=("ecmp", "f10_0", "f10_3", "f10_3_5"),
+        help="routing scheme (default ecmp)",
+    )
+    parser.add_argument(
+        "--dest",
+        type=int,
+        action="append",
+        default=None,
+        help="destination switch (repeatable; default: the queries' dests, "
+        "or switch 1 with --all-pairs)",
+    )
+    parser.add_argument(
+        "--queries",
+        help="JSON batch file ({'queries': [...]} or a bare list)",
+    )
+    parser.add_argument(
+        "--all-pairs",
+        action="store_true",
+        help="generate delivery queries for every (ingress, dest) pair",
+    )
+    parser.add_argument(
+        "--failure-prob",
+        type=float,
+        default=None,
+        help="per-link failure probability (default: none for ecmp, 1/1000 "
+        "for f10 schemes)",
+    )
+    parser.add_argument(
+        "--max-failures",
+        type=int,
+        default=None,
+        help="bound k on concurrent failures (f10 schemes; default unbounded)",
+    )
+    parser.add_argument(
+        "--count-hops",
+        action="store_true",
+        help="build models with a hop counter (required by 'hops' queries)",
+    )
+    parser.add_argument(
+        "--backend",
+        default="matrix",
+        help="query backend registry name (default matrix)",
+    )
+    parser.add_argument(
+        "--planner",
+        default="destination",
+        help="shard planner: %s, optionally name:arg" % ", ".join(sorted(PLANNERS)),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard executor threads (default: CPU count, capped)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="serve the batch N times (repeats exercise the result cache)",
+    )
+    parser.add_argument("--output", help="write the ResultSet JSON to this path")
+    return parser
+
+
+def load_topology(spec: str):
+    """Build a topology from a ``kind:param`` spec."""
+    kind, _, arg = spec.partition(":")
+    try:
+        size = int(arg) if arg else 4
+    except ValueError:
+        raise SystemExit(f"invalid topology parameter in {spec!r}") from None
+    if kind == "fattree":
+        from repro.topology import fat_tree
+
+        return fat_tree(size)
+    if kind == "abfattree":
+        from repro.topology import ab_fat_tree
+
+        return ab_fat_tree(size)
+    raise SystemExit(f"unknown topology {kind!r}; use fattree:P or abfattree:P")
+
+
+def model_factory(
+    topology, args: argparse.Namespace
+) -> Callable[[int], NetworkModel]:
+    """The per-destination model builder for the chosen scheme."""
+    if args.scheme == "ecmp":
+        from repro.failure.models import independent_failure_program
+        from repro.network.model import build_model
+        from repro.routing import downward_failable_ports, ecmp_policy
+
+        probability = args.failure_prob
+        failable = downward_failable_ports(topology) if probability else None
+
+        def build(dest: int) -> NetworkModel:
+            failure = (
+                independent_failure_program(failable, probability)
+                if probability
+                else None
+            )
+            return build_model(
+                topology,
+                routing=ecmp_policy(topology, dest),
+                dest=dest,
+                failure=failure,
+                failable=failable,
+                count_hops=args.count_hops,
+            )
+
+        return build
+
+    from repro.routing import f10_model
+
+    probability = args.failure_prob if args.failure_prob is not None else Fraction(1, 1000)
+
+    def build(dest: int) -> NetworkModel:
+        return f10_model(
+            topology,
+            dest,
+            scheme=args.scheme,
+            failure_probability=probability,
+            max_failures=args.max_failures,
+            count_hops=args.count_hops,
+        )
+
+    return build
+
+
+def load_queries(args: argparse.Namespace, topology) -> list[Query]:
+    """The batch: from the JSON file, --all-pairs generation, or both."""
+    batch: list[Query] = []
+    if args.queries:
+        with open(args.queries, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        raw = payload["queries"] if isinstance(payload, dict) else payload
+        batch.extend(Query.coerce(entry) for entry in raw)
+    if args.all_pairs:
+        dests = args.dest or [1]
+        for dest in dests:
+            for switch, port in topology.ingress_locations(exclude=[dest]):
+                batch.append(Query.delivery((switch, port), dest))
+    if not batch:
+        raise SystemExit("no queries: pass --queries FILE and/or --all-pairs")
+    return batch
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.repeat < 1:
+        raise SystemExit("--repeat must be >= 1")
+    topology = load_topology(args.topology)
+    batch = load_queries(args, topology)
+    if any(query.kind == "hops" for query in batch) and not args.count_hops:
+        args.count_hops = True  # hop queries need the counter in the model
+
+    with AnalysisSession(
+        model_factory=model_factory(topology, args),
+        backend=args.backend,
+        planner=args.planner,
+        workers=args.workers,
+    ) as session:
+        # Default-destination queries need a registered default model.
+        if any(query.dest is None for query in batch):
+            default_dest = (args.dest or [1])[0]
+            session.add_model(session.model_for(default_dest), default=True)
+        result = session.query_batch(batch)
+        for _ in range(args.repeat - 1):
+            result = session.query_batch(batch)
+
+        print(
+            f"served {len(result)} queries in {result.seconds:.3f}s "
+            f"({result.queries_per_second:.1f} q/s), "
+            f"{len(result.shards)} shard(s), {result.cache_hits} cache hit(s)"
+        )
+        for report in result.shards:
+            print(
+                f"  shard {report.index:>3} [{report.label}] "
+                f"{report.queries:>4} queries  {report.seconds:.3f}s  "
+                f"{report.cache_hits} hit(s)"
+            )
+        stats = session.stats()
+        timings = stats["backend_timings"]
+        if timings:
+            phases = ", ".join(f"{name}={value:.3f}s" for name, value in sorted(timings.items()))
+            print(f"backend phases: {phases}")
+
+        if args.output:
+            result.dump(args.output)
+            print(f"results written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""The persistent shard executor of the analysis service.
+
+Architecture: in the **session → shards → backend** pipeline this module
+*runs* the shards.  One :class:`ShardExecutor` lives as long as its
+owning :class:`~repro.service.session.AnalysisSession`: its thread pool
+is started lazily on the first multi-shard batch and then reused by
+every subsequent batch, so steady-state serving pays no pool start-up
+cost per batch (the thread-level analogue of the parallel interpreter's
+persistent process pool, which the session also keeps alive by holding
+one backend for its whole lifetime).
+
+Shard work is I/O-light, Python-heavy, and touches shared backend caches,
+so threads (not processes) are the right vehicle: results need no
+serialisation, the backend's compiled plans and ``splu`` factorizations
+are shared in-place, and the session serialises raw backend access with
+a lock while cache lookups, value extraction, and result merging run
+concurrently.  Closing the executor (or its owning session) tears the
+pool down; ``workers=1`` runs shards inline with no pool at all.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Upper bound on default worker threads (shard work is coarse-grained).
+_DEFAULT_WORKER_CAP = 8
+
+
+class ShardExecutor:
+    """A persistent, lazily started thread pool for shard execution."""
+
+    def __init__(self, workers: int | None = None):
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = (
+            workers
+            if workers is not None
+            else min(_DEFAULT_WORKER_CAP, os.cpu_count() or 1)
+        )
+        self._pool: ThreadPoolExecutor | None = None
+        self._closed = False
+
+    @property
+    def started(self) -> bool:
+        """Whether the thread pool has been started (it starts lazily)."""
+        return self._pool is not None
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Apply ``fn`` to every item, concurrently, preserving item order.
+
+        Single-item batches and ``workers=1`` run inline (deterministic,
+        no pool).  The pool, once started, persists until :meth:`close`.
+        """
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        if self.workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-shard"
+            )
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent); subsequent :meth:`map` calls fail."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+__all__ = ["ShardExecutor"]

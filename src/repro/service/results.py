@@ -1,0 +1,266 @@
+"""Queries and result sets of the analysis service.
+
+This module holds the service's *data* layer: :class:`Query` (one
+(ingress, destination) question of a given kind), :class:`QueryResult`
+(its answer plus provenance — which shard computed it, whether it was a
+cache hit), :class:`ShardReport` (per-shard timings), and
+:class:`ResultSet` (the merged answer to a whole batch, in the caller's
+original query order).
+
+Architecture: a batch flows **session → shards → backend** — the
+:class:`~repro.service.session.AnalysisSession` coerces raw queries into
+:class:`Query` values, a :class:`~repro.service.shards.ShardPlanner`
+partitions them into shards, the executor runs each shard against the
+session's shared backend, and the per-shard answers are merged back into
+one :class:`ResultSet` here.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.core.distributions import Dist
+from repro.core.packet import Packet, _DropType
+
+#: The query kinds the service answers.
+QUERY_KINDS = ("delivery", "distribution", "hops")
+
+
+def coerce_packet(ingress) -> Packet:
+    """Coerce an ingress spec — ``Packet``, ``(sw, pt)``, or mapping — to a packet."""
+    if isinstance(ingress, Packet):
+        return ingress
+    if isinstance(ingress, Mapping):
+        return Packet(dict(ingress))
+    if isinstance(ingress, Sequence) and len(ingress) == 2:
+        switch, port = ingress
+        return Packet({"sw": int(switch), "pt": int(port)})
+    raise TypeError(f"cannot interpret {ingress!r} as an ingress location")
+
+
+@dataclass(frozen=True)
+class Query:
+    """One question about one (ingress, destination) pair.
+
+    ``kind`` selects what is asked of the pair:
+
+    * ``"delivery"`` — probability the ingress packet reaches ``dest``;
+    * ``"distribution"`` — the full output distribution of the ingress;
+    * ``"hops"`` — expected hop count conditioned on delivery (requires a
+      model built with ``count_hops=True``).
+
+    ``dest=None`` targets the session's default model.  Queries are
+    hashable; the session's result cache and the planners key on them.
+    """
+
+    kind: str
+    ingress: Packet
+    dest: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in QUERY_KINDS:
+            known = ", ".join(QUERY_KINDS)
+            raise ValueError(f"unknown query kind {self.kind!r}; expected one of: {known}")
+
+    @classmethod
+    def delivery(cls, ingress, dest: int | None = None) -> "Query":
+        return cls("delivery", coerce_packet(ingress), dest)
+
+    @classmethod
+    def distribution(cls, ingress, dest: int | None = None) -> "Query":
+        return cls("distribution", coerce_packet(ingress), dest)
+
+    @classmethod
+    def hops(cls, ingress, dest: int | None = None) -> "Query":
+        return cls("hops", coerce_packet(ingress), dest)
+
+    @classmethod
+    def coerce(cls, raw) -> "Query":
+        """Coerce a raw query spec (``Query``, mapping, or pair) to a query.
+
+        Mappings use the CLI/batch-file shape
+        ``{"kind": ..., "ingress": [sw, pt], "dest": ...}`` (kind defaults
+        to ``"delivery"``); a bare ``(ingress, dest)`` pair is a delivery
+        query.
+        """
+        if isinstance(raw, cls):
+            return raw
+        if isinstance(raw, Mapping):
+            return cls(
+                raw.get("kind", "delivery"),
+                coerce_packet(raw["ingress"]),
+                raw.get("dest"),
+            )
+        if isinstance(raw, Sequence) and len(raw) == 2:
+            ingress, dest = raw
+            return cls.delivery(ingress, None if dest is None else int(dest))
+        raise TypeError(f"cannot interpret {raw!r} as a service query")
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One answered query: the value plus its provenance."""
+
+    query: Query
+    value: object
+    shard: int
+    cached: bool
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """Per-shard execution record (size, wall-clock, cache behaviour)."""
+
+    index: int
+    label: str
+    queries: int
+    seconds: float
+    cache_hits: int
+
+
+@dataclass
+class ResultSet:
+    """The merged answer to one query batch.
+
+    ``results`` is in the caller's original query order regardless of how
+    the planner sharded the batch; ``shards`` records one
+    :class:`ShardReport` per executed shard; ``seconds`` is the
+    end-to-end wall-clock of the batch (planning + execution + merge).
+    """
+
+    results: list[QueryResult]
+    shards: list[ShardReport] = field(default_factory=list)
+    seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[QueryResult]:
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> QueryResult:
+        return self.results[index]
+
+    @property
+    def values(self) -> list[object]:
+        """The raw values, in original query order."""
+        return [result.value for result in self.results]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for result in self.results if result.cached)
+
+    @property
+    def queries_per_second(self) -> float:
+        if self.seconds <= 0.0:
+            return float("inf")
+        return len(self.results) / self.seconds
+
+    def value(self, query: Query) -> object:
+        """The value of the first result matching ``query``."""
+        for result in self.results:
+            if result.query == query:
+                return result.value
+        raise KeyError(f"no result for {query!r}")
+
+    def by_kind(self, kind: str) -> list[QueryResult]:
+        return [result for result in self.results if result.query.kind == kind]
+
+    # -- serialisation ---------------------------------------------------------
+    def to_json(self) -> dict:
+        """A JSON-serialisable summary (distributions become string-keyed maps)."""
+        return {
+            "queries": len(self.results),
+            "seconds": round(self.seconds, 6),
+            "queries_per_second": round(self.queries_per_second, 3)
+            if self.seconds > 0
+            else None,
+            "cache_hits": self.cache_hits,
+            "shards": [
+                {
+                    "index": report.index,
+                    "label": report.label,
+                    "queries": report.queries,
+                    "seconds": round(report.seconds, 6),
+                    "cache_hits": report.cache_hits,
+                }
+                for report in self.shards
+            ],
+            "results": [
+                {
+                    "kind": result.query.kind,
+                    "ingress": dict(result.query.ingress.as_dict()),
+                    "dest": result.query.dest,
+                    "shard": result.shard,
+                    "cached": result.cached,
+                    "value": _json_value(result.value),
+                }
+                for result in self.results
+            ],
+        }
+
+    def dump(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, indent=2)
+            handle.write("\n")
+
+
+def _json_value(value: object) -> object:
+    """Render a query value for JSON output."""
+    if isinstance(value, Dist):
+        return {
+            _outcome_label(outcome): float(prob) for outcome, prob in value.items()
+        }
+    if isinstance(value, float):
+        return value
+    return value
+
+
+def _outcome_label(outcome) -> str:
+    if isinstance(outcome, _DropType):
+        return "drop"
+    items = ",".join(f"{name}={val}" for name, val in sorted(outcome.as_dict().items()))
+    return items or "<empty>"
+
+
+def merge_shard_results(
+    queries: Sequence[Query],
+    shard_outputs: Iterable[tuple[ShardReport, list[QueryResult]]],
+    seconds: float,
+) -> ResultSet:
+    """Merge per-shard outputs back into the caller's original query order.
+
+    Duplicate queries in a batch are legal: each occurrence consumes one
+    computed result (planners preserve multiplicity, so the counts line
+    up exactly).
+    """
+    reports: list[ShardReport] = []
+    pending: dict[Query, list[QueryResult]] = {}
+    for report, results in shard_outputs:
+        reports.append(report)
+        for result in results:
+            pending.setdefault(result.query, []).append(result)
+    ordered: list[QueryResult] = []
+    for query in queries:
+        bucket = pending.get(query)
+        if not bucket:
+            raise RuntimeError(f"shard execution lost query {query!r}")
+        ordered.append(bucket.pop())
+    leftovers = sum(len(bucket) for bucket in pending.values())
+    if leftovers:
+        raise RuntimeError(f"shard execution produced {leftovers} surplus result(s)")
+    reports.sort(key=lambda report: report.index)
+    return ResultSet(results=ordered, shards=reports, seconds=seconds)
+
+
+__all__ = [
+    "QUERY_KINDS",
+    "Query",
+    "QueryResult",
+    "ResultSet",
+    "ShardReport",
+    "coerce_packet",
+    "merge_shard_results",
+]

@@ -1,0 +1,519 @@
+"""Persistent analysis sessions: compile once, serve query streams.
+
+Architecture: the service pipeline is **session → shards → backend**.
+An :class:`AnalysisSession` is the long-lived top layer a production
+verifier would keep per tenant or per network: it owns *one* backend
+instance (and therefore one FDD manager, one set of compiled query
+plans, one family of ``splu`` factorizations, and — for the parallel
+backend — one persistent worker pool), registers one compiled
+:class:`~repro.network.model.NetworkModel` per destination, and answers
+arbitrary streams of queries against that compiled state.
+
+A query batch flows through the session as follows:
+
+1. raw queries are coerced to :class:`~repro.service.results.Query`
+   values ((ingress, destination) pairs plus a kind);
+2. the session's pluggable :class:`~repro.service.shards.ShardPlanner`
+   partitions the batch into shards (by destination, by ingress block,
+   or round-robin) — validated to be an *exact* partition;
+3. the persistent :class:`~repro.service.executor.ShardExecutor` runs
+   the shards concurrently; each shard resolves its destination's model
+   and asks the shared backend for the batched per-ingress output
+   distributions of the shard's slice, consulting the session-wide
+   result cache first;
+4. per-shard answers are merged back into one
+   :class:`~repro.service.results.ResultSet` in the caller's original
+   query order, with per-shard timings attached.
+
+The result cache is keyed by the *canonical FDD stages* of the queried
+policy (hash-consed diagrams, so semantically equal policies share
+entries) plus the concrete ingress packet; repeated or overlapping
+batches are answered from memory without touching the solver.
+
+Sessions implement the analysis engine protocol
+(``output_distribution`` / ``certainly_delivers``), so every
+``repro.analysis`` entry point accepts one via its ``session=``
+parameter — or directly as ``backend=`` — and transparently gains the
+session's caches.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.backends import resolve_backend
+from repro.core import syntax as s
+from repro.core.distributions import Dist
+from repro.core.interpreter import Outcome
+from repro.core.packet import DROP, Packet, _DropType
+from repro.network.model import NetworkModel
+from repro.service.executor import ShardExecutor
+from repro.service.results import (
+    Query,
+    QueryResult,
+    ResultSet,
+    ShardReport,
+    merge_shard_results,
+)
+from repro.service.shards import Shard, ShardPlanner, get_planner, validate_partition
+
+
+class AnalysisSession:
+    """A persistent, concurrent analysis engine over compiled network models.
+
+    Parameters
+    ----------
+    model:
+        The session's default network model (also registered under its
+        destination).  Optional when ``models`` or ``model_factory``
+        supply the destinations instead.
+    models:
+        Additional pre-built models, registered by their ``dest``.
+    model_factory:
+        ``dest -> NetworkModel`` builder for destinations not registered
+        up front; built models are compiled once and cached.
+    backend:
+        The shared query engine: a registry name (default ``"matrix"``)
+        or a backend instance.  One instance serves every query of the
+        session, so compiled plans, factorizations, and worker pools are
+        shared across the whole stream.
+    planner:
+        Default shard planner: a name (``"destination"``, ``"ingress"``,
+        ``"round-robin"``, optionally ``"name:arg"``) or a
+        :class:`~repro.service.shards.ShardPlanner` instance.
+    workers:
+        Concurrency of the shard executor (default: CPU count, capped).
+        ``1`` executes shards sequentially inline.
+    cache:
+        Keep the canonical-FDD-keyed result cache (default).  Disable to
+        re-solve every query (e.g. for benchmarking the raw solver path).
+    """
+
+    def __init__(
+        self,
+        model: NetworkModel | None = None,
+        *,
+        models: Iterable[NetworkModel] | Mapping[int, NetworkModel] | None = None,
+        model_factory: Callable[[int], NetworkModel] | None = None,
+        backend: object | str | None = "matrix",
+        planner: ShardPlanner | str | None = None,
+        workers: int | None = None,
+        cache: bool = True,
+    ):
+        engine = resolve_backend(backend)
+        if engine is None:
+            raise ValueError("a session needs a backend (name or instance)")
+        if not hasattr(engine, "output_distributions"):
+            raise TypeError(
+                f"backend {type(engine).__name__} does not support batched "
+                "distribution queries; use 'native', 'matrix', or 'parallel'"
+            )
+        self._backend = engine
+        # Registry names instantiate a fresh backend the session owns (and
+        # closes); caller-supplied instances stay the caller's to close.
+        self._owns_backend = isinstance(backend, str)
+        self._planner = get_planner(planner)
+        self._executor = ShardExecutor(workers)
+        self._model_factory = model_factory
+        self._cache_enabled = cache
+        self._closed = False
+        # One lock serialises raw backend access: backends share one FDD
+        # manager and mutate plan/row caches, so they are not thread-safe.
+        # Cache lookups, value extraction, and merging run outside it.
+        self._lock = threading.RLock()
+        # dest -> model; the None key is the session's default model.
+        self._models: dict[int | None, NetworkModel] = {}
+        # Canonical policy keys: id(policy) -> (policy, key).  The policy
+        # is retained so a recycled id cannot alias a different program.
+        self._keys: dict[int, tuple[s.Policy, object]] = {}
+        # (policy key, ingress packet) -> output distribution.
+        self._dists: dict[tuple, Dist[Outcome]] = {}
+        # (policy key, "certainly_delivers") -> bool.
+        self._verdicts: dict[tuple, bool] = {}
+        self._queries_served = 0
+        self._batches_served = 0
+        self._shards_run = 0
+
+        if model is not None:
+            self.add_model(model, default=True)
+        if models is not None:
+            values = models.values() if isinstance(models, Mapping) else models
+            for entry in values:
+                self.add_model(entry)
+        if not self._models and model_factory is None:
+            raise ValueError(
+                "a session needs at least one model (model=, models=) or a "
+                "model_factory"
+            )
+
+    # -- model registry --------------------------------------------------------
+    def add_model(self, model: NetworkModel, default: bool = False) -> NetworkModel:
+        """Register ``model`` under its destination (optionally as default).
+
+        Only an explicit ``default=True`` (or the constructor's ``model=``
+        argument) sets the default model served by ``dest=None`` queries —
+        lazily factory-built models never promote themselves, so the
+        default cannot depend on which destination happened to be queried
+        (or built by a concurrent shard) first.
+        """
+        self._models[model.dest] = model
+        if default:
+            self._models[None] = model
+        return model
+
+    def model_for(self, dest: int | None = None) -> NetworkModel:
+        """The model serving ``dest`` (built via the factory if needed)."""
+        found = self._models.get(dest)
+        if found is not None:
+            return found
+        if dest is None:
+            raise KeyError(
+                "no default model: construct the session with model=, or "
+                "add_model(..., default=True), or query explicit destinations"
+            )
+        if self._model_factory is None:
+            known = sorted(k for k in self._models if k is not None)
+            raise KeyError(
+                f"no model for destination {dest!r} (registered: {known}, "
+                f"no model_factory)"
+            )
+        with self._lock:
+            found = self._models.get(dest)
+            if found is None:
+                found = self.add_model(self._model_factory(dest))
+        return found
+
+    @property
+    def destinations(self) -> list[int]:
+        """The destinations with a registered (already built) model."""
+        return sorted(k for k in self._models if k is not None)
+
+    @property
+    def backend(self):
+        return self._backend
+
+    @property
+    def exact(self) -> bool:
+        """Whether the underlying backend runs in exact mode."""
+        return bool(getattr(self._backend, "exact", False))
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the executor and the session-owned backend (idempotent).
+
+        A backend *instance* passed by the caller is not closed — shared
+        instances may serve other users (the documented shared-backend
+        pattern); only backends the session instantiated from a registry
+        name are torn down with it.
+        """
+        self._closed = True
+        self._executor.close()
+        if self._owns_backend:
+            closer = getattr(self._backend, "close", None)
+            if closer is not None:
+                closer()
+
+    def __enter__(self) -> "AnalysisSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def clear_cache(self) -> None:
+        """Drop the session result cache (and the backend's, if it has one)."""
+        with self._lock:
+            self._dists.clear()
+            self._verdicts.clear()
+            clearer = getattr(self._backend, "clear_caches", None)
+            if clearer is not None:
+                clearer()
+
+    # -- batched query API -----------------------------------------------------
+    def query_batch(
+        self,
+        queries: Iterable[Query | Mapping | tuple],
+        planner: ShardPlanner | str | None = None,
+    ) -> ResultSet:
+        """Answer a batch of queries, sharded and executed concurrently.
+
+        Returns a :class:`~repro.service.results.ResultSet` in the
+        original query order with per-shard timing reports attached.
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        batch = [Query.coerce(raw) for raw in queries]
+        start = time.perf_counter()
+        chosen = get_planner(planner) if planner is not None else self._planner
+        shards = chosen.plan(batch)
+        validate_partition(batch, shards)
+        outputs = self._executor.map(self._run_shard, shards)
+        result = merge_shard_results(batch, outputs, time.perf_counter() - start)
+        with self._lock:
+            self._queries_served += len(batch)
+            self._batches_served += 1
+            self._shards_run += len(shards)
+        return result
+
+    def query(self, kind: str, ingress, dest: int | None = None):
+        """Answer one query and return its bare value.
+
+        ``session.query("delivery", (sw, pt), dest)`` is the scalar
+        convenience over :meth:`query_batch`.
+        """
+        q = Query.coerce({"kind": kind, "ingress": ingress, "dest": dest})
+        return self.query_batch([q]).results[0].value
+
+    def delivery_probabilities(self, dest: int | None = None) -> dict[Packet, float]:
+        """Per-ingress delivery probability of one destination's model."""
+        model = self.model_for(dest)
+        batch = [Query("delivery", packet, dest) for packet in model.ingress_packets]
+        results = self.query_batch(batch)
+        return {res.query.ingress: res.value for res in results}
+
+    def resilience_sweep(
+        self,
+        model_factory: Callable[[str, int | None], NetworkModel],
+        schemes: Sequence[str],
+        failure_bounds: Sequence[int | None],
+    ) -> dict[str, dict[int | None, bool]]:
+        """A Figure 11(b)-style sweep served by this session's backend.
+
+        ``model_factory(scheme, k)`` builds each configuration; verdicts
+        are cached by canonical policy key, so overlapping sweeps reuse
+        earlier answers.
+        """
+        return {
+            scheme: {
+                bound: self.certainly_delivers(model_factory(scheme, bound))
+                for bound in failure_bounds
+            }
+            for scheme in schemes
+        }
+
+    # -- engine protocol (usable as backend=/session= in repro.analysis) --------
+    def output_distribution(
+        self, policy: s.Policy | NetworkModel, inputs: Packet | Dist | Iterable[Packet]
+    ) -> Dist[Outcome]:
+        """Output distribution on a packet, a distribution, or an ingress set.
+
+        Same contract as the backends' ``output_distribution``, but
+        answered through the session cache.
+        """
+        if isinstance(policy, NetworkModel):
+            policy = policy.policy
+        if isinstance(inputs, Packet):
+            weighted: list[tuple[Outcome, object]] = [(inputs, 1)]
+        elif isinstance(inputs, Dist):
+            weighted = list(inputs.items())
+        else:
+            packets = list(inputs)
+            if not packets:
+                raise ValueError("cannot build a uniform distribution over no outcomes")
+            share = s.as_prob(1) / len(packets)
+            weighted = [(packet, share) for packet in packets]
+        proper = [pk for pk, _ in weighted if not isinstance(pk, _DropType)]
+        dists, _hits = self._distributions(policy, proper)
+        parts: list[tuple[Dist[Outcome], object]] = []
+        for outcome, mass in weighted:
+            if isinstance(outcome, _DropType):
+                parts.append((Dist.point(DROP), mass))
+            else:
+                parts.append((dists[outcome], mass))
+        return Dist.convex(parts, check=False)
+
+    def output_distributions(
+        self, policy: s.Policy | NetworkModel, inputs: Iterable[Packet]
+    ) -> dict[Packet, Dist[Outcome]]:
+        """Per-ingress output distributions, through the session cache."""
+        if isinstance(policy, NetworkModel):
+            policy = policy.policy
+        dists, _hits = self._distributions(policy, list(inputs))
+        return dists
+
+    def certainly_delivers(self, model: NetworkModel) -> bool:
+        """Whether every ingress of ``model`` delivers with probability one.
+
+        Delegates to the session backend (structural analysis for the
+        native family, batched numerical check for the matrix backend);
+        verdicts are cached by canonical policy key.
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        key = (self._policy_key(model.policy), "certainly_delivers")
+        cached = self._verdicts.get(key)
+        if cached is None:
+            with self._lock:
+                cached = self._verdicts.get(key)
+                if cached is None:
+                    cached = bool(self._backend.certainly_delivers(model))
+                    self._verdicts[key] = cached
+        return cached
+
+    # -- introspection ---------------------------------------------------------
+    def stats(self) -> dict[str, object]:
+        """Serving counters plus the backend's accumulated phase timings."""
+        timings = getattr(self._backend, "timings", None)
+        return {
+            "queries": self._queries_served,
+            "batches": self._batches_served,
+            "shards": self._shards_run,
+            "cached_distributions": len(self._dists),
+            "destinations": self.destinations,
+            "backend": type(self._backend).__name__,
+            "backend_timings": dict(timings()) if timings is not None else {},
+        }
+
+    def warm(self, dest: int | None = None) -> "AnalysisSession":
+        """Pre-solve one destination's model for its full ingress set.
+
+        After warming, any batch over that destination's ingress packets
+        is answered from the session cache (the matrix backend performs
+        one batched factorization here; see ``MatrixBackend.warm``).
+        """
+        model = self.model_for(dest)
+        self._distributions(model.policy, model.ingress_packets)
+        return self
+
+    # -- internals -------------------------------------------------------------
+    def _run_shard(self, shard: Shard) -> tuple[ShardReport, list[QueryResult]]:
+        start = time.perf_counter()
+        results: list[QueryResult] = []
+        hits_total = 0
+        groups: dict[int | None, list[Query]] = {}
+        for query in shard.queries:
+            groups.setdefault(query.dest, []).append(query)
+        for dest, group in groups.items():
+            model = self.model_for(dest)
+            dists, hits = self._distributions(
+                model.policy, [query.ingress for query in group]
+            )
+            for query in group:
+                cached = query.ingress in hits
+                hits_total += 1 if cached else 0
+                value = self._evaluate(query, model, dists[query.ingress])
+                results.append(QueryResult(query, value, shard.index, cached))
+        report = ShardReport(
+            index=shard.index,
+            label=shard.label,
+            queries=len(shard.queries),
+            seconds=time.perf_counter() - start,
+            cache_hits=hits_total,
+        )
+        return report, results
+
+    def _evaluate(self, query: Query, model: NetworkModel, dist: Dist[Outcome]):
+        # The value logic is shared with repro.analysis.queries (imported
+        # lazily: repro.analysis re-exports this class, also lazily), so
+        # session answers cannot drift from the per-call entry points.
+        from repro.analysis.queries import _is_delivered
+
+        if query.kind == "delivery":
+            delivered = model.delivered
+            return float(dist.prob_of(lambda out: _is_delivered(out, delivered)))
+        if query.kind == "distribution":
+            return dist
+        if query.kind == "hops":
+            hops_field = model.hops_field
+            if hops_field is None:
+                raise ValueError(
+                    "hop-count queries need a model built with count_hops=True"
+                )
+            # Same semantics as analysis.latency.expected_hop_count: only
+            # delivered outcomes carrying a hop value contribute mass.
+            total = 0.0
+            mass = 0.0
+            for outcome, prob in dist.items():
+                if isinstance(outcome, _DropType) or outcome.get("sw") != model.dest:
+                    continue
+                hops = outcome.get(hops_field)
+                if hops is None:
+                    continue
+                total += float(prob) * float(hops)
+                mass += float(prob)
+            if mass == 0.0:
+                raise ZeroDivisionError(
+                    "no traffic is delivered; expected hop count undefined"
+                )
+            return total / mass
+        raise ValueError(f"unknown query kind {query.kind!r}")
+
+    def _distributions(
+        self, policy: s.Policy, packets: Sequence[Packet]
+    ) -> tuple[dict[Packet, Dist[Outcome]], set[Packet]]:
+        """Per-ingress distributions of ``policy``, via the session cache.
+
+        Returns ``(dists, hits)`` where ``hits`` are the packets answered
+        from the cache.  Misses are computed in one batched backend call
+        under the session lock.
+        """
+        if self._closed:
+            # Every query surface funnels through here (query_batch via
+            # _run_shard, the engine protocol, warm), so a closed session
+            # cannot silently restart backend resources close() released.
+            raise RuntimeError("session is closed")
+        base = self._policy_key(policy)
+        if not self._cache_enabled:
+            with self._lock:
+                return dict(self._backend.output_distributions(policy, packets)), set()
+        cache = self._dists
+        out: dict[Packet, Dist[Outcome]] = {}
+        hits: set[Packet] = set()
+        misses: list[Packet] = []
+        for packet in packets:
+            found = cache.get((base, packet))
+            if found is None:
+                if packet not in out:
+                    misses.append(packet)
+                    out[packet] = None  # type: ignore[assignment]
+            else:
+                out[packet] = found
+                hits.add(packet)
+        if misses:
+            with self._lock:
+                still = [pk for pk in misses if (base, pk) not in cache]
+                if still:
+                    computed = self._backend.output_distributions(policy, still)
+                    for packet, dist in computed.items():
+                        cache[(base, packet)] = dist
+                # Read back while still holding the lock: clear_cache()
+                # also locks, so a concurrent clear cannot empty the cache
+                # between the compute and this read.
+                for packet in misses:
+                    out[packet] = cache[(base, packet)]
+        return out, hits
+
+    def _policy_key(self, policy: s.Policy) -> object:
+        """A cache key for ``policy``: canonical FDD stages when available.
+
+        With a plan-capable backend (the matrix backend) the key is the
+        tuple of the policy's compiled stage FDDs — hash-consed nodes, so
+        semantically equal policies share one key.  Other backends fall
+        back to object identity (the policy is retained so its id cannot
+        be recycled).
+        """
+        entry = self._keys.get(id(policy))
+        if entry is not None and entry[0] is policy:
+            return entry[1]
+        with self._lock:
+            entry = self._keys.get(id(policy))
+            if entry is not None and entry[0] is policy:
+                return entry[1]
+            plan_fn = getattr(self._backend, "plan", None)
+            if plan_fn is not None:
+                stages = []
+                for stage in plan_fn(policy).stages:
+                    body_fdd = getattr(stage, "body_fdd", None)
+                    if body_fdd is not None:
+                        stages.append(("loop", stage.guard_fdd, body_fdd))
+                    else:
+                        stages.append(("fdd", stage.fdd))
+                key: object = ("fdd-stages", tuple(stages))
+            else:
+                key = ("policy-id", id(policy))
+            self._keys[id(policy)] = (policy, key)
+            return key
+
+
+__all__ = ["AnalysisSession"]

@@ -1,0 +1,211 @@
+"""Shard planners: partitioning a query batch for concurrent execution.
+
+Architecture: in the **session → shards → backend** pipeline this module
+decides *how a batch is cut*.  A :class:`ShardPlanner` receives the whole
+coerced batch and returns :class:`Shard`\\ s — disjoint, exhaustive slices
+that the session's executor runs concurrently.  Every planner must
+partition the batch *exactly*: each query occurrence lands in exactly one
+shard (checked by :func:`validate_partition` on every batch).
+
+Three strategies are provided:
+
+* :class:`ByDestinationPlanner` (``"destination"``) — one shard per
+  destination.  The natural cut for the batched matrix backend: each
+  shard's queries share one compiled plan and one absorption system, so a
+  shard is answered by a single batched multi-RHS solve.
+* :class:`ByIngressBlockPlanner` (``"ingress"`` / ``"ingress:N"``) —
+  contiguous blocks of the (destination-major, ingress-ordered) query
+  space, ``N`` queries per block.  Bounds the per-shard working set, so
+  huge single-destination batches stream through memory block by block.
+* :class:`RoundRobinPlanner` (``"round-robin"`` / ``"round-robin:N"``) —
+  query *i* goes to shard ``i mod N``.  Load-balances heterogeneous
+  batches across exactly ``N`` shards.
+
+Planners are looked up by name (with an optional ``:arg`` parameter) via
+:func:`get_planner`, mirroring the backend registry.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.service.results import Query
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One executable slice of a batch: an index, a label, and its queries."""
+
+    index: int
+    label: str
+    queries: tuple[Query, ...]
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+
+class ShardPlanner:
+    """Base class of the pluggable sharding strategies."""
+
+    #: Registry name of the strategy (overridden by subclasses).
+    name = "base"
+
+    def plan(self, queries: Sequence[Query]) -> list[Shard]:
+        """Partition ``queries`` into shards (exact: no loss, no duplication)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class ByDestinationPlanner(ShardPlanner):
+    """One shard per destination, in order of first appearance.
+
+    Each shard targets a single compiled model, so the backend answers it
+    with one batched solve; distinct destinations are independent and run
+    concurrently.
+    """
+
+    name = "destination"
+
+    def plan(self, queries: Sequence[Query]) -> list[Shard]:
+        groups: dict[int | None, list[Query]] = {}
+        for query in queries:
+            groups.setdefault(query.dest, []).append(query)
+        return [
+            Shard(index, f"dest={dest if dest is not None else 'default'}", tuple(group))
+            for index, (dest, group) in enumerate(groups.items())
+        ]
+
+
+class ByIngressBlockPlanner(ShardPlanner):
+    """Contiguous ingress blocks of at most ``block_size`` queries.
+
+    Queries are ordered destination-major, then by ingress location, and
+    chunked; blocks never span destinations, so each shard still hits a
+    single compiled model.
+    """
+
+    name = "ingress"
+
+    def __init__(self, block_size: int = 16):
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        self.block_size = block_size
+
+    def plan(self, queries: Sequence[Query]) -> list[Shard]:
+        groups: dict[int | None, list[Query]] = {}
+        for query in queries:
+            groups.setdefault(query.dest, []).append(query)
+        shards: list[Shard] = []
+        for dest, group in groups.items():
+            ordered = sorted(
+                group,
+                key=lambda q: tuple(sorted(q.ingress.as_dict().items())),
+            )
+            for start in range(0, len(ordered), self.block_size):
+                block = tuple(ordered[start : start + self.block_size])
+                label = f"dest={dest if dest is not None else 'default'}/block={start // self.block_size}"
+                shards.append(Shard(len(shards), label, block))
+        return shards
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(block_size={self.block_size})"
+
+
+class RoundRobinPlanner(ShardPlanner):
+    """Deal queries over exactly ``shards`` shards, round-robin."""
+
+    name = "round-robin"
+
+    def __init__(self, shards: int = 4):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.shards = shards
+
+    def plan(self, queries: Sequence[Query]) -> list[Shard]:
+        buckets: list[list[Query]] = [[] for _ in range(min(self.shards, max(1, len(queries))))]
+        for position, query in enumerate(queries):
+            buckets[position % len(buckets)].append(query)
+        return [
+            Shard(index, f"rr={index}", tuple(bucket))
+            for index, bucket in enumerate(buckets)
+            if bucket
+        ]
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(shards={self.shards})"
+
+
+#: Registry of planner names to planner classes (mirrors the backend registry).
+PLANNERS: dict[str, type[ShardPlanner]] = {
+    ByDestinationPlanner.name: ByDestinationPlanner,
+    ByIngressBlockPlanner.name: ByIngressBlockPlanner,
+    RoundRobinPlanner.name: RoundRobinPlanner,
+}
+
+
+def get_planner(spec: "ShardPlanner | str | None") -> ShardPlanner:
+    """Resolve a planner spec: an instance, a name, or ``"name:arg"``.
+
+    ``None`` yields the default :class:`ByDestinationPlanner`.  The
+    optional integer argument parameterises the strategy, e.g.
+    ``"ingress:32"`` (block size) or ``"round-robin:8"`` (shard count).
+    """
+    if spec is None:
+        return ByDestinationPlanner()
+    if isinstance(spec, ShardPlanner):
+        return spec
+    name, _, arg = str(spec).partition(":")
+    try:
+        planner_class = PLANNERS[name]
+    except KeyError:
+        known = ", ".join(sorted(PLANNERS))
+        raise ValueError(f"unknown shard planner {name!r}; available: {known}") from None
+    if not arg:
+        return planner_class()
+    try:
+        value = int(arg)
+    except ValueError:
+        raise ValueError(f"planner argument must be an integer: {spec!r}") from None
+    if planner_class is ByIngressBlockPlanner:
+        return ByIngressBlockPlanner(block_size=value)
+    if planner_class is RoundRobinPlanner:
+        return RoundRobinPlanner(shards=value)
+    raise ValueError(f"planner {name!r} takes no argument")
+
+
+def validate_partition(queries: Sequence[Query], shards: Sequence[Shard]) -> None:
+    """Assert that ``shards`` partition ``queries`` exactly (as multisets).
+
+    Raises :class:`ValueError` naming the lost or duplicated queries, so a
+    buggy planner fails loudly instead of silently dropping answers.
+    """
+    wanted = Counter(queries)
+    planned = Counter(query for shard in shards for query in shard.queries)
+    if wanted == planned:
+        return
+    lost = wanted - planned
+    extra = planned - wanted
+    problems = []
+    if lost:
+        problems.append(f"lost {sum(lost.values())} query(ies), e.g. {next(iter(lost))!r}")
+    if extra:
+        problems.append(
+            f"duplicated {sum(extra.values())} query(ies), e.g. {next(iter(extra))!r}"
+        )
+    raise ValueError("shard plan is not an exact partition: " + "; ".join(problems))
+
+
+__all__ = [
+    "PLANNERS",
+    "ByDestinationPlanner",
+    "ByIngressBlockPlanner",
+    "RoundRobinPlanner",
+    "Shard",
+    "ShardPlanner",
+    "get_planner",
+    "validate_partition",
+]

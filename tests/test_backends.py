@@ -154,3 +154,82 @@ class TestParallelCompiledShipping:
         model = example.models_resilient["f2"]
         interp.run_packet(model, example.ingress_packet)
         assert interp.loop_stats()["compiled_loops"] >= 1
+
+
+class TestPersistentPool:
+    """The parallel interpreter reuses one worker pool until close()."""
+
+    def wide_loop(self, n: int = 20):
+        # Each state fans out to four successors, so exploration waves are
+        # wide enough (>= 4 states) to engage the worker pool.
+        body = s.case(
+            [
+                (
+                    s.test("sw", i),
+                    s.choice(
+                        *[(s.assign("sw", min(i + step, n)), 0.25) for step in (1, 2, 3, 4)]
+                    ),
+                )
+                for i in range(1, n)
+            ],
+            s.drop(),
+        )
+        return s.while_do(s.neg(s.test("sw", n)), body)
+
+    def test_pool_reused_across_seeds_and_loops(self):
+        loop = self.wide_loop()
+        # Two distinct loop objects over the SAME body AST: the pool is
+        # keyed by the body, so both explorations share one pool.
+        sibling = s.while_do(loop.guard, loop.body)
+        with ParallelInterpreter(workers=2) as interp:
+            interp.run_packet(loop, Packet({"sw": 1}))
+            assert interp.pools_started == 1
+            assert interp._pool is not None
+            interp.run_packet(loop, Packet({"sw": 2}))  # incremental seed
+            interp.run_packet(sibling, Packet({"sw": 1}))
+            assert interp.pools_started == 1
+        assert interp._pool is None  # context exit closed the pool
+
+    def test_close_is_idempotent_and_explicit(self):
+        interp = ParallelInterpreter(workers=2)
+        interp.run_packet(self.wide_loop(), Packet({"sw": 1}))
+        assert interp.pools_started == 1
+        interp.close()
+        interp.close()
+        assert interp._pool is None
+        # A closed interpreter can still serve: the pool restarts on demand.
+        interp.run_packet(self.wide_loop(), Packet({"sw": 1}))
+        assert interp.pools_started == 2
+        interp.close()
+
+    def test_backend_close_tears_down_interpreter_pool(self, example):
+        from repro.backends import ParallelBackend
+
+        with ParallelBackend(workers=2) as backend:
+            model = example.models_resilient["f2"]
+            backend.output_distribution(model, example.ingress_packet)
+        assert backend.interpreter._pool is None
+
+    def test_sequential_interpreter_close_is_noop(self, example):
+        from repro.core.interpreter import Interpreter
+
+        with Interpreter() as interp:
+            dist = interp.run_packet(example.naive, example.ingress_packet)
+        assert sum(float(prob) for _, prob in dist.items()) == pytest.approx(1.0)
+
+    def test_dropped_interpreter_finalizes_its_pool(self):
+        import gc
+        import weakref
+
+        interp = ParallelInterpreter(workers=2)
+        interp.run_packet(self.wide_loop(), Packet({"sw": 1}))
+        assert interp._pool is not None
+        finalizer = interp._pool_finalizer
+        assert finalizer is not None and finalizer.alive
+        # Dropping the interpreter without close() (the throwaway
+        # backend="parallel" pattern) must still reap the workers.
+        ref = weakref.ref(interp)
+        del interp
+        gc.collect()
+        assert ref() is None
+        assert not finalizer.alive  # finalizer ran: pool terminated

@@ -279,6 +279,50 @@ class TestMatrixBackendEquivalence:
         backend.output_distributions(model.policy, model.ingress_packets)
         assert all(stage.factorizations == 1 for stage in stages)
 
+    def test_warm_presolves_ingress_union(self):
+        model = fattree_model(1 / 1000)
+        backend = MatrixBackend().warm(model.policy, model.ingress_packets)
+        stages = backend.plan(model.policy).loop_stages
+        assert stages and all(stage.factorizations == 1 for stage in stages)
+        # Slice-wise queries after warming are pure cache hits.
+        backend.output_distributions(model.policy, model.ingress_packets[:3])
+        assert all(stage.factorizations == 1 for stage in stages)
+
+    def test_incremental_growth_factorizes_only_new_states(self):
+        """New seeds solve only the state-space growth (gateway composition).
+
+        The loop stage's incremental solver must factorize the subsystem
+        of newly discovered classes only — classes solved for an earlier
+        ingress act as absorbing gateways — and repeated seeds must not
+        factorize at all.
+        """
+        model = fattree_model(1 / 1000)
+        backend = MatrixBackend()
+        first = model.ingress_packets[:1]
+        backend.output_distributions(model.policy, first)
+        stage = backend.plan(model.policy).loop_stages[0]
+        assert stage.factorizations == 1
+        solved_initially = len(stage.solver.solved_states)
+        assert solved_initially > 0
+
+        backend.output_distributions(model.policy, model.ingress_packets)
+        assert stage.factorizations == 2
+        solved_total = len(stage.solver.solved_states)
+        growth = solved_total - solved_initially
+        assert growth > 0
+        # The second factorization covered at most the growth, never the
+        # already-solved system (doomed states may shrink it further).
+        assert stage.solver.system is not None
+        assert len(stage.solver.system.transient) <= growth
+
+        # Results agree with a from-scratch solve of the full ingress set.
+        fresh = MatrixBackend()
+        expected = fresh.output_distributions(model.policy, model.ingress_packets)
+        actual = backend.output_distributions(model.policy, model.ingress_packets)
+        assert stage.factorizations == 2  # pure cache hits, no new factorization
+        for packet in model.ingress_packets:
+            assert expected[packet].close_to(actual[packet], tolerance=1e-9)
+
     def test_uniform_and_dist_inputs(self, example):
         model = example.models_resilient["f2"]
         native = NativeBackend()
@@ -348,14 +392,42 @@ class TestBackendThreading:
             expected_hop_count(model), abs=1e-9
         )
 
-    def test_exact_with_backend_rejected(self, example):
-        with pytest.raises(ValueError, match="exact=True cannot be combined"):
+    def test_exact_with_float_backend_rejected(self, example):
+        with pytest.raises(ValueError, match="exact-mode backend instance"):
             output_distribution(
                 example.models_naive["f0"],
                 inputs=[example.ingress_packet],
                 exact=True,
                 backend="matrix",
             )
+        # Registry names instantiate float-mode backends, so these are
+        # rejected too — only an exact-configured instance qualifies.
+        with pytest.raises(ValueError, match="exact-mode backend instance"):
+            output_distribution(
+                example.models_naive["f0"],
+                inputs=[example.ingress_packet],
+                exact=True,
+                backend="native",
+            )
+
+    def test_exact_with_exact_backend_allowed(self, example):
+        from fractions import Fraction
+
+        from repro.backends import NativeBackend
+
+        model = example.models_naive["f1"]
+        exact_backend = NativeBackend(exact=True)
+        dist = output_distribution(
+            model,
+            inputs=[example.ingress_packet],
+            exact=True,
+            backend=exact_backend,
+        )
+        reference = output_distribution(
+            model, inputs=[example.ingress_packet], exact=True
+        )
+        assert all(isinstance(prob, (Fraction, int)) for _, prob in dist.items())
+        assert dist.close_to(reference, tolerance=0)
 
     def test_prism_backend_rejected_for_distribution_queries(self, example):
         with pytest.raises(TypeError, match="does not support distribution"):
