@@ -11,10 +11,15 @@ Four backends answer queries about compiled network models:
   :class:`repro.backends.prism.PrismBackend`).
 
 :func:`get_backend` instantiates a backend by name so analyses and
-benchmarks can select one with a plain string.
+benchmarks can select one with a plain string.  Backends that implement
+``fork()`` (currently the matrix backend) can serve as replica pools for
+parallel sharded execution: a fork is a fully independent instance — its
+own FDD manager, plan caches, and ``splu`` factorizations — sharing only
+the immutable :class:`~repro.backends.matrix.PlanSpecStore` of compiled
+plan specs with its siblings (see :mod:`repro.service.pool`).
 """
 
-from repro.backends.matrix import MatrixBackend, QueryPlan
+from repro.backends.matrix import MatrixBackend, PlanSpecStore, QueryPlan
 from repro.backends.native import NativeBackend
 from repro.backends.parallel import ParallelBackend, ParallelInterpreter, transition_rows
 from repro.backends.prism import PrismBackend
@@ -60,6 +65,7 @@ __all__ = [
     "NativeBackend",
     "ParallelBackend",
     "ParallelInterpreter",
+    "PlanSpecStore",
     "PrismBackend",
     "QueryPlan",
     "get_backend",

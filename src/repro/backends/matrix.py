@@ -26,6 +26,8 @@ loop solutions are float64, like the native backend's LU path.
 
 from __future__ import annotations
 
+import threading
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -38,7 +40,7 @@ from repro.core.fdd.matrix import (
     fdd_to_matrix,
     matrix_domains,
 )
-from repro.core.fdd.node import FddManager, FddNode, node_size
+from repro.core.fdd.node import FddManager, FddNode, node_from_spec, node_size, node_to_spec
 from repro.core.fdd.node import output_distribution as fdd_output_distribution
 from repro.core.interpreter import Outcome, eval_predicate
 from repro.core.markov import IncrementalAbsorptionSolver
@@ -89,10 +91,18 @@ class _LoopStage:
         self.solver = IncrementalAbsorptionSolver()
         self._guard_cache: dict[SymbolicPacket, bool] = {}
         self._seeds: set[SymbolicPacket] = set()
+        # Seeds kept in class order incrementally (one bisect per *new*
+        # seed), with per-class sort keys memoised, so growth steps and
+        # repeated batch queries never re-sort the whole seed set.
+        self._seed_order: list[SymbolicPacket] = []
+        self._sort_keys: dict[SymbolicPacket, tuple] = {}
         # Per-field membership sets and a packet->class memo: classification
         # runs once per distinct outcome packet, not once per occurrence.
         self._domain_sets = {field: frozenset(values) for field, values in domains.items()}
         self._class_cache: dict[Packet, SymbolicPacket] = {}
+        # (solution class, input packet) -> concrete output packet, so
+        # repeated batches replay loop solutions without rebuilding packets.
+        self._concrete_cache: dict[tuple[SymbolicPacket, Packet], Packet] = {}
 
     @property
     def factorizations(self) -> int:
@@ -118,17 +128,100 @@ class _LoopStage:
             self._class_cache[packet] = cached
         return cached
 
+    def sort_key(self, cls: SymbolicPacket) -> tuple:
+        """The memoised total-order key of a class (see :func:`_class_sort_key`)."""
+        cached = self._sort_keys.get(cls)
+        if cached is None:
+            cached = _class_sort_key(cls)
+            self._sort_keys[cls] = cached
+        return cached
+
+    def add_seeds(self, classes: Iterable[SymbolicPacket]) -> None:
+        """Insert new seed classes, keeping ``seed_order`` sorted incrementally."""
+        for cls in classes:
+            if cls not in self._seeds:
+                self._seeds.add(cls)
+                insort(self._seed_order, cls, key=self.sort_key)
+
+    @property
+    def seed_order(self) -> list[SymbolicPacket]:
+        """All seeds seen so far, in class order (maintained, never re-sorted)."""
+        return self._seed_order
+
+    def concretize(self, cls: SymbolicPacket, base: Packet) -> Packet:
+        """Memoised :func:`_concretize`: the output packet of ``cls`` on ``base``."""
+        key = (cls, base)
+        cached = self._concrete_cache.get(key)
+        if cached is None:
+            cached = _concretize(cls, base)
+            self._concrete_cache[key] = cached
+        return cached
+
 
 @dataclass
 class QueryPlan:
-    """A policy decomposed into alternating FDD and loop stages."""
+    """A policy decomposed into alternating FDD and loop stages.
+
+    ``specs`` caches the manager-independent serialization of the stages
+    (see :meth:`MatrixBackend.plan_key` and :class:`PlanSpecStore`); it is
+    filled lazily the first time the plan is published or keyed.
+    """
 
     policy: s.Policy
     stages: list[_FddStage | _LoopStage]
+    specs: tuple | None = field(default=None, repr=False)
 
     @property
     def loop_stages(self) -> list[_LoopStage]:
         return [stage for stage in self.stages if isinstance(stage, _LoopStage)]
+
+
+class PlanSpecStore:
+    """Compiled-plan specs shared by all replicas forked from one backend.
+
+    A backend replica pool (:class:`repro.service.pool.BackendPool`) must
+    not share mutable compiled state between replicas — each replica owns
+    its own :class:`~repro.core.fdd.node.FddManager`, plan caches, and
+    ``splu`` factorizations.  What *can* be shared is the immutable
+    serialized form of a compiled plan: per-stage FDD specs produced by
+    :func:`~repro.core.fdd.node.node_to_spec` (plus the loop AST and its
+    symbolic domains, both read-only).  The first replica to plan a policy
+    publishes its specs here; every other replica rebuilds the plan into
+    its own manager via :func:`~repro.core.fdd.node.node_from_spec`
+    (linear in diagram size) instead of re-running AST compilation.
+
+    The store's lock is a *leaf* lock in the service lock hierarchy: it is
+    held only for dict operations, never while compiling or solving, so it
+    can safely be taken while a replica lease is held.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # id(policy) -> (policy, manager field order, stage specs).  The
+        # policy is retained so a recycled id cannot alias a different
+        # program (same discipline as the per-backend plan cache).
+        self._entries: dict[int, tuple[s.Policy, tuple[str, ...], tuple]] = {}
+
+    def get(self, policy: s.Policy) -> tuple[tuple[str, ...], tuple] | None:
+        """The published ``(field_order, stage_specs)`` of ``policy``, if any."""
+        with self._lock:
+            entry = self._entries.get(id(policy))
+            if entry is not None and entry[0] is policy:
+                return entry[1], entry[2]
+        return None
+
+    def publish(
+        self, policy: s.Policy, fields: tuple[str, ...], stage_specs: tuple
+    ) -> None:
+        """Publish the compiled specs of ``policy`` (first writer wins)."""
+        with self._lock:
+            entry = self._entries.get(id(policy))
+            if entry is None or entry[0] is not policy:
+                self._entries[id(policy)] = (policy, fields, stage_specs)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
 
 
 @dataclass
@@ -164,6 +257,11 @@ class MatrixBackend:
         # TransitionMatrix cache keyed by canonical FDD identity: FDDs are
         # hash-consed, so semantically equal policies share one matrix.
         self._matrices: dict[FddNode, TransitionMatrix] = {}
+        # Manager-independent canonical stage keys (see plan_key).
+        self._plan_keys: dict[int, tuple[s.Policy, tuple]] = {}
+        # Shared plan-spec store, created on the first fork() and shared by
+        # every replica forked from this backend (or from its forks).
+        self._spec_store: PlanSpecStore | None = None
 
     # -- compilation ----------------------------------------------------------
     def compile(self, policy: s.Policy) -> FddNode:
@@ -190,14 +288,111 @@ class MatrixBackend:
         return cached
 
     def plan(self, policy: s.Policy) -> QueryPlan:
-        """Decompose ``policy`` into compiled stages (cached per policy)."""
+        """Decompose ``policy`` into compiled stages (cached per policy).
+
+        A backend that belongs to a replica pool first consults the shared
+        :class:`PlanSpecStore`: when another replica already compiled this
+        policy, its stages are rebuilt from their manager-independent
+        specs (cheap, linear in diagram size) instead of re-running AST
+        compilation; otherwise the freshly built plan is published so the
+        other replicas can skip the compile in turn.
+        """
         cached = self._plans.get(id(policy))
         if cached is not None and cached[0] is policy:
             return cached[1]
+        store = self._spec_store
+        published = store.get(policy) if store is not None else None
         with self.watch.measure("compile"):
-            plan = self._build_plan(policy)
+            if published is not None:
+                plan = self._plan_from_spec(policy, *published)
+            else:
+                plan = self._build_plan(policy)
+                if store is not None:
+                    store.publish(policy, self.manager.fields, self._stage_specs(plan))
         self._plans[id(policy)] = (policy, plan)
         return plan
+
+    def fork(self) -> "MatrixBackend":
+        """A fresh, independent replica of this backend (for pooled serving).
+
+        The replica has its *own* :class:`~repro.core.fdd.node.FddManager`,
+        compiler, plan/matrix caches, and ``splu`` factorizations — no
+        mutable state is shared, so replicas may serve queries from
+        different threads without any cross-replica locking.  The only
+        shared object is the immutable :class:`PlanSpecStore` (created on
+        the first fork), through which already-compiled plans propagate as
+        manager-independent specs.  The replica registers this manager's
+        field order up front so rebuilt diagrams stay canonical.
+        """
+        store = self._spec_store
+        if store is None:
+            store = self._spec_store = PlanSpecStore()
+            for policy, plan in self._plans.values():
+                store.publish(policy, self.manager.fields, self._stage_specs(plan))
+        replica = MatrixBackend(exact=self.exact, class_limit=self.class_limit)
+        replica._spec_store = store
+        replica.manager.register_fields(self.manager.fields)
+        return replica
+
+    def plan_key(self, policy: s.Policy) -> tuple:
+        """A canonical, manager-independent cache key for ``policy``.
+
+        The key serializes the compiled stage FDDs via
+        :func:`~repro.core.fdd.node.node_to_spec`, so it is structural:
+        two semantically equal policies — or the same policy compiled by
+        two different replicas (different managers, different node ids) —
+        produce the *same* key.  Session result caches key on this, which
+        is what lets a replica pool share one result cache.
+        """
+        cached = self._plan_keys.get(id(policy))
+        if cached is not None and cached[0] is policy:
+            return cached[1]
+        specs = self._stage_specs(self.plan(policy))
+        # Keep only the structural prefix of each stage spec: the loop AST
+        # and domain entries are derivable from the guard/body diagrams.
+        key = ("fdd-stages", tuple(entry[:3] for entry in specs))
+        self._plan_keys[id(policy)] = (policy, key)
+        return key
+
+    def _stage_specs(self, plan: QueryPlan) -> tuple:
+        """Manager-independent stage specs of ``plan`` (cached on the plan)."""
+        if plan.specs is None:
+            entries: list[tuple] = []
+            for stage in plan.stages:
+                if isinstance(stage, _FddStage):
+                    entries.append(("fdd", node_to_spec(stage.fdd)))
+                else:
+                    entries.append((
+                        "loop",
+                        node_to_spec(stage.guard_fdd),
+                        node_to_spec(stage.body_fdd),
+                        stage.loop,
+                        tuple(sorted(stage.domains.items())),
+                    ))
+            plan.specs = tuple(entries)
+        return plan.specs
+
+    def _plan_from_spec(
+        self, policy: s.Policy, fields: tuple[str, ...], stage_specs: tuple
+    ) -> QueryPlan:
+        """Rebuild a plan from published specs into this backend's manager."""
+        self.manager.register_fields(fields)
+        stages: list[_FddStage | _LoopStage] = []
+        for entry in stage_specs:
+            if entry[0] == "fdd":
+                stages.append(_FddStage(node_from_spec(self.manager, entry[1])))
+            else:
+                _, guard_spec, body_spec, loop, domains = entry
+                stages.append(
+                    _LoopStage(
+                        loop,
+                        node_from_spec(self.manager, guard_spec),
+                        node_from_spec(self.manager, body_spec),
+                        dict(domains),
+                        self.manager,
+                    )
+                )
+        return QueryPlan(policy, stages, specs=stage_specs)
 
     def _build_plan(self, policy: s.Policy) -> QueryPlan:
         parts: Sequence[s.Policy] = (
@@ -347,7 +542,10 @@ class MatrixBackend:
         the row/solution caches instead of growing the system query by
         query.  (Sessions achieve the same through
         ``AnalysisSession.warm``, which additionally populates the
-        session-level result cache.)
+        session-level result cache.  A *pooled* session never calls this
+        directly outside a replica lease: warmup takes the same
+        per-replica lease path as query execution, so it cannot race a
+        concurrent ``query_batch`` on the same destination.)
         """
         self.output_distributions(policy, inputs)
         return self
@@ -358,10 +556,35 @@ class MatrixBackend:
         A shared backend accumulates one plan (plus loop caches) per
         distinct policy queried; long-lived sweeps over many models can
         call this between batches to bound memory.  Compiled FDD nodes
-        stay interned in the manager.
+        stay interned in the manager, and the shared :class:`PlanSpecStore`
+        (if this backend is a pool replica) keeps its published specs —
+        those are the pool's compile-once artifact, not per-query state.
         """
         self._plans.clear()
         self._matrices.clear()
+        self._plan_keys.clear()
+
+    def reset_solutions(self) -> None:
+        """Drop per-loop solver state while keeping compiled plans.
+
+        Every cached plan keeps its compiled stage FDDs, but each loop
+        stage is rebuilt empty: transition-row caches, absorption
+        solutions, and the incremental ``splu`` factorizations are
+        released.  This bounds solver memory for long-lived sessions
+        without paying recompilation, and gives benchmarks a repeatable
+        solver-path measurement (every pass after a reset re-runs matrix
+        construction and factorization, not just cache lookups).
+        """
+        for _policy, plan in self._plans.values():
+            for position, stage in enumerate(plan.stages):
+                if isinstance(stage, _LoopStage):
+                    plan.stages[position] = _LoopStage(
+                        stage.loop,
+                        stage.guard_fdd,
+                        stage.body_fdd,
+                        stage.domains,
+                        stage.manager,
+                    )
 
     # -- stage application ---------------------------------------------------------
     def _apply_fdd_stage(
@@ -410,7 +633,7 @@ class MatrixBackend:
                     successor: Outcome = (
                         DROP
                         if isinstance(cls, _DropType)
-                        else _concretize(cls, outcome)
+                        else stage.concretize(cls, outcome)
                     )
                     acc[successor] = acc.get(successor, 0) + mass * weight
             advanced.append(acc)
@@ -432,13 +655,13 @@ class MatrixBackend:
         entry_classes = {stage.classify_packet(packet) for packet in entries}
         if entry_classes <= stage.solutions.keys():
             return
-        stage._seeds |= entry_classes
+        stage.add_seeds(entry_classes)
         with self.watch.measure("build"):
             matrix = fdd_to_matrix(
                 stage.body_fdd,
                 extra_values=stage.domains,
                 limit=self.class_limit,
-                seeds=sorted(stage._seeds, key=_class_sort_key),
+                seeds=stage.seed_order,
                 absorbing_when=lambda cls: not stage.guard_holds(cls),
                 row_cache=stage.row_cache,
             )

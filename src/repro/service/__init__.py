@@ -7,15 +7,20 @@ code with per-call engine setup, a :class:`AnalysisSession` holds
 compiled state for as long as you keep it open and answers arbitrary
 streams of queries against it.
 
-Architecture (**session → shards → backend**):
+Architecture (**session → shards → pool → backend**):
 
 * :mod:`repro.service.session` — the :class:`AnalysisSession`: one
-  shared backend (one FDD manager, one family of ``splu``
-  factorizations, one worker pool), one compiled model per destination,
-  and a canonical-FDD-keyed result cache;
+  compiled model per destination, a canonical-spec-keyed result cache,
+  and a pool of backend replicas;
+* :mod:`repro.service.pool` — the :class:`BackendPool`: N independent
+  backend replicas (own FDD manager, plan caches, and ``splu``
+  factorizations each; only immutable compiled-plan specs are shared),
+  leased exclusively per shard with destination affinity routing and
+  work-stealing — the layer that makes sharded execution genuinely
+  parallel instead of serialising on one session-wide solver lock;
 * :mod:`repro.service.shards` — pluggable :class:`ShardPlanner`
   strategies (by destination, by ingress block, round-robin) that cut a
-  batch into exact partitions;
+  batch into exact partitions and tag shards with affinity hints;
 * :mod:`repro.service.executor` — the persistent :class:`ShardExecutor`
   running shards concurrently;
 * :mod:`repro.service.results` — :class:`Query`, :class:`ResultSet`,
@@ -38,6 +43,7 @@ Sessions also satisfy the analysis engine protocol, so every
 """
 
 from repro.service.executor import ShardExecutor
+from repro.service.pool import BackendPool, Replica
 from repro.service.results import (
     QUERY_KINDS,
     Query,
@@ -61,10 +67,12 @@ __all__ = [
     "PLANNERS",
     "QUERY_KINDS",
     "AnalysisSession",
+    "BackendPool",
     "ByDestinationPlanner",
     "ByIngressBlockPlanner",
     "Query",
     "QueryResult",
+    "Replica",
     "ResultSet",
     "RoundRobinPlanner",
     "Shard",

@@ -20,7 +20,7 @@ Example::
 
     python -m repro.service --topology fattree:4 --scheme ecmp \\
         --dest 1 --dest 2 --all-pairs --planner destination \\
-        --workers 4 --output results.json
+        --workers 4 --pool-size 4 --output results.json
 """
 
 from __future__ import annotations
@@ -104,6 +104,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="shard executor threads (default: CPU count, capped)",
+    )
+    parser.add_argument(
+        "--pool-size",
+        type=int,
+        default=1,
+        help="independent backend replicas; shards lease one each, so "
+        "N>1 enables true parallel solves (default 1)",
     )
     parser.add_argument(
         "--repeat",
@@ -206,9 +213,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     if any(query.kind == "hops" for query in batch) and not args.count_hops:
         args.count_hops = True  # hop queries need the counter in the model
 
+    if args.pool_size < 1:
+        raise SystemExit("--pool-size must be >= 1")
     with AnalysisSession(
         model_factory=model_factory(topology, args),
         backend=args.backend,
+        pool_size=args.pool_size,
         planner=args.planner,
         workers=args.workers,
     ) as session:
@@ -226,12 +236,22 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"{len(result.shards)} shard(s), {result.cache_hits} cache hit(s)"
         )
         for report in result.shards:
+            if report.replicas:
+                where = "replica " + ",".join(str(i) for i in report.replicas)
+            else:
+                where = "cache"
             print(
                 f"  shard {report.index:>3} [{report.label}] "
                 f"{report.queries:>4} queries  {report.seconds:.3f}s  "
-                f"{report.cache_hits} hit(s)"
+                f"{report.cache_hits} hit(s)  ({where})"
             )
         stats = session.stats()
+        pool = stats["pool"]
+        if pool["size"] > 1:
+            print(
+                f"pool: {pool['size']} replicas, leases {pool['leases']}, "
+                f"{pool['steals']} steal(s)"
+            )
         timings = stats["backend_timings"]
         if timings:
             phases = ", ".join(f"{name}={value:.3f}s" for name, value in sorted(timings.items()))

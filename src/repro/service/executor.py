@@ -1,21 +1,26 @@
 """The persistent shard executor of the analysis service.
 
-Architecture: in the **session → shards → backend** pipeline this module
-*runs* the shards.  One :class:`ShardExecutor` lives as long as its
-owning :class:`~repro.service.session.AnalysisSession`: its thread pool
-is started lazily on the first multi-shard batch and then reused by
+Architecture: in the **session → shards → pool → backend** pipeline this
+module *runs* the shards.  One :class:`ShardExecutor` lives as long as
+its owning :class:`~repro.service.session.AnalysisSession`: its thread
+pool is started lazily on the first multi-shard batch and then reused by
 every subsequent batch, so steady-state serving pays no pool start-up
 cost per batch (the thread-level analogue of the parallel interpreter's
 persistent process pool, which the session also keeps alive by holding
-one backend for its whole lifetime).
+its backend replicas for its whole lifetime).
 
-Shard work is I/O-light, Python-heavy, and touches shared backend caches,
-so threads (not processes) are the right vehicle: results need no
-serialisation, the backend's compiled plans and ``splu`` factorizations
-are shared in-place, and the session serialises raw backend access with
-a lock while cache lookups, value extraction, and result merging run
-concurrently.  Closing the executor (or its owning session) tears the
-pool down; ``workers=1`` runs shards inline with no pool at all.
+Threads (not processes) are the right vehicle for shard work: results
+need no serialisation, the session result cache is shared in-place, and
+each shard leases its *own* backend replica from the session's
+:class:`~repro.service.pool.BackendPool` — there is no session-wide
+solver lock, so shards on different replicas contend on nothing and the
+GIL-releasing parts of the solve path (SciPy ``splu`` factorizations and
+multi-RHS solves) overlap on real cores.  Executor threads therefore
+only ever block on pool *capacity* (every replica busy), never on
+another replica's solver lock.  Size ``workers >= pool_size`` to be able
+to drive every replica at once.  Closing the executor (or its owning
+session) tears the thread pool down; ``workers=1`` runs shards inline
+with no pool at all.
 """
 
 from __future__ import annotations

@@ -1,0 +1,283 @@
+"""Backend replica pools: per-destination solver instances, leased per shard.
+
+Architecture: in the **session → shards → pool → backend** pipeline this
+module owns the *replicas*.  Before the pool existed, every shard of a
+batch funnelled through one backend instance guarded by a session-wide
+lock — sharded "concurrency" was cooperative scheduling, because all
+shards shared one FDD manager and one family of ``splu`` factorizations.
+A :class:`BackendPool` instead owns N independent backend replicas
+(created with ``backend.fork()``: each replica has its own manager, plan
+caches, and factorizations, sharing only the immutable
+:class:`~repro.backends.matrix.PlanSpecStore` of compiled plan specs) and
+leases exactly one replica to each shard for the duration of its
+execution.  Shards leasing *different* replicas never contend on any
+solver state, so they genuinely run in parallel wherever the work
+releases the GIL (SciPy's ``splu`` factorizations and solves do).
+
+Routing is **affinity first, work-stealing second**: a lease request
+carries an optional affinity key (the shard's destination, set by the
+planners), and
+
+* an unassigned affinity is routed to a free replica with the fewest
+  affinities (spreading destinations evenly over the pool);
+* an assigned affinity sticks to the replica that already holds that
+  destination's factorizations — as long as that replica is free;
+* when the preferred replica is busy but another replica is idle, the
+  idle replica *steals* the shard (rebuilding the destination's state
+  from the shared plan specs) rather than queueing behind a busy solver
+  — but the affinity binding stays with the original replica, so
+  overflow work runs one-off on spare capacity while subsequent shards
+  keep routing to the warm replica;
+* only when every replica is busy does the request wait.
+
+Lock hierarchy (strict, never nested the other way around)::
+
+    replica lease (pool condition + per-replica lock)
+        > session state lock (result cache, counters, model registry)
+        > plan-spec store lock (leaf: dict ops only)
+
+A thread may take the session state lock or the spec-store lock *while
+holding* a replica lease (that is how computed distributions enter the
+shared result cache), but never acquires a lease while holding either of
+the inner locks, and never holds two leases at once.  This makes the
+hierarchy acyclic, so the pool cannot deadlock.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class Replica:
+    """One pooled backend instance plus its lease bookkeeping.
+
+    ``lock`` is the replica's solver lock: it is held exactly while the
+    replica is leased, so all raw backend access happens under it.  The
+    pool's condition variable guarantees the lock is only ever acquired
+    uncontended (a replica is picked only when free), which means a shard
+    never *blocks* on another replica's solver lock — it either gets a
+    free replica or waits for pool capacity.
+    """
+
+    __slots__ = ("index", "backend", "lock", "busy", "leases", "affinities")
+
+    def __init__(self, index: int, backend: object):
+        self.index = index
+        self.backend = backend
+        self.lock = threading.Lock()
+        self.busy = False
+        #: Total leases granted (introspection / load balancing tiebreak).
+        self.leases = 0
+        #: Affinity keys currently bound to this replica.
+        self.affinities: set[object] = set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "busy" if self.busy else "free"
+        return f"Replica(#{self.index}, {state}, leases={self.leases})"
+
+
+class BackendPool:
+    """N independent backend replicas with affinity-routed exclusive leases.
+
+    Parameters
+    ----------
+    backend:
+        The base backend (replica 0).  Additional replicas are created
+        with ``backend.fork()``; a backend without ``fork`` support (the
+        native family) degrades to a single-replica pool, which behaves
+        exactly like the historical session-wide solver lock.
+    size:
+        Requested number of replicas (≥ 1).  Clamped to 1 when the
+        backend cannot fork.
+    owns_base:
+        Whether closing the pool should also close replica 0 (forked
+        replicas are always pool-owned and closed with it).
+    """
+
+    def __init__(self, backend: object, size: int = 1, *, owns_base: bool = False):
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self._owns_base = owns_base
+        self._closed = False
+        self._cv = threading.Condition()
+        # affinity key -> index of the replica holding that key's state.
+        self._affinity: dict[object, int] = {}
+        self._steals = 0
+        fork = getattr(backend, "fork", None)
+        if fork is None:
+            size = 1
+        self.replicas: list[Replica] = [Replica(0, backend)]
+        for index in range(1, size):
+            self.replicas.append(Replica(index, fork()))
+
+    @property
+    def size(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def steals(self) -> int:
+        """How many leases were served by stealing from a busy preferred replica."""
+        return self._steals
+
+    # -- leasing ---------------------------------------------------------------
+    @contextmanager
+    def lease(self, affinity: object | None = None) -> Iterator[Replica]:
+        """Exclusively lease one replica (affinity-routed; blocks when full)."""
+        replica = self._acquire(affinity)
+        try:
+            yield replica
+        finally:
+            self._release(replica)
+
+    @contextmanager
+    def lease_replica(self, index: int) -> Iterator[Replica]:
+        """Exclusively lease a *specific* replica (used by pool-wide warmup)."""
+        replica = self.replicas[index]
+        with self._cv:
+            while replica.busy:
+                if self._closed:
+                    raise RuntimeError("pool is closed")
+                self._cv.wait()
+            if self._closed:
+                raise RuntimeError("pool is closed")
+            self._grant(replica)
+        try:
+            yield replica
+        finally:
+            self._release(replica)
+
+    def lease_each(self) -> Iterator[Replica]:
+        """Lease every replica in turn (sequentially, one at a time).
+
+        This is the warmup path: pre-planning must reach each replica's
+        private caches, and taking the ordinary lease path (instead of
+        touching backends directly) is what makes warmup safe against
+        concurrent ``query_batch`` traffic on the same destination.
+        """
+        for index in range(len(self.replicas)):
+            with self.lease_replica(index) as replica:
+                yield replica
+
+    def _acquire(self, affinity: object | None) -> Replica:
+        with self._cv:
+            while True:
+                if self._closed:
+                    raise RuntimeError("pool is closed")
+                replica = self._select(affinity)
+                if replica is not None:
+                    self._grant(replica)
+                    if affinity is not None:
+                        bound = self._affinity.get(affinity)
+                        if bound is None:
+                            self._affinity[affinity] = replica.index
+                            replica.affinities.add(affinity)
+                        elif bound != replica.index:
+                            # Stolen: the overflow shard runs one-off on the
+                            # idle replica, but the binding *stays* with the
+                            # warm replica — otherwise concurrent shards of
+                            # one destination (the ingress planner emits
+                            # several) would ping-pong the binding and every
+                            # replica would rebuild the same factorizations.
+                            self._steals += 1
+                    return replica
+                self._cv.wait()
+
+    def _select(self, affinity: object | None) -> Replica | None:
+        """Pick a free replica for ``affinity``, or ``None`` to wait.
+
+        Preference order: the replica already bound to the affinity if it
+        is free; otherwise any idle replica (work stealing — for a bound
+        affinity this trades a state rebuild for not waiting); otherwise
+        wait.  Unbound requests go to the free replica with the fewest
+        affinities, then fewest leases, spreading load evenly.
+        """
+        if affinity is not None:
+            bound = self._affinity.get(affinity)
+            if bound is not None and not self.replicas[bound].busy:
+                return self.replicas[bound]
+        free = [replica for replica in self.replicas if not replica.busy]
+        if not free:
+            return None
+        return min(free, key=lambda r: (len(r.affinities), r.leases, r.index))
+
+    def _grant(self, replica: Replica) -> None:
+        # Guaranteed uncontended: ``busy`` excludes concurrent grants, so
+        # this acquire never blocks (asserted, not assumed).
+        acquired = replica.lock.acquire(blocking=False)
+        assert acquired, "replica lock held outside a lease"
+        replica.busy = True
+        replica.leases += 1
+
+    def _release(self, replica: Replica) -> None:
+        with self._cv:
+            replica.busy = False
+            replica.lock.release()
+            self._cv.notify_all()
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        """Close pool-owned replicas (idempotent); pending leases error out.
+
+        Waiting lease requests fail with ``RuntimeError``; leases already
+        *held* (e.g. an engine-protocol call mid-solve on another thread)
+        are drained first — backends are only torn down once every
+        replica is free, so ``close()`` never rips a worker pool or
+        factorization out from under an in-flight solve.  Forked replicas
+        (index ≥ 1) are always owned by the pool; the base backend is
+        closed only when ``owns_base`` was set (the session passes its
+        usual ownership rule through).
+        """
+        with self._cv:
+            if self._closed:
+                return
+            self._closed = True
+            self._cv.notify_all()
+            for replica in self.replicas:
+                while replica.busy:
+                    self._cv.wait()
+        for replica in self.replicas:
+            if replica.index == 0 and not self._owns_base:
+                continue
+            closer = getattr(replica.backend, "close", None)
+            if closer is not None:
+                closer()
+
+    def clear_caches(self, keep_plans: bool = False) -> None:
+        """Clear every replica's backend caches (under its lease).
+
+        With ``keep_plans`` replicas that support it only reset their
+        solver state (``reset_solutions``: row caches, absorption
+        solutions, ``splu`` factorizations) and keep compiled plans.
+        """
+        if self._closed:
+            return
+        for replica in self.lease_each():
+            backend = replica.backend
+            if keep_plans:
+                resetter = getattr(backend, "reset_solutions", None)
+                if resetter is not None:
+                    resetter()
+                    continue
+            clearer = getattr(backend, "clear_caches", None)
+            if clearer is not None:
+                clearer()
+
+    # -- introspection ---------------------------------------------------------
+    def stats(self) -> dict[str, object]:
+        """Pool shape, per-replica lease counts, and the affinity map."""
+        with self._cv:
+            return {
+                "size": self.size,
+                "steals": self._steals,
+                "leases": [replica.leases for replica in self.replicas],
+                "affinities": {
+                    key: index for key, index in sorted(
+                        self._affinity.items(), key=lambda item: repr(item[0])
+                    )
+                },
+            }
+
+
+__all__ = ["BackendPool", "Replica"]

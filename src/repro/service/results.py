@@ -111,13 +111,33 @@ class QueryResult:
 
 @dataclass(frozen=True)
 class ShardReport:
-    """Per-shard execution record (size, wall-clock, cache behaviour)."""
+    """Per-shard execution record (size, wall-clock, cache behaviour).
+
+    ``replicas`` lists every pooled backend replica the shard leased (a
+    mixed-destination shard solves one destination group per lease;
+    fully cached shards lease none).  ``replica`` is the convenience
+    single-server view: the replica index when exactly one replica
+    served the whole shard, ``-1`` otherwise (cached or mixed).
+    ``started`` / ``finished`` are ``time.perf_counter()`` stamps taken
+    on the shard's executor thread; they share one clock across all
+    shards of a batch, so overlapping ``[started, finished]`` intervals
+    are direct evidence that shards executed in parallel rather than
+    serialising on a shared solver lock.
+    """
 
     index: int
     label: str
     queries: int
     seconds: float
     cache_hits: int
+    replica: int = -1
+    replicas: tuple[int, ...] = ()
+    started: float = 0.0
+    finished: float = 0.0
+
+    def overlaps(self, other: "ShardReport") -> bool:
+        """Whether the two shards' wall-clock execution windows intersect."""
+        return self.started < other.finished and other.started < self.finished
 
 
 @dataclass
@@ -185,6 +205,8 @@ class ResultSet:
                     "queries": report.queries,
                     "seconds": round(report.seconds, 6),
                     "cache_hits": report.cache_hits,
+                    "replica": report.replica,
+                    "replicas": list(report.replicas),
                 }
                 for report in self.shards
             ],

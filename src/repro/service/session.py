@@ -1,11 +1,12 @@
 """Persistent analysis sessions: compile once, serve query streams.
 
-Architecture: the service pipeline is **session → shards → backend**.
-An :class:`AnalysisSession` is the long-lived top layer a production
-verifier would keep per tenant or per network: it owns *one* backend
-instance (and therefore one FDD manager, one set of compiled query
-plans, one family of ``splu`` factorizations, and — for the parallel
-backend — one persistent worker pool), registers one compiled
+Architecture: the service pipeline is **session → shards → pool →
+backend**.  An :class:`AnalysisSession` is the long-lived top layer a
+production verifier would keep per tenant or per network: it owns a
+:class:`~repro.service.pool.BackendPool` of one or more independent
+backend replicas (each with its own FDD manager, compiled query plans,
+and family of ``splu`` factorizations — sharing only the immutable
+compiled-plan spec store), registers one compiled
 :class:`~repro.network.model.NetworkModel` per destination, and answers
 arbitrary streams of queries against that compiled state.
 
@@ -15,20 +16,30 @@ A query batch flows through the session as follows:
    values ((ingress, destination) pairs plus a kind);
 2. the session's pluggable :class:`~repro.service.shards.ShardPlanner`
    partitions the batch into shards (by destination, by ingress block,
-   or round-robin) — validated to be an *exact* partition;
+   or round-robin) — validated to be an *exact* partition — and tags
+   each shard with an affinity hint;
 3. the persistent :class:`~repro.service.executor.ShardExecutor` runs
-   the shards concurrently; each shard resolves its destination's model
-   and asks the shared backend for the batched per-ingress output
-   distributions of the shard's slice, consulting the session-wide
-   result cache first;
+   the shards concurrently; each shard consults the session-wide result
+   cache first and, on a miss, **leases one backend replica** from the
+   pool (affinity-routed: shards of one destination stick to the replica
+   already holding that destination's factorizations) and solves the
+   missing slice against it — shards on different replicas share no
+   solver state and therefore run genuinely in parallel;
 4. per-shard answers are merged back into one
    :class:`~repro.service.results.ResultSet` in the caller's original
-   query order, with per-shard timings attached.
+   query order, with per-shard timings (including the serving replica
+   and wall-clock start/finish stamps) attached.
 
-The result cache is keyed by the *canonical FDD stages* of the queried
-policy (hash-consed diagrams, so semantically equal policies share
-entries) plus the concrete ingress packet; repeated or overlapping
-batches are answered from memory without touching the solver.
+Concurrency model: there is **no session-wide solver lock**.  Raw
+backend access is serialised *per replica* by the pool's exclusive
+leases; the only session-scoped lock is a short state lock guarding the
+result cache, the model registry, and the serving counters (see
+:mod:`repro.service.pool` for the full lock hierarchy).  The result
+cache is keyed by the *canonical stage specs* of the queried policy —
+manager-independent serializations of the compiled FDD stages — so
+semantically equal policies share entries even when they were compiled
+by different replicas, and a hit computed on replica A is served to a
+shard headed for replica B without touching either solver.
 
 Sessions implement the analysis engine protocol
 (``output_distribution`` / ``certainly_delivers``), so every
@@ -50,6 +61,7 @@ from repro.core.interpreter import Outcome
 from repro.core.packet import DROP, Packet, _DropType
 from repro.network.model import NetworkModel
 from repro.service.executor import ShardExecutor
+from repro.service.pool import BackendPool, Replica
 from repro.service.results import (
     Query,
     QueryResult,
@@ -75,19 +87,25 @@ class AnalysisSession:
         ``dest -> NetworkModel`` builder for destinations not registered
         up front; built models are compiled once and cached.
     backend:
-        The shared query engine: a registry name (default ``"matrix"``)
-        or a backend instance.  One instance serves every query of the
-        session, so compiled plans, factorizations, and worker pools are
-        shared across the whole stream.
+        The base query engine: a registry name (default ``"matrix"``) or
+        a backend instance.  It becomes replica 0 of the session's
+        backend pool; additional replicas are forked from it.
+    pool_size:
+        Number of independent backend replicas (default 1).  With N > 1
+        the backend must support ``fork()`` (the matrix backend does);
+        backends that cannot fork degrade to a single replica, which
+        behaves exactly like the historical one-backend session.
     planner:
         Default shard planner: a name (``"destination"``, ``"ingress"``,
         ``"round-robin"``, optionally ``"name:arg"``) or a
         :class:`~repro.service.shards.ShardPlanner` instance.
     workers:
         Concurrency of the shard executor (default: CPU count, capped).
-        ``1`` executes shards sequentially inline.
+        ``1`` executes shards sequentially inline.  For true parallel
+        serving use ``workers >= pool_size`` so every replica can be
+        driven simultaneously.
     cache:
-        Keep the canonical-FDD-keyed result cache (default).  Disable to
+        Keep the canonical-spec-keyed result cache (default).  Disable to
         re-solve every query (e.g. for benchmarking the raw solver path).
     """
 
@@ -98,6 +116,7 @@ class AnalysisSession:
         models: Iterable[NetworkModel] | Mapping[int, NetworkModel] | None = None,
         model_factory: Callable[[int], NetworkModel] | None = None,
         backend: object | str | None = "matrix",
+        pool_size: int = 1,
         planner: ShardPlanner | str | None = None,
         workers: int | None = None,
         cache: bool = True,
@@ -113,16 +132,21 @@ class AnalysisSession:
         self._backend = engine
         # Registry names instantiate a fresh backend the session owns (and
         # closes); caller-supplied instances stay the caller's to close.
+        # Forked replicas are always pool-owned either way.
         self._owns_backend = isinstance(backend, str)
+        self._pool = BackendPool(engine, pool_size, owns_base=self._owns_backend)
         self._planner = get_planner(planner)
         self._executor = ShardExecutor(workers)
         self._model_factory = model_factory
         self._cache_enabled = cache
         self._closed = False
-        # One lock serialises raw backend access: backends share one FDD
-        # manager and mutate plan/row caches, so they are not thread-safe.
-        # Cache lookups, value extraction, and merging run outside it.
-        self._lock = threading.RLock()
+        # The only session-scoped lock: a short state lock for the result
+        # cache, the model registry, and the counters.  Raw backend access
+        # is serialised per replica by the pool's leases instead — shards
+        # leasing different replicas run genuinely in parallel.  The state
+        # lock may be taken while holding a replica lease, never the other
+        # way around (see repro.service.pool for the lock hierarchy).
+        self._state_lock = threading.RLock()
         # dest -> model; the None key is the session's default model.
         self._models: dict[int | None, NetworkModel] = {}
         # Canonical policy keys: id(policy) -> (policy, key).  The policy
@@ -179,7 +203,7 @@ class AnalysisSession:
                 f"no model for destination {dest!r} (registered: {known}, "
                 f"no model_factory)"
             )
-        with self._lock:
+        with self._state_lock:
             found = self._models.get(dest)
             if found is None:
                 found = self.add_model(self._model_factory(dest))
@@ -192,7 +216,13 @@ class AnalysisSession:
 
     @property
     def backend(self):
+        """The base backend (replica 0 of the session's pool)."""
         return self._backend
+
+    @property
+    def pool(self) -> BackendPool:
+        """The session's backend replica pool."""
+        return self._pool
 
     @property
     def exact(self) -> bool:
@@ -201,19 +231,16 @@ class AnalysisSession:
 
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:
-        """Shut down the executor and the session-owned backend (idempotent).
+        """Shut down the executor and the pool-owned backends (idempotent).
 
         A backend *instance* passed by the caller is not closed — shared
         instances may serve other users (the documented shared-backend
-        pattern); only backends the session instantiated from a registry
-        name are torn down with it.
+        pattern); only replica 0 instantiated from a registry name, plus
+        every forked replica (always pool-owned), are torn down.
         """
         self._closed = True
         self._executor.close()
-        if self._owns_backend:
-            closer = getattr(self._backend, "close", None)
-            if closer is not None:
-                closer()
+        self._pool.close()
 
     def __enter__(self) -> "AnalysisSession":
         return self
@@ -221,14 +248,20 @@ class AnalysisSession:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def clear_cache(self) -> None:
-        """Drop the session result cache (and the backend's, if it has one)."""
-        with self._lock:
+    def clear_cache(self, keep_plans: bool = False) -> None:
+        """Drop the session result cache and every replica's backend caches.
+
+        With ``keep_plans`` the replicas keep their compiled plans and
+        only reset solver state (loop factorizations and row/solution
+        caches) — the cheap way to bound memory, or to re-measure the
+        solver path, without recompiling anything.
+        """
+        with self._state_lock:
             self._dists.clear()
             self._verdicts.clear()
-            clearer = getattr(self._backend, "clear_caches", None)
-            if clearer is not None:
-                clearer()
+        # Replica caches are cleared under their own leases — never while
+        # holding the state lock (lease > state lock in the hierarchy).
+        self._pool.clear_caches(keep_plans=keep_plans)
 
     # -- batched query API -----------------------------------------------------
     def query_batch(
@@ -250,7 +283,7 @@ class AnalysisSession:
         validate_partition(batch, shards)
         outputs = self._executor.map(self._run_shard, shards)
         result = merge_shard_results(batch, outputs, time.perf_counter() - start)
-        with self._lock:
+        with self._state_lock:
             self._queries_served += len(batch)
             self._batches_served += 1
             self._shards_run += len(shards)
@@ -314,7 +347,7 @@ class AnalysisSession:
             share = s.as_prob(1) / len(packets)
             weighted = [(packet, share) for packet in packets]
         proper = [pk for pk, _ in weighted if not isinstance(pk, _DropType)]
-        dists, _hits = self._distributions(policy, proper)
+        dists, _hits, _replica = self._distributions(policy, proper)
         parts: list[tuple[Dist[Outcome], object]] = []
         for outcome, mass in weighted:
             if isinstance(outcome, _DropType):
@@ -329,32 +362,48 @@ class AnalysisSession:
         """Per-ingress output distributions, through the session cache."""
         if isinstance(policy, NetworkModel):
             policy = policy.policy
-        dists, _hits = self._distributions(policy, list(inputs))
+        dists, _hits, _replica = self._distributions(policy, list(inputs))
         return dists
 
     def certainly_delivers(self, model: NetworkModel) -> bool:
         """Whether every ingress of ``model`` delivers with probability one.
 
-        Delegates to the session backend (structural analysis for the
-        native family, batched numerical check for the matrix backend);
-        verdicts are cached by canonical policy key.
+        Delegates to a leased replica (structural analysis for the native
+        family, batched numerical check for the matrix backend); verdicts
+        are cached by canonical policy key.
         """
         if self._closed:
             raise RuntimeError("session is closed")
-        key = (self._policy_key(model.policy), "certainly_delivers")
-        cached = self._verdicts.get(key)
-        if cached is None:
-            with self._lock:
-                cached = self._verdicts.get(key)
-                if cached is None:
-                    cached = bool(self._backend.certainly_delivers(model))
-                    self._verdicts[key] = cached
+        # Cached-verdict fast path: no lease needed when the policy's
+        # canonical key is already known and the verdict is cached.
+        entry = self._keys.get(id(model.policy))
+        if entry is not None and entry[0] is model.policy:
+            cached = self._verdicts.get((entry[1], "certainly_delivers"))
+            if cached is not None:
+                return cached
+        with self._pool.lease() as replica:
+            key = (self._policy_key(model.policy, replica.backend), "certainly_delivers")
+            cached = self._verdicts.get(key)
+            if cached is None:
+                verdict = bool(replica.backend.certainly_delivers(model))
+                with self._state_lock:
+                    cached = self._verdicts.setdefault(key, verdict)
         return cached
 
     # -- introspection ---------------------------------------------------------
     def stats(self) -> dict[str, object]:
-        """Serving counters plus the backend's accumulated phase timings."""
-        timings = getattr(self._backend, "timings", None)
+        """Serving counters, pool shape, and accumulated phase timings.
+
+        ``backend_timings`` sums each phase over all replicas (total CPU
+        work, which can exceed wall-clock when replicas run in parallel);
+        ``pool`` reports per-replica lease counts and the affinity map.
+        """
+        timings: dict[str, float] = {}
+        for replica in self._pool.replicas:
+            timer = getattr(replica.backend, "timings", None)
+            if timer is not None:
+                for name, value in timer().items():
+                    timings[name] = timings.get(name, 0.0) + value
         return {
             "queries": self._queries_served,
             "batches": self._batches_served,
@@ -362,44 +411,73 @@ class AnalysisSession:
             "cached_distributions": len(self._dists),
             "destinations": self.destinations,
             "backend": type(self._backend).__name__,
-            "backend_timings": dict(timings()) if timings is not None else {},
+            "backend_timings": timings,
+            "pool": self._pool.stats(),
         }
 
-    def warm(self, dest: int | None = None) -> "AnalysisSession":
-        """Pre-solve one destination's model for its full ingress set.
+    def warm(self, dest: int | None = None, solve: bool = True) -> "AnalysisSession":
+        """Pre-plan one destination's model on every replica and pre-solve it.
 
-        After warming, any batch over that destination's ingress packets
-        is answered from the session cache (the matrix backend performs
-        one batched factorization here; see ``MatrixBackend.warm``).
+        Warmup takes the ordinary per-replica lease path — it never
+        touches a backend outside a lease — so it is safe against
+        concurrent :meth:`query_batch` traffic on the same destination.
+        Every replica gets the compiled plan (cheap after the first: the
+        stages rebuild from the shared spec store), then the full ingress
+        set is solved once on the destination's affinity replica, which
+        also populates the session result cache.  After warming, any
+        batch over that destination's ingress packets is answered from
+        the cache.  With ``solve=False`` only the plans are compiled
+        (plan-only warmup for latency-sensitive services: first queries
+        then pay the solve but never the compile).
         """
+        if self._closed:
+            raise RuntimeError("session is closed")
         model = self.model_for(dest)
-        self._distributions(model.policy, model.ingress_packets)
+        policy = model.policy
+        for replica in self._pool.lease_each():
+            plan_fn = getattr(replica.backend, "plan", None)
+            if plan_fn is not None:
+                plan_fn(policy)
+        if solve:
+            self._distributions(policy, model.ingress_packets, affinity=("dest", dest))
         return self
 
     # -- internals -------------------------------------------------------------
     def _run_shard(self, shard: Shard) -> tuple[ShardReport, list[QueryResult]]:
-        start = time.perf_counter()
+        started = time.perf_counter()
         results: list[QueryResult] = []
         hits_total = 0
+        replicas_used: list[int] = []
         groups: dict[int | None, list[Query]] = {}
         for query in shard.queries:
             groups.setdefault(query.dest, []).append(query)
         for dest, group in groups.items():
             model = self.model_for(dest)
-            dists, hits = self._distributions(
-                model.policy, [query.ingress for query in group]
+            affinity = shard.affinity if shard.affinity is not None else ("dest", dest)
+            dists, hits, served_by = self._distributions(
+                model.policy, [query.ingress for query in group], affinity=affinity
             )
+            if served_by is not None and served_by not in replicas_used:
+                replicas_used.append(served_by)
             for query in group:
                 cached = query.ingress in hits
                 hits_total += 1 if cached else 0
                 value = self._evaluate(query, model, dists[query.ingress])
                 results.append(QueryResult(query, value, shard.index, cached))
+        finished = time.perf_counter()
         report = ShardReport(
             index=shard.index,
             label=shard.label,
             queries=len(shard.queries),
-            seconds=time.perf_counter() - start,
+            seconds=finished - started,
             cache_hits=hits_total,
+            # A mixed-destination shard may lease several replicas (one per
+            # destination group); ``replica`` is only meaningful when the
+            # whole shard was served by exactly one.
+            replica=replicas_used[0] if len(replicas_used) == 1 else -1,
+            replicas=tuple(replicas_used),
+            started=started,
+            finished=finished,
         )
         return report, results
 
@@ -440,23 +518,52 @@ class AnalysisSession:
         raise ValueError(f"unknown query kind {query.kind!r}")
 
     def _distributions(
-        self, policy: s.Policy, packets: Sequence[Packet]
-    ) -> tuple[dict[Packet, Dist[Outcome]], set[Packet]]:
+        self,
+        policy: s.Policy,
+        packets: Sequence[Packet],
+        affinity: object | None = None,
+    ) -> tuple[dict[Packet, Dist[Outcome]], set[Packet], int | None]:
         """Per-ingress distributions of ``policy``, via the session cache.
 
-        Returns ``(dists, hits)`` where ``hits`` are the packets answered
-        from the cache.  Misses are computed in one batched backend call
-        under the session lock.
+        Returns ``(dists, hits, replica)`` where ``hits`` are the packets
+        answered from the cache and ``replica`` is the index of the
+        leased replica that solved the misses (``None`` when every packet
+        hit — fully cached calls never lease, so cached traffic runs with
+        no solver contention at all).
         """
         if self._closed:
             # Every query surface funnels through here (query_batch via
             # _run_shard, the engine protocol, warm), so a closed session
             # cannot silently restart backend resources close() released.
             raise RuntimeError("session is closed")
-        base = self._policy_key(policy)
+        if self._cache_enabled:
+            entry = self._keys.get(id(policy))
+            if entry is not None and entry[0] is policy:
+                base = entry[1]
+                out: dict[Packet, Dist[Outcome]] = {}
+                hits: set[Packet] = set()
+                complete = True
+                for packet in packets:
+                    found = self._dists.get((base, packet))
+                    if found is None:
+                        complete = False
+                        break
+                    out[packet] = found
+                    hits.add(packet)
+                if complete:
+                    return out, hits, None
+        with self._pool.lease(affinity) as replica:
+            dists, hits = self._solve_on(replica, policy, packets)
+            return dists, hits, replica.index
+
+    def _solve_on(
+        self, replica: Replica, policy: s.Policy, packets: Sequence[Packet]
+    ) -> tuple[dict[Packet, Dist[Outcome]], set[Packet]]:
+        """Compute (cache-assisted) distributions on an already-leased replica."""
+        backend = replica.backend
         if not self._cache_enabled:
-            with self._lock:
-                return dict(self._backend.output_distributions(policy, packets)), set()
+            return dict(backend.output_distributions(policy, packets)), set()
+        base = self._policy_key(policy, backend)
         cache = self._dists
         out: dict[Packet, Dist[Outcome]] = {}
         hits: set[Packet] = set()
@@ -470,48 +577,69 @@ class AnalysisSession:
             else:
                 out[packet] = found
                 hits.add(packet)
-        if misses:
-            with self._lock:
-                still = [pk for pk in misses if (base, pk) not in cache]
-                if still:
-                    computed = self._backend.output_distributions(policy, still)
-                    for packet, dist in computed.items():
-                        cache[(base, packet)] = dist
-                # Read back while still holding the lock: clear_cache()
-                # also locks, so a concurrent clear cannot empty the cache
-                # between the compute and this read.
-                for packet in misses:
-                    out[packet] = cache[(base, packet)]
+        pending = misses
+        while pending:
+            # Another shard (e.g. one stolen onto a different replica) may
+            # have published some of these entries since the read above;
+            # solve only what is still missing, then publish under the
+            # state lock.  A concurrent clear_cache() can empty the cache
+            # between the solve and the read-back, so unresolved packets
+            # loop around and are re-solved rather than returned as None —
+            # but a packet the backend was *asked* about and did not
+            # answer is a contract violation and fails fast instead of
+            # spinning forever.
+            still = [pk for pk in pending if (base, pk) not in cache]
+            computed = dict(backend.output_distributions(policy, still)) if still else {}
+            with self._state_lock:
+                for packet, dist in computed.items():
+                    cache.setdefault((base, packet), dist)
+                unresolved: list[Packet] = []
+                for packet in pending:
+                    value = cache.get((base, packet))
+                    if value is None:
+                        value = computed.get(packet)
+                    if value is None:
+                        unresolved.append(packet)
+                    else:
+                        out[packet] = value
+            asked = set(still)
+            broken = [pk for pk in unresolved if pk in asked]
+            if broken:
+                raise RuntimeError(
+                    f"backend {type(backend).__name__} returned no distribution "
+                    f"for {len(broken)} requested ingress packet(s), e.g. {broken[0]!r}"
+                )
+            pending = unresolved
         return out, hits
 
-    def _policy_key(self, policy: s.Policy) -> object:
-        """A cache key for ``policy``: canonical FDD stages when available.
+    def _policy_key(self, policy: s.Policy, backend: object) -> object:
+        """A cache key for ``policy``: canonical stage specs when available.
 
-        With a plan-capable backend (the matrix backend) the key is the
-        tuple of the policy's compiled stage FDDs — hash-consed nodes, so
-        semantically equal policies share one key.  Other backends fall
-        back to object identity (the policy is retained so its id cannot
-        be recycled).
+        With a plan-capable backend the key is
+        :meth:`~repro.backends.matrix.MatrixBackend.plan_key` — the
+        manager-*independent* serialization of the policy's compiled
+        stage FDDs.  Structural specs, not node ids: the same policy
+        compiled by two different replicas (or two semantically equal
+        policies compiled by one) yields the same key, which is what lets
+        all replicas share one session result cache.  Backends without
+        ``plan_key`` fall back to object identity (the policy is retained
+        so its id cannot be recycled).
+
+        The caller must hold the lease of ``backend``'s replica: key
+        computation may compile the policy's plan.
         """
         entry = self._keys.get(id(policy))
         if entry is not None and entry[0] is policy:
             return entry[1]
-        with self._lock:
+        plan_key_fn = getattr(backend, "plan_key", None)
+        if plan_key_fn is not None:
+            key: object = plan_key_fn(policy)
+        else:
+            key = ("policy-id", id(policy))
+        with self._state_lock:
             entry = self._keys.get(id(policy))
             if entry is not None and entry[0] is policy:
                 return entry[1]
-            plan_fn = getattr(self._backend, "plan", None)
-            if plan_fn is not None:
-                stages = []
-                for stage in plan_fn(policy).stages:
-                    body_fdd = getattr(stage, "body_fdd", None)
-                    if body_fdd is not None:
-                        stages.append(("loop", stage.guard_fdd, body_fdd))
-                    else:
-                        stages.append(("fdd", stage.fdd))
-                key: object = ("fdd-stages", tuple(stages))
-            else:
-                key = ("policy-id", id(policy))
             self._keys[id(policy)] = (policy, key)
             return key
 

@@ -21,6 +21,13 @@ Three strategies are provided:
   query *i* goes to shard ``i mod N``.  Load-balances heterogeneous
   batches across exactly ``N`` shards.
 
+Planners also attach an **affinity hint** to every shard they emit: the
+single-destination planners (``destination``, ``ingress``) tag shards
+with ``("dest", dest)`` so the session's backend replica pool routes all
+shards of one destination to the replica already holding that
+destination's compiled plans and factorizations; ``round-robin`` shards
+mix destinations and carry no affinity (any free replica serves them).
+
 Planners are looked up by name (with an optional ``:arg`` parameter) via
 :func:`get_planner`, mirroring the backend registry.
 """
@@ -36,11 +43,20 @@ from repro.service.results import Query
 
 @dataclass(frozen=True)
 class Shard:
-    """One executable slice of a batch: an index, a label, and its queries."""
+    """One executable slice of a batch: an index, a label, and its queries.
+
+    ``affinity`` is an optional hashable routing hint for the session's
+    :class:`~repro.service.pool.BackendPool`: shards carrying the same
+    affinity key are routed to the same backend replica (which already
+    holds the corresponding compiled plans and factorizations).  Planners
+    whose shards target a single destination set it to ``("dest", dest)``;
+    mixed-destination shards leave it ``None`` and take any free replica.
+    """
 
     index: int
     label: str
     queries: tuple[Query, ...]
+    affinity: object = None
 
     def __len__(self) -> int:
         return len(self.queries)
@@ -75,7 +91,12 @@ class ByDestinationPlanner(ShardPlanner):
         for query in queries:
             groups.setdefault(query.dest, []).append(query)
         return [
-            Shard(index, f"dest={dest if dest is not None else 'default'}", tuple(group))
+            Shard(
+                index,
+                f"dest={dest if dest is not None else 'default'}",
+                tuple(group),
+                affinity=("dest", dest),
+            )
             for index, (dest, group) in enumerate(groups.items())
         ]
 
@@ -108,7 +129,7 @@ class ByIngressBlockPlanner(ShardPlanner):
             for start in range(0, len(ordered), self.block_size):
                 block = tuple(ordered[start : start + self.block_size])
                 label = f"dest={dest if dest is not None else 'default'}/block={start // self.block_size}"
-                shards.append(Shard(len(shards), label, block))
+                shards.append(Shard(len(shards), label, block, affinity=("dest", dest)))
         return shards
 
     def __repr__(self) -> str:

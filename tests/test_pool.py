@@ -1,0 +1,458 @@
+"""Tests for the backend replica pool (``repro.service.pool``) and the
+cross-manager (spec-based) cache-key semantics it depends on."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.analysis.queries import delivery_probability
+from repro.backends import MatrixBackend
+from repro.failure.models import independent_failure_program
+from repro.network.model import build_model
+from repro.routing import downward_failable_ports, ecmp_policy
+from repro.service import AnalysisSession, BackendPool, Query
+from repro.topology import edge_switches, fat_tree
+
+
+def ecmp_model(topo, dest: int, failure_probability=1 / 1000):
+    failable = downward_failable_ports(topo)
+    return build_model(
+        topo,
+        routing=ecmp_policy(topo, dest),
+        dest=dest,
+        failure=independent_failure_program(failable, failure_probability),
+        failable=failable,
+    )
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return fat_tree(4)
+
+
+@pytest.fixture(scope="module")
+def models(topo):
+    dests = edge_switches(topo)[:3]
+    return {dest: ecmp_model(topo, dest) for dest in dests}
+
+
+@pytest.fixture(scope="module")
+def all_pairs(models):
+    """The FatTree k=4 all-pairs delivery batch over the fixture dests."""
+    return [
+        Query.delivery(packet, dest)
+        for dest, model in models.items()
+        for packet in model.ingress_packets
+    ]
+
+
+@pytest.fixture(scope="module")
+def per_call_values(models, all_pairs):
+    """Reference answers from the per-call ``repro.analysis`` entry point."""
+    return [
+        delivery_probability(models[query.dest], inputs=[query.ingress])
+        for query in all_pairs
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Cross-manager plan specs and cache keys (the satellite regression suite)
+# ---------------------------------------------------------------------------
+class TestCrossManagerKeys:
+    def test_fork_is_independent_but_shares_specs(self, models):
+        model = next(iter(models.values()))
+        base = MatrixBackend()
+        base.output_distributions(model.policy, model.ingress_packets[:2])
+        replica = base.fork()
+        # Fully independent mutable state...
+        assert replica.manager is not base.manager
+        assert replica._plans is not base._plans
+        # ...but one shared spec store, already holding the base's plan.
+        assert replica._spec_store is base._spec_store
+        assert len(replica._spec_store) == 1
+        # The replica's plan rebuilds from specs: no AST compilation, and
+        # its stage FDDs live in the replica's own manager.
+        plan = replica.plan(model.policy)
+        for stage, base_stage in zip(plan.stages, base.plan(model.policy).stages):
+            fdd = getattr(stage, "fdd", None) or stage.body_fdd
+            base_fdd = getattr(base_stage, "fdd", None) or base_stage.body_fdd
+            assert fdd is not base_fdd
+            assert fdd.manager is replica.manager
+
+    def test_plan_keys_identical_across_managers(self, models):
+        """Two replicas compiling the same model produce the same key."""
+        model = next(iter(models.values()))
+        base = MatrixBackend()
+        replica = base.fork()
+        independent = MatrixBackend()  # no shared store: compiles from the AST
+        key = base.plan_key(model.policy)
+        assert replica.plan_key(model.policy) == key
+        assert independent.plan_key(model.policy) == key
+        # Spec-based, not id-based: no FDD node (manager-bound object) and
+        # no raw id() may appear anywhere in the key.
+        def flat(value):
+            if isinstance(value, tuple):
+                for item in value:
+                    yield from flat(item)
+            else:
+                yield value
+        from repro.core.fdd.node import FddNode
+
+        assert not any(isinstance(leaf, FddNode) for leaf in flat(key))
+
+    def test_replica_answers_match_base(self, models):
+        model = next(iter(models.values()))
+        base = MatrixBackend()
+        expected = base.output_distributions(model.policy, model.ingress_packets)
+        replica = base.fork()
+        served = replica.output_distributions(model.policy, model.ingress_packets)
+        for packet in model.ingress_packets:
+            assert served[packet].close_to(expected[packet], tolerance=1e-12)
+
+    def test_session_policy_key_shared_across_replicas(self, models):
+        model = next(iter(models.values()))
+        with AnalysisSession(model, pool_size=2, workers=1) as session:
+            pool = session.pool
+            with pool.lease_replica(0) as first:
+                key_a = session._policy_key(model.policy, first.backend)
+            with pool.lease_replica(1) as second:
+                key_b = session._policy_key(model.policy, second.backend)
+            assert key_a == key_b
+            # One memoised entry serves both replicas.
+            assert len(session._keys) == 1
+
+
+# ---------------------------------------------------------------------------
+# Pooled sessions agree with pool-of-1 and with per-call analysis
+# ---------------------------------------------------------------------------
+class TestPooledAgreement:
+    @pytest.mark.parametrize("planner", ["destination", "ingress:4", "round-robin:3"])
+    def test_pool_matches_single_and_per_call(
+        self, models, all_pairs, per_call_values, planner
+    ):
+        """Pool of N answers the all-pairs batch identically (≤1e-9) to a
+        pool of 1 and to per-call ``repro.analysis`` results."""
+        with AnalysisSession(
+            models=models.values(), planner=planner, workers=1, pool_size=1
+        ) as single:
+            baseline = single.query_batch(all_pairs).values
+        with AnalysisSession(
+            models=models.values(), planner=planner, workers=4, pool_size=3
+        ) as pooled:
+            served = pooled.query_batch(all_pairs).values
+        for value, reference, expected in zip(served, baseline, per_call_values):
+            assert value == pytest.approx(reference, abs=1e-9)
+            assert value == pytest.approx(expected, abs=1e-9)
+
+    def test_cached_repeat_leases_no_replica(self, models, all_pairs):
+        with AnalysisSession(models=models.values(), workers=4, pool_size=2) as session:
+            session.query_batch(all_pairs)
+            repeat = session.query_batch(all_pairs)
+            assert repeat.cache_hits == len(all_pairs)
+            # Fully cached shards never touch a replica.
+            assert all(report.replica == -1 for report in repeat.shards)
+
+    def test_results_cached_across_replicas(self, models, all_pairs):
+        """A hit computed on one replica serves queries headed anywhere."""
+        with AnalysisSession(models=models.values(), workers=1, pool_size=3) as session:
+            first = session.query_batch(all_pairs, planner="destination")
+            assert first.cache_hits == 0
+            # Different planner, different shard->replica routing: still
+            # answered entirely from the shared session cache.
+            second = session.query_batch(all_pairs, planner="round-robin:3")
+            assert second.cache_hits == len(all_pairs)
+
+
+# ---------------------------------------------------------------------------
+# Affinity routing, work stealing, and lease exclusivity
+# ---------------------------------------------------------------------------
+class TestRouting:
+    def test_affinity_sticks_sequentially(self, models, all_pairs):
+        # workers=1: shards run one at a time, so the preferred replica is
+        # always free and affinity routing is perfectly sticky.
+        with AnalysisSession(
+            models=models.values(), workers=1, pool_size=2, cache=False
+        ) as session:
+            first = session.query_batch(all_pairs)
+            serving = {r.label: r.replica for r in first.shards}
+            again = session.query_batch(all_pairs)
+            assert {r.label: r.replica for r in again.shards} == serving
+            assert session.pool.steals == 0
+            # Destinations spread over both replicas.
+            assert len(set(serving.values())) == 2
+
+    def test_idle_replica_steals_bound_affinity(self, models):
+        model = next(iter(models.values()))
+        with AnalysisSession(model, pool_size=2, workers=1) as session:
+            pool = session.pool
+            with pool.lease(("dest", 7)) as holder:
+                bound = holder.index
+                grabbed: list[int] = []
+
+                def contend():
+                    with pool.lease(("dest", 7)) as thief:
+                        grabbed.append(thief.index)
+
+                thread = threading.Thread(target=contend)
+                thread.start()
+                thread.join(timeout=5)
+                assert not thread.is_alive()
+            # The preferred replica was busy and the other was idle: the
+            # idle one must have served the request (no waiting) — but the
+            # binding stays with the warm replica, so concurrent shards of
+            # one destination cannot ping-pong it across the pool.
+            assert grabbed and grabbed[0] != bound
+            assert pool.steals == 1
+            assert pool.stats()["affinities"][("dest", 7)] == bound
+
+    def test_leases_are_exclusive_under_contention(self):
+        backend = MatrixBackend()
+        pool = BackendPool(backend, 2)
+        active = [0, 0]
+        guard = threading.Lock()
+        failures: list[str] = []
+
+        def hammer():
+            for _ in range(25):
+                with pool.lease() as replica:
+                    with guard:
+                        active[replica.index] += 1
+                        if active[replica.index] > 1:
+                            failures.append(f"double lease of {replica.index}")
+                    time.sleep(0.0005)
+                    with guard:
+                        active[replica.index] -= 1
+
+        threads = [threading.Thread(target=hammer) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        assert sum(replica.leases for replica in pool.replicas) == 150
+        pool.close()
+
+    def test_shard_windows_overlap(self, models, all_pairs):
+        """The acceptance check: shard wall-clock windows overlap, i.e.
+        no shard waited out another replica's solve before starting."""
+        with AnalysisSession(models=models.values(), workers=4, pool_size=3) as session:
+            result = session.query_batch(all_pairs)
+        solved = [r for r in result.shards if r.replica >= 0]
+        assert len({r.replica for r in solved}) > 1
+        assert any(
+            a.overlaps(b) for a in solved for b in solved if a.index < b.index
+        )
+        for report in result.shards:
+            assert report.finished >= report.started
+            assert report.seconds == pytest.approx(
+                report.finished - report.started, abs=1e-6
+            )
+
+
+# ---------------------------------------------------------------------------
+# Warmup takes the lease path (thread-safety satellite)
+# ---------------------------------------------------------------------------
+class TestWarm:
+    def test_warm_preplans_every_replica(self, models):
+        model = next(iter(models.values()))
+        with AnalysisSession(model, pool_size=3, workers=1) as session:
+            session.warm(model.dest)
+            for replica in session.pool.replicas:
+                assert len(replica.backend._plans) == 1
+            batch = [Query.delivery(p, model.dest) for p in model.ingress_packets]
+            assert session.query_batch(batch).cache_hits == len(batch)
+
+    def test_plan_only_warm(self, models):
+        model = next(iter(models.values()))
+        with AnalysisSession(model, pool_size=2, workers=1) as session:
+            session.warm(model.dest, solve=False)
+            for replica in session.pool.replicas:
+                assert len(replica.backend._plans) == 1
+            # Plans exist everywhere, but nothing was solved or cached.
+            batch = [Query.delivery(p, model.dest) for p in model.ingress_packets]
+            assert session.query_batch(batch).cache_hits == 0
+
+    def test_warm_races_query_batch_safely(self, models):
+        """Warmup and a concurrent batch on the same destination must not
+        corrupt state: warm goes through the same leases as queries."""
+        model = next(iter(models.values()))
+        expected = delivery_probability(model, inputs=[model.ingress_packets[0]])
+        errors: list[BaseException] = []
+        with AnalysisSession(model, pool_size=2, workers=2, cache=False) as session:
+            batch = [Query.delivery(p, model.dest) for p in model.ingress_packets]
+
+            def warm_loop():
+                try:
+                    for _ in range(3):
+                        session.warm(model.dest)
+                except BaseException as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            thread = threading.Thread(target=warm_loop)
+            thread.start()
+            for _ in range(3):
+                result = session.query_batch(batch)
+                assert result.values[0] == pytest.approx(expected, abs=1e-9)
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+        assert not errors
+
+
+# ---------------------------------------------------------------------------
+# Solver-state reset (keep plans) and loop-stage memoisation
+# ---------------------------------------------------------------------------
+class TestSolverReset:
+    def test_reset_solutions_keeps_plans_and_answers(self, models):
+        model = next(iter(models.values()))
+        backend = MatrixBackend()
+        before = backend.output_distributions(model.policy, model.ingress_packets)
+        plan = backend.plan(model.policy)
+        assert any(stage.factorizations for stage in plan.loop_stages)
+        backend.reset_solutions()
+        assert backend.plan(model.policy) is plan  # compiled plan survives
+        assert all(not stage.solutions for stage in plan.loop_stages)
+        again = backend.output_distributions(model.policy, model.ingress_packets)
+        assert any(stage.factorizations for stage in plan.loop_stages)
+        for packet in model.ingress_packets:
+            assert again[packet].close_to(before[packet], tolerance=1e-12)
+
+    def test_clear_cache_keep_plans_resolves_without_recompiling(
+        self, models, all_pairs
+    ):
+        # workers=1: shards run sequentially, so affinity routing is
+        # perfectly sticky and no shard is ever stolen onto a replica
+        # that would (legitimately) rebuild the plan from its specs —
+        # the compile-time comparison below is only deterministic then.
+        with AnalysisSession(models=models.values(), workers=1, pool_size=2) as session:
+            first = session.query_batch(all_pairs)
+            compiled = session.stats()["backend_timings"].get("compile", 0.0)
+            session.clear_cache(keep_plans=True)
+            again = session.query_batch(all_pairs)
+            assert again.cache_hits == 0  # result cache was dropped...
+            for value, reference in zip(again.values, first.values):
+                assert value == pytest.approx(reference, abs=1e-9)
+            # ...but no plan was recompiled (compile time did not move).
+            assert session.stats()["backend_timings"].get("compile", 0.0) == compiled
+
+    def test_loop_stage_memoisation(self, models):
+        from repro.backends.matrix import _class_sort_key
+
+        model = next(iter(models.values()))
+        backend = MatrixBackend()
+        backend.output_distributions(model.policy, model.ingress_packets)
+        (stage,) = backend.plan(model.policy).loop_stages
+        # The incrementally maintained seed order equals a full sort.
+        assert stage.seed_order == sorted(stage._seeds, key=_class_sort_key)
+        assert all(cls in stage._sort_keys for cls in stage._seeds)
+        # Concretisation is memoised per (class, input packet).
+        packet = model.ingress_packets[0]
+        cls = next(iter(stage.solutions))
+        assert stage.concretize(cls, packet) is stage.concretize(cls, packet)
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle and degradation
+# ---------------------------------------------------------------------------
+class TestLifecycle:
+    def test_non_forkable_backend_degrades_to_one_replica(self, models):
+        model = next(iter(models.values()))
+        with AnalysisSession(model, backend="native", pool_size=4, workers=2) as session:
+            assert session.pool.size == 1
+            packet = model.ingress_packets[0]
+            value = session.query("delivery", packet, model.dest)
+            assert value == pytest.approx(
+                delivery_probability(model, inputs=[packet]), abs=1e-9
+            )
+
+    def test_close_tears_down_forked_replicas_only_plus_owned_base(self, models):
+        model = next(iter(models.values()))
+        closed: list[int] = []
+        shared = MatrixBackend()
+        shared.close = lambda: closed.append(0)  # type: ignore[method-assign]
+        session = AnalysisSession(model, backend=shared, pool_size=3, workers=1)
+        forks = session.pool.replicas[1:]
+        for replica in forks:
+            replica.backend.close = (  # type: ignore[method-assign]
+                lambda index=replica.index: closed.append(index)
+            )
+        session.close()
+        # Caller-supplied base stays open; both forked replicas close.
+        assert sorted(closed) == [1, 2]
+
+    def test_closed_pool_rejects_leases(self, models):
+        model = next(iter(models.values()))
+        session = AnalysisSession(model, pool_size=2, workers=1)
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            with session.pool.lease():
+                pass  # pragma: no cover
+
+    def test_pool_size_validation(self, models):
+        model = next(iter(models.values()))
+        with pytest.raises(ValueError, match="pool size"):
+            AnalysisSession(model, pool_size=0)
+
+    def test_backend_missing_answer_fails_fast(self, models):
+        """A backend that drops a requested packet must raise, not spin."""
+
+        class DroppingBackend:
+            exact = False
+
+            def __init__(self):
+                self.inner = MatrixBackend()
+
+            def output_distributions(self, policy, inputs):
+                packets = list(inputs)
+                answers = self.inner.output_distributions(policy, packets)
+                answers.pop(packets[-1], None)  # violate the contract
+                return answers
+
+        model = next(iter(models.values()))
+        with AnalysisSession(model, backend=DroppingBackend(), workers=1) as session:
+            with pytest.raises(RuntimeError, match="no distribution"):
+                session.query_batch(
+                    [Query.delivery(p, model.dest) for p in model.ingress_packets[:2]]
+                )
+
+    def test_close_drains_active_leases(self, models):
+        """close() waits for in-flight leases before tearing backends down."""
+        model = next(iter(models.values()))
+        session = AnalysisSession(model, pool_size=2, workers=1)
+        pool = session.pool
+        events: list[str] = []
+        release = threading.Event()
+        leased = threading.Event()
+
+        def hold():
+            with pool.lease():
+                leased.set()
+                release.wait(timeout=5)
+            events.append("released")
+
+        holder = threading.Thread(target=hold)
+        holder.start()
+        assert leased.wait(timeout=5)
+
+        def close():
+            session.close()
+            events.append("closed")
+
+        closer = threading.Thread(target=close)
+        closer.start()
+        time.sleep(0.05)
+        assert "closed" not in events  # still draining the held lease
+        release.set()
+        holder.join(timeout=5)
+        closer.join(timeout=5)
+        assert events == ["released", "closed"]
+
+    def test_stats_expose_pool(self, models, all_pairs):
+        with AnalysisSession(models=models.values(), workers=2, pool_size=2) as session:
+            session.query_batch(all_pairs)
+            stats = session.stats()
+        assert stats["pool"]["size"] == 2
+        assert sum(stats["pool"]["leases"]) >= 1
+        assert isinstance(stats["pool"]["affinities"], dict)

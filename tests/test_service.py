@@ -548,6 +548,38 @@ class TestServiceCli:
         # The second --repeat pass is served entirely from the cache.
         assert payload["cache_hits"] == 2
 
+    def test_pool_size_run(self, tmp_path, capsys):
+        out = tmp_path / "results.json"
+        code = service_main(
+            [
+                "--topology",
+                "fattree:4",
+                "--scheme",
+                "ecmp",
+                "--dest",
+                "1",
+                "--dest",
+                "2",
+                "--all-pairs",
+                "--workers",
+                "2",
+                "--pool-size",
+                "2",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["queries"] == 28
+        # The two destination shards were served by distinct replicas.
+        assert {shard["replica"] for shard in payload["shards"]} == {0, 1}
+        assert "pool: 2 replicas" in capsys.readouterr().out
+
+    def test_pool_size_rejected(self):
+        with pytest.raises(SystemExit, match="pool-size"):
+            service_main(["--all-pairs", "--pool-size", "0"])
+
     def test_empty_batch_rejected(self):
         with pytest.raises(SystemExit, match="no queries"):
             service_main(["--workers", "1"])
