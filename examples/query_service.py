@@ -86,6 +86,24 @@ def main() -> None:
         print(f"  session stats: {stats['queries']} queries, "
               f"{stats['shards']} shards, backend={stats['backend']}")
 
+    # Process-hosted replicas: the same session API, but every replica is
+    # a worker process fed by manager-independent plan specs, so matrix
+    # assembly and splu overlap across cores, not just the splu phase.
+    with AnalysisSession(
+        model_factory=factory,
+        planner="destination",
+        workers=4,
+        pool_size=2,
+        pool_mode="process",
+    ) as session:
+        results = session.query_batch(batch)
+        pids = sorted({pid for report in results.shards for pid in report.workers})
+        print(f"process pool: {results.seconds:.3f}s "
+              f"({results.queries_per_second:.0f} q/s) across worker pids {pids}")
+        for report in session.pool.worker_reports():
+            print(f"    worker pid {report['pid']}: {report['plans']} plan(s) "
+                  f"adopted from specs, {report['ast_compilations']} AST compiles")
+
 
 if __name__ == "__main__":
     main()

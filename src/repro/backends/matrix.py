@@ -42,7 +42,7 @@ from repro.core.fdd.matrix import (
 )
 from repro.core.fdd.node import FddManager, FddNode, node_from_spec, node_size, node_to_spec
 from repro.core.fdd.node import output_distribution as fdd_output_distribution
-from repro.core.interpreter import Outcome, eval_predicate
+from repro.core.interpreter import Outcome
 from repro.core.markov import IncrementalAbsorptionSolver
 from repro.core.packet import DROP, Packet, _DropType
 from repro.utils.timing import Stopwatch
@@ -74,12 +74,17 @@ class _LoopStage:
 
     def __init__(
         self,
-        loop: s.WhileDo,
+        loop: s.WhileDo | None,
         guard_fdd: FddNode,
         body_fdd: FddNode,
         domains: dict[str, tuple[int, ...]],
         manager: FddManager,
     ):
+        #: The source AST of the loop, when this stage was built from one.
+        #: Purely informational: query evaluation only ever consults the
+        #: compiled ``guard_fdd`` (see :meth:`entered_by`), so stages
+        #: rebuilt from manager-independent specs — in a forked replica or
+        #: a worker process — carry ``None`` here and behave identically.
         self.loop = loop
         self.guard_fdd = guard_fdd
         self.body_fdd = body_fdd
@@ -115,6 +120,20 @@ class _LoopStage:
             cached = ops_evaluate_bool(self.manager, self.guard_fdd, cls)
             self._guard_cache[cls] = cached
         return cached
+
+    def entered_by(self, packet: Packet) -> bool:
+        """Whether a concrete packet enters the loop (guard holds on it).
+
+        Evaluated on the *compiled* guard FDD via the packet's symbolic
+        class — never on the guard AST — so stages rebuilt from specs
+        (which carry no AST) answer exactly like freshly compiled ones.
+        The loop's domains include every value the guard tests (they are
+        built with the guard's values folded in), so classification is
+        lossless for guard evaluation: a field value outside the domain
+        classifies as a wildcard, which fails every equality test, just
+        as the concrete value would.
+        """
+        return self.guard_holds(self.classify_packet(packet))
 
     def classify_packet(self, packet: Packet) -> SymbolicPacket:
         """The symbolic class of a concrete packet over this loop's domain."""
@@ -167,7 +186,7 @@ class QueryPlan:
     filled lazily the first time the plan is published or keyed.
     """
 
-    policy: s.Policy
+    policy: s.Policy | None
     stages: list[_FddStage | _LoopStage]
     specs: tuple | None = field(default=None, repr=False)
 
@@ -251,9 +270,16 @@ class MatrixBackend:
             )
         self.manager = FddManager()
         self._compiler = Compiler(manager=self.manager, class_limit=self.class_limit)
+        #: How many plans this backend built by *compiling an AST* (the
+        #: expensive path).  Plans rebuilt from published specs and adopted
+        #: plans do not count — worker processes assert this stays 0.
+        self.ast_compilations = 0
         # Plan cache keyed by policy object identity (the policy is kept in
         # the value so a recycled id cannot alias a different program).
         self._plans: dict[int, tuple[s.Policy, QueryPlan]] = {}
+        # Plans adopted from a manager-independent wire payload, keyed by
+        # the caller's plan id (see adopt_plan; used by worker processes).
+        self._adopted: dict[object, QueryPlan] = {}
         # TransitionMatrix cache keyed by canonical FDD identity: FDDs are
         # hash-consed, so semantically equal policies share one matrix.
         self._matrices: dict[FddNode, TransitionMatrix] = {}
@@ -355,7 +381,15 @@ class MatrixBackend:
         return key
 
     def _stage_specs(self, plan: QueryPlan) -> tuple:
-        """Manager-independent stage specs of ``plan`` (cached on the plan)."""
+        """Manager-independent stage specs of ``plan`` (cached on the plan).
+
+        Specs are plain picklable data — FDD node lists, field names, and
+        domain values — with **no AST objects**: loop stages serialize only
+        their compiled guard/body diagrams and domains, which is all query
+        evaluation needs (:meth:`_LoopStage.entered_by`).  This is what
+        lets the same payload rebuild a plan in a forked replica *or* ship
+        to a worker process.
+        """
         if plan.specs is None:
             entries: list[tuple] = []
             for stage in plan.stages:
@@ -366,14 +400,13 @@ class MatrixBackend:
                         "loop",
                         node_to_spec(stage.guard_fdd),
                         node_to_spec(stage.body_fdd),
-                        stage.loop,
                         tuple(sorted(stage.domains.items())),
                     ))
             plan.specs = tuple(entries)
         return plan.specs
 
     def _plan_from_spec(
-        self, policy: s.Policy, fields: tuple[str, ...], stage_specs: tuple
+        self, policy: s.Policy | None, fields: tuple[str, ...], stage_specs: tuple
     ) -> QueryPlan:
         """Rebuild a plan from published specs into this backend's manager."""
         self.manager.register_fields(fields)
@@ -382,10 +415,10 @@ class MatrixBackend:
             if entry[0] == "fdd":
                 stages.append(_FddStage(node_from_spec(self.manager, entry[1])))
             else:
-                _, guard_spec, body_spec, loop, domains = entry
+                _, guard_spec, body_spec, domains = entry
                 stages.append(
                     _LoopStage(
-                        loop,
+                        None,
                         node_from_spec(self.manager, guard_spec),
                         node_from_spec(self.manager, body_spec),
                         dict(domains),
@@ -394,7 +427,53 @@ class MatrixBackend:
                 )
         return QueryPlan(policy, stages, specs=stage_specs)
 
+    # -- spec-shipped plans (worker processes) ----------------------------------
+    def plan_payload(self, policy: s.Policy) -> tuple[tuple[str, ...], tuple]:
+        """The ``(field_order, stage_specs)`` wire payload of ``policy``.
+
+        The payload is entirely manager-independent plain data (no AST
+        objects, no FDD nodes), so it can cross a process boundary and be
+        adopted by a worker's own backend via :meth:`adopt_plan`.  The
+        policy is compiled here if it has not been planned yet.
+        """
+        return self.manager.fields, self._stage_specs(self.plan(policy))
+
+    def adopt_plan(
+        self, plan_id: object, fields: tuple[str, ...], stage_specs: tuple
+    ) -> QueryPlan:
+        """Rebuild a shipped plan under ``plan_id`` (idempotent per id).
+
+        This is the worker-process half of spec shipping: the plan is
+        reconstructed from its manager-independent payload — *no AST
+        compilation happens* (:attr:`ast_compilations` is untouched) — and
+        registered under the caller-chosen id so later
+        :meth:`query_plan` calls can reference it without a policy object.
+        """
+        plan = self._adopted.get(plan_id)
+        if plan is None:
+            with self.watch.measure("adopt"):
+                plan = self._plan_from_spec(None, fields, stage_specs)
+            self._adopted[plan_id] = plan
+        return plan
+
+    @property
+    def adopted_plans(self) -> int:
+        """Number of plans adopted from wire payloads (worker introspection)."""
+        return len(self._adopted)
+
+    def query_plan(
+        self, plan_id: object, inputs: Iterable[Packet]
+    ) -> dict[Packet, Dist[Outcome]]:
+        """Batched per-ingress distributions of an adopted plan."""
+        plan = self._adopted.get(plan_id)
+        if plan is None:
+            raise KeyError(
+                f"no adopted plan {plan_id!r}: ship its payload with adopt_plan first"
+            )
+        return self._run_plan(plan, list(inputs))
+
     def _build_plan(self, policy: s.Policy) -> QueryPlan:
+        self.ast_compilations += 1
         parts: Sequence[s.Policy] = (
             policy.parts if isinstance(policy, s.Seq) else [policy]
         )
@@ -442,6 +521,12 @@ class MatrixBackend:
         """
         packets = list(inputs)
         plan = self.plan(policy)
+        return self._run_plan(plan, packets)
+
+    def _run_plan(
+        self, plan: QueryPlan, packets: list[Packet]
+    ) -> dict[Packet, Dist[Outcome]]:
+        """Advance a batch of ingress packets through a compiled plan."""
         with self.watch.measure("query"):
             dists: list[dict[Outcome, object]] = [{packet: 1} for packet in packets]
             for stage in plan.stages:
@@ -563,6 +648,7 @@ class MatrixBackend:
         self._plans.clear()
         self._matrices.clear()
         self._plan_keys.clear()
+        self._adopted.clear()
 
     def reset_solutions(self) -> None:
         """Drop per-loop solver state while keeping compiled plans.
@@ -575,7 +661,9 @@ class MatrixBackend:
         solver-path measurement (every pass after a reset re-runs matrix
         construction and factorization, not just cache lookups).
         """
-        for _policy, plan in self._plans.values():
+        plans = [plan for _policy, plan in self._plans.values()]
+        plans.extend(self._adopted.values())
+        for plan in plans:
             for position, stage in enumerate(plan.stages):
                 if isinstance(stage, _LoopStage):
                     plan.stages[position] = _LoopStage(
@@ -615,7 +703,7 @@ class MatrixBackend:
             for outcome in dist:
                 if isinstance(outcome, _DropType):
                     continue
-                if eval_predicate(stage.loop.guard, outcome):
+                if stage.entered_by(outcome):
                     entries.add(outcome)
         self._solve_loop(stage, entries)
         advanced: list[dict[Outcome, object]] = []

@@ -18,6 +18,11 @@ Architecture (**session → shards → pool → backend**):
   leased exclusively per shard with destination affinity routing and
   work-stealing — the layer that makes sharded execution genuinely
   parallel instead of serialising on one session-wide solver lock;
+* :mod:`repro.service.procpool` — the :class:`ProcessBackendPool`:
+  the same lease protocol, but every replica lives in its own worker
+  process fed by the manager-independent wire format of
+  :mod:`repro.service.wire`, so the GIL-bound compile-rebuild and
+  matrix-assembly phases parallelise too (``pool_mode="process"``);
 * :mod:`repro.service.shards` — pluggable :class:`ShardPlanner`
   strategies (by destination, by ingress block, round-robin) that cut a
   batch into exact partitions and tag shards with affinity hints;
@@ -44,6 +49,7 @@ Sessions also satisfy the analysis engine protocol, so every
 
 from repro.service.executor import ShardExecutor
 from repro.service.pool import BackendPool, Replica
+from repro.service.procpool import ProcessBackendPool, WorkerHandle
 from repro.service.results import (
     QUERY_KINDS,
     Query,
@@ -62,6 +68,7 @@ from repro.service.shards import (
     get_planner,
     validate_partition,
 )
+from repro.service.wire import QuerySpec, ResultSpec
 
 __all__ = [
     "PLANNERS",
@@ -70,15 +77,19 @@ __all__ = [
     "BackendPool",
     "ByDestinationPlanner",
     "ByIngressBlockPlanner",
+    "ProcessBackendPool",
     "Query",
     "QueryResult",
+    "QuerySpec",
     "Replica",
     "ResultSet",
+    "ResultSpec",
     "RoundRobinPlanner",
     "Shard",
     "ShardExecutor",
     "ShardPlanner",
     "ShardReport",
+    "WorkerHandle",
     "get_planner",
     "validate_partition",
 ]

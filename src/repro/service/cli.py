@@ -113,6 +113,15 @@ def build_parser() -> argparse.ArgumentParser:
         "N>1 enables true parallel solves (default 1)",
     )
     parser.add_argument(
+        "--pool-mode",
+        default="thread",
+        choices=("thread", "process"),
+        help="replica hosting: 'thread' shares the process (parallel in the "
+        "GIL-releasing splu phase); 'process' gives every replica its own "
+        "worker process fed by spec shipping, parallelising plan rebuild + "
+        "matrix assembly + solve end-to-end (default thread)",
+    )
+    parser.add_argument(
         "--repeat",
         type=int,
         default=1,
@@ -219,6 +228,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         model_factory=model_factory(topology, args),
         backend=args.backend,
         pool_size=args.pool_size,
+        pool_mode=args.pool_mode,
         planner=args.planner,
         workers=args.workers,
     ) as session:
@@ -247,9 +257,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
         stats = session.stats()
         pool = stats["pool"]
-        if pool["size"] > 1:
+        if pool["size"] > 1 or pool["mode"] != "thread":
+            workers = ",".join(str(pid) for pid in pool["workers"])
             print(
-                f"pool: {pool['size']} replicas, leases {pool['leases']}, "
+                f"pool: {pool['size']} {pool['mode']}-hosted replicas "
+                f"(pids {workers}), leases {pool['leases']}, "
                 f"{pool['steals']} steal(s)"
             )
         timings = stats["backend_timings"]

@@ -9,18 +9,22 @@ cost per batch (the thread-level analogue of the parallel interpreter's
 persistent process pool, which the session also keeps alive by holding
 its backend replicas for its whole lifetime).
 
-Threads (not processes) are the right vehicle for shard work: results
-need no serialisation, the session result cache is shared in-place, and
-each shard leases its *own* backend replica from the session's
+Executor workers are always *threads*, in both pool modes: the session
+result cache is shared in-place, merge needs no serialisation, and each
+shard leases its *own* backend replica from the session's
 :class:`~repro.service.pool.BackendPool` — there is no session-wide
-solver lock, so shards on different replicas contend on nothing and the
-GIL-releasing parts of the solve path (SciPy ``splu`` factorizations and
-multi-RHS solves) overlap on real cores.  Executor threads therefore
-only ever block on pool *capacity* (every replica busy), never on
-another replica's solver lock.  Size ``workers >= pool_size`` to be able
-to drive every replica at once.  Closing the executor (or its owning
-session) tears the thread pool down; ``workers=1`` runs shards inline
-with no pool at all.
+solver lock, so shards on different replicas contend on nothing.  Where
+the replica's solve actually *runs* is the pool's concern, not the
+executor's: a thread-hosted replica overlaps wherever the work releases
+the GIL (SciPy ``splu``), while a process-hosted replica
+(:class:`~repro.service.procpool.ProcessBackendPool`) runs the whole
+solve in its worker process and the executor thread merely waits on the
+pipe — which is why the same thread executor drives full multi-core
+parallelism in process mode.  Executor threads only ever block on pool
+*capacity* (every replica busy), never on another replica's solver
+lock.  Size ``workers >= pool_size`` to be able to drive every replica
+at once.  Closing the executor (or its owning session) tears the thread
+pool down; ``workers=1`` runs shards inline with no pool at all.
 """
 
 from __future__ import annotations

@@ -45,6 +45,7 @@ hierarchy acyclic, so the pool cannot deadlock.
 
 from __future__ import annotations
 
+import os
 import threading
 from contextlib import contextmanager
 from typing import Iterator
@@ -96,6 +97,12 @@ class BackendPool:
         replicas are always pool-owned and closed with it).
     """
 
+    #: How replicas are hosted: ``"thread"`` replicas share the process
+    #: (parallelism where work releases the GIL), ``"process"`` replicas
+    #: (see :class:`~repro.service.procpool.ProcessBackendPool`) each live
+    #: in their own worker process (full-pipeline parallelism).
+    mode = "thread"
+
     def __init__(self, backend: object, size: int = 1, *, owns_base: bool = False):
         if size < 1:
             raise ValueError("pool size must be >= 1")
@@ -105,12 +112,21 @@ class BackendPool:
         # affinity key -> index of the replica holding that key's state.
         self._affinity: dict[object, int] = {}
         self._steals = 0
+        self.replicas: list[Replica] = self._create_replicas(backend, size)
+
+    def _create_replicas(self, backend: object, size: int) -> list[Replica]:
+        """Build the replica list (subclass hook: process pools spawn here).
+
+        The base pool keeps ``backend`` as replica 0 and forks the rest;
+        a backend without ``fork`` support degrades to a single replica.
+        """
         fork = getattr(backend, "fork", None)
         if fork is None:
             size = 1
-        self.replicas: list[Replica] = [Replica(0, backend)]
+        replicas = [Replica(0, backend)]
         for index in range(1, size):
-            self.replicas.append(Replica(index, fork()))
+            replicas.append(Replica(index, fork()))
+        return replicas
 
     @property
     def size(self) -> int:
@@ -229,20 +245,39 @@ class BackendPool:
         closed only when ``owns_base`` was set (the session passes its
         usual ownership rule through).
         """
+        if not self._drain():
+            return
+        for replica in self.replicas:
+            if not self._owns_replica(replica):
+                continue
+            closer = getattr(replica.backend, "close", None)
+            if closer is not None:
+                closer()
+        self._close_base()
+
+    def _drain(self) -> bool:
+        """Mark the pool closed and wait for every held lease to finish.
+
+        Returns ``False`` when the pool was already closed (teardown must
+        not run twice).  After the drain no replica is busy and no new
+        lease can be granted, so backends can be torn down safely.
+        """
         with self._cv:
             if self._closed:
-                return
+                return False
             self._closed = True
             self._cv.notify_all()
             for replica in self.replicas:
                 while replica.busy:
                     self._cv.wait()
-        for replica in self.replicas:
-            if replica.index == 0 and not self._owns_base:
-                continue
-            closer = getattr(replica.backend, "close", None)
-            if closer is not None:
-                closer()
+        return True
+
+    def _owns_replica(self, replica: Replica) -> bool:
+        """Whether closing the pool should close this replica's backend."""
+        return replica.index > 0 or self._owns_base
+
+    def _close_base(self) -> None:
+        """Subclass hook: tear down non-replica base state after the drain."""
 
     def clear_caches(self, keep_plans: bool = False) -> None:
         """Clear every replica's backend caches (under its lease).
@@ -265,13 +300,25 @@ class BackendPool:
                 clearer()
 
     # -- introspection ---------------------------------------------------------
+    def worker_id(self, index: int) -> int:
+        """The OS pid hosting replica ``index``.
+
+        Thread-hosted replicas all live in the current process; a
+        process-hosted replica reports its worker's pid, so benchmark
+        artifacts carry direct evidence of cross-process execution.
+        """
+        pid = getattr(self.replicas[index].backend, "pid", None)
+        return os.getpid() if pid is None else pid
+
     def stats(self) -> dict[str, object]:
         """Pool shape, per-replica lease counts, and the affinity map."""
         with self._cv:
             return {
+                "mode": self.mode,
                 "size": self.size,
                 "steals": self._steals,
                 "leases": [replica.leases for replica in self.replicas],
+                "workers": [self.worker_id(i) for i in range(len(self.replicas))],
                 "affinities": {
                     key: index for key, index in sorted(
                         self._affinity.items(), key=lambda item: repr(item[0])

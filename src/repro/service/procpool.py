@@ -1,0 +1,522 @@
+"""Process-hosted backend replicas: full-pipeline parallel serving.
+
+Architecture: the thread-hosted :class:`~repro.service.pool.BackendPool`
+only parallelises the phases of a shard that release the GIL (SciPy's
+``splu`` factorizations and solves); the GIL-bound phases — plan
+rebuilds, reachable-matrix assembly, FDD stage application — still
+serialise, so thread-pool speedup saturates well below core count.  A
+:class:`ProcessBackendPool` removes that ceiling by hosting each replica
+in its **own worker process**: every worker owns a complete
+:class:`~repro.backends.matrix.MatrixBackend` (its own FDD manager, plan
+caches, and ``splu`` family), so compile-free plan rebuilds, matrix
+assembly, and solving all overlap across cores.
+
+Nothing manager-bound and no ASTs cross the process boundary
+(:mod:`repro.service.wire`):
+
+* the parent keeps one *planner backend* (replica 0's role in the thread
+  pool) whose only job is compiling policies once and producing their
+  manager-independent ``(fields, stage_specs)`` payloads and canonical
+  :meth:`~repro.backends.matrix.MatrixBackend.plan_key` cache keys;
+* a :class:`PlanDirectory` assigns each policy a small integer plan id
+  and hands the payload to every worker that has not seen it yet — ship
+  once per (worker, plan), serve forever after;
+* workers rebuild plans with
+  :meth:`~repro.backends.matrix.MatrixBackend.adopt_plan` (pure
+  ``node_from_spec`` reconstruction — **no AST compilation ever happens
+  worker-side**, asserted by their ``ast_compilations`` counter staying
+  0) and answer :class:`~repro.service.wire.QuerySpec` messages with
+  :class:`~repro.service.wire.ResultSpec` answers: plain floats and
+  exact :class:`~fractions.Fraction` masses keyed by packet spec.
+
+The pool plugs into the exact lease/affinity/steal protocol of the
+thread pool (it *is* a :class:`BackendPool` subclass): destination
+affinity now also means "the worker process holding that destination's
+factorizations keeps serving it", warmup pre-plans every worker through
+the ordinary lease path, and ``close()`` drains held leases, then stops
+and joins every worker.  Because plan payloads are per-task data, one
+long-lived worker serves any number of destinations and loop bodies
+without restarting.
+
+Lock note: a :class:`WorkerHandle` is only ever driven under its
+replica's exclusive lease, so the pipe protocol needs no lock of its
+own; the :class:`PlanDirectory` lock is the process-pool analogue of the
+:class:`~repro.backends.matrix.PlanSpecStore` leaf lock, except that it
+*may* compile (parent-side, first time a policy is seen) — it is
+therefore only ever taken from inside a lease or from warmup, never
+while holding the session state lock.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import traceback
+import weakref
+from typing import TYPE_CHECKING
+
+from repro.service.pool import BackendPool, Replica
+from repro.service.wire import QuerySpec, ResultSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.backends.matrix import MatrixBackend
+
+#: Environment override for the worker start method ("fork", "spawn", ...).
+START_METHOD_ENV = "REPRO_POOL_START_METHOD"
+
+
+class _WorkerDied(Exception):
+    """Internal: the worker process exited mid-request."""
+
+
+def _pick_start_method(requested: str | None) -> str:
+    """The multiprocessing start method for worker processes.
+
+    ``fork`` (when the platform offers it) makes workers available in
+    milliseconds and inherits ``sys.path``; ``spawn`` is the portable
+    fallback.  The ``REPRO_POOL_START_METHOD`` environment variable and
+    the ``start_method=`` parameter both override.
+    """
+    choice = requested or os.environ.get(START_METHOD_ENV)
+    available = multiprocessing.get_all_start_methods()
+    if choice:
+        if choice not in available:
+            raise ValueError(
+                f"start method {choice!r} not available here (have: {available})"
+            )
+        return choice
+    return "fork" if "fork" in available else "spawn"
+
+
+def _worker_stats(backend: "MatrixBackend", queries: int) -> dict:
+    """The introspection blob attached to every worker reply."""
+    return {
+        "pid": os.getpid(),
+        "ast_compilations": backend.ast_compilations,
+        "plans": backend.adopted_plans,
+        "queries": queries,
+        "timings": backend.timings(),
+    }
+
+
+def worker_main(connection) -> None:
+    """The worker process: one backend replica, driven over one pipe.
+
+    The worker owns a full :class:`~repro.backends.matrix.MatrixBackend`
+    built *here*, in this process — nothing manager-bound was inherited
+    or received.  Messages (all plain picklable data):
+
+    * ``("plan", plan_id, fields, stage_specs)`` → adopt a shipped plan
+      (idempotent); reply ``("ok", stats)``.
+    * ``("query", QuerySpec)`` → answer from adopted plans only; reply
+      ``("result", ResultSpec, stats)``.
+    * ``("reset", keep_plans)`` → drop solver state (and, without
+      ``keep_plans``, the adopted plans); reply ``("ok", stats)``.
+    * ``("ping",)`` → reply ``("ok", stats)`` (liveness + stats fetch).
+    * ``("stop",)`` → reply ``("ok", stats)`` and exit.
+
+    Any exception is caught and returned as ``("error", summary,
+    traceback)`` — the worker survives and keeps serving, so one bad
+    query cannot take a replica (and its warm factorizations) down.
+    """
+    import signal
+
+    # The parent handles interrupts and tears workers down via "stop";
+    # a Ctrl-C must not kill workers mid-protocol.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    from repro.backends.matrix import MatrixBackend
+
+    backend = MatrixBackend()
+    queries_served = 0
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):  # parent died: nothing left to serve
+            return
+        op = message[0]
+        try:
+            if op == "stop":
+                connection.send(("ok", _worker_stats(backend, queries_served)))
+                return
+            if op == "plan":
+                _, plan_id, fields, stage_specs = message
+                backend.adopt_plan(plan_id, fields, stage_specs)
+                connection.send(("ok", _worker_stats(backend, queries_served)))
+            elif op == "query":
+                spec: QuerySpec = message[1]
+                if spec.kind != "distributions":
+                    raise ValueError(f"unknown wire query kind {spec.kind!r}")
+                dists = backend.query_plan(spec.plan, spec.ingress_packets())
+                queries_served += len(spec.ingress)
+                result = ResultSpec.from_distributions(spec.plan, dists)
+                connection.send(
+                    ("result", result, _worker_stats(backend, queries_served))
+                )
+            elif op == "reset":
+                if message[1]:
+                    backend.reset_solutions()
+                else:
+                    backend.clear_caches()
+                connection.send(("ok", _worker_stats(backend, queries_served)))
+            elif op == "ping":
+                connection.send(("ok", _worker_stats(backend, queries_served)))
+            else:
+                raise ValueError(f"unknown worker op {op!r}")
+        except Exception as exc:  # noqa: BLE001 - protocol boundary
+            try:
+                connection.send(
+                    ("error", f"{type(exc).__name__}: {exc}", traceback.format_exc())
+                )
+            except (OSError, BrokenPipeError):
+                return
+
+
+class PlanDirectory:
+    """Parent-side registry: policy → (plan id, wire payload, cache key).
+
+    One directory is shared by every worker handle of a pool.  The first
+    request for a policy compiles it *once* on the parent's planner
+    backend and caches the manager-independent payload; all later
+    requests (from any worker handle, any thread) are dictionary hits.
+    The lock is held across that first compile, which serialises plan
+    compilation exactly like the thread pool's spec store does — replicas
+    then rebuild from specs, they never re-compile.
+    """
+
+    def __init__(self, planner: "MatrixBackend"):
+        self._planner = planner
+        self._lock = threading.Lock()
+        # id(policy) -> (policy, plan_id, fields, stage_specs, plan_key);
+        # the policy is retained so a recycled id cannot alias.
+        self._entries: dict[int, tuple] = {}
+        self._next_id = 0
+
+    @property
+    def planner(self) -> "MatrixBackend":
+        return self._planner
+
+    def entry(self, policy) -> tuple[int, tuple, tuple, object]:
+        """The ``(plan_id, fields, stage_specs, plan_key)`` of ``policy``."""
+        found = self._entries.get(id(policy))
+        if found is not None and found[0] is policy:
+            return found[1:]
+        with self._lock:
+            found = self._entries.get(id(policy))
+            if found is not None and found[0] is policy:
+                return found[1:]
+            fields, stage_specs = self._planner.plan_payload(policy)
+            key = self._planner.plan_key(policy)
+            plan_id = self._next_id
+            self._next_id += 1
+            self._entries[id(policy)] = (policy, plan_id, fields, stage_specs, key)
+            return plan_id, fields, stage_specs, key
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class WorkerHandle:
+    """The parent-side face of one worker process.
+
+    Implements exactly the backend surface a leased replica is driven
+    through (``plan`` / ``plan_key`` / ``output_distributions`` /
+    ``certainly_delivers`` / ``reset_solutions`` / ``clear_caches`` /
+    ``timings`` / ``close``), translating each call into wire messages —
+    so sessions, warmup, and benchmarks are drop-in between thread and
+    process pools.  A handle is only ever used under its replica's
+    exclusive lease, hence one outstanding request at a time per pipe.
+    """
+
+    def __init__(self, index: int, directory: PlanDirectory, context):
+        self.index = index
+        self._directory = directory
+        self._conn, child_conn = context.Pipe(duplex=True)
+        self._process = context.Process(
+            target=worker_main,
+            args=(child_conn,),
+            name=f"repro-worker-{index}",
+            daemon=True,
+        )
+        self._process.start()
+        child_conn.close()
+        self._closed = False
+        #: Plan ids this worker has adopted (ship-once bookkeeping).
+        self._shipped: set[int] = set()
+        #: Latest stats blob returned by the worker (refreshed per reply).
+        self.worker_stats: dict = {}
+        # Safety net mirroring ParallelInterpreter's finalizer: an
+        # abandoned handle must not leak a worker process.
+        self._finalizer = weakref.finalize(
+            self, _terminate_process, self._process, self._conn
+        )
+
+    # -- wire plumbing ---------------------------------------------------------
+    @property
+    def pid(self) -> int | None:
+        """The worker process id (evidence of cross-process execution)."""
+        return self._process.pid
+
+    @property
+    def alive(self) -> bool:
+        return self._process.is_alive()
+
+    def _request(self, message: tuple) -> tuple:
+        if self._closed:
+            raise RuntimeError("worker handle is closed")
+        try:
+            self._conn.send(message)
+            while not self._conn.poll(1.0):
+                if not self._process.is_alive():
+                    raise _WorkerDied()
+            reply = self._conn.recv()
+        except (_WorkerDied, EOFError, ConnectionResetError, BrokenPipeError) as exc:
+            self._process.join(timeout=1.0)
+            raise RuntimeError(
+                f"worker {self.index} (pid {self.pid}) died while serving "
+                f"{message[0]!r} (exit code {self._process.exitcode}); with the "
+                f"spawn start method this usually means the 'repro' package is "
+                f"not importable in child processes"
+            ) from exc
+        if reply[0] == "error":
+            _, summary, trace = reply
+            raise RuntimeError(
+                f"worker {self.index} (pid {self.pid}) failed: {summary}\n{trace}"
+            )
+        self.worker_stats = reply[-1]
+        return reply
+
+    def _ensure_plan(self, policy) -> int:
+        plan_id, fields, stage_specs, _key = self._directory.entry(policy)
+        if plan_id not in self._shipped:
+            self._request(("plan", plan_id, fields, stage_specs))
+            self._shipped.add(plan_id)
+        return plan_id
+
+    # -- backend surface (driven under a replica lease) ------------------------
+    def plan(self, policy) -> int:
+        """Ship ``policy``'s payload to the worker (the warmup hook)."""
+        return self._ensure_plan(policy)
+
+    def plan_key(self, policy) -> object:
+        """The canonical manager-independent cache key (parent-side)."""
+        return self._directory.entry(policy)[3]
+
+    def output_distributions(self, policy, inputs) -> dict:
+        """Per-ingress output distributions, computed in the worker."""
+        plan_id = self._ensure_plan(policy)
+        spec = QuerySpec.distributions(plan_id, inputs)
+        _, result, _stats = self._request(("query", spec))
+        return result.to_distributions()
+
+    def certainly_delivers(self, model, tolerance: float = 1e-9) -> bool:
+        """Delivery check: distributions in the worker, predicate here.
+
+        The delivered predicate is an AST, so it never crosses the wire;
+        the worker returns raw distributions and the parent applies the
+        same ``_is_delivered`` semantics as every other entry point.
+        """
+        from repro.analysis.queries import _is_delivered
+
+        dists = self.output_distributions(model.policy, model.ingress_packets)
+        return all(
+            float(dist.prob_of(lambda out: _is_delivered(out, model.delivered)))
+            >= 1.0 - tolerance
+            for dist in dists.values()
+        )
+
+    def ping(self) -> dict:
+        """Round-trip liveness probe; returns (and caches) worker stats."""
+        self._request(("ping",))
+        return self.worker_stats
+
+    def reset_solutions(self) -> None:
+        """Drop the worker's solver state, keeping its adopted plans."""
+        self._request(("reset", True))
+
+    def clear_caches(self) -> None:
+        """Drop the worker's plans and solver state (payloads re-ship lazily)."""
+        self._request(("reset", False))
+        self._shipped.clear()
+
+    def timings(self) -> dict[str, float]:
+        """The worker backend's accumulated phase timings (last known)."""
+        timings = self.worker_stats.get("timings")
+        return dict(timings) if timings else {}
+
+    def close(self) -> None:
+        """Stop the worker and join it (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if self._process.is_alive():
+                self._conn.send(("stop",))
+                if self._conn.poll(5.0):
+                    reply = self._conn.recv()
+                    if reply and reply[0] == "ok":
+                        self.worker_stats = reply[-1]
+        except (OSError, BrokenPipeError):
+            pass
+        self._process.join(timeout=5.0)
+        if self._process.is_alive():  # pragma: no cover - defensive
+            self._process.terminate()
+            self._process.join(timeout=5.0)
+        self._conn.close()
+        self._finalizer.detach()
+
+
+def _terminate_process(process, connection) -> None:
+    """Finalizer: reap a worker whose handle was dropped without close()."""
+    try:
+        connection.close()
+    except OSError:  # pragma: no cover - defensive
+        pass
+    if process.is_alive():
+        process.terminate()
+        process.join(timeout=5.0)
+
+
+class ProcessBackendPool(BackendPool):
+    """N worker processes, each hosting a full backend replica.
+
+    Drop-in for :class:`~repro.service.pool.BackendPool` — same exclusive
+    leases, same affinity-first/steal-second routing, same ``stats()``
+    shape — but every replica is a :class:`WorkerHandle` fronting a
+    worker process, so *all* phases of shard execution (plan rebuild,
+    matrix assembly, factorization, solve) run outside the parent's GIL.
+
+    Parameters
+    ----------
+    backend:
+        The parent-side planner backend.  It never serves shard queries;
+        it compiles each policy once and produces the wire payloads and
+        canonical cache keys workers and sessions share.  Must support
+        spec shipping (``plan_payload``/``plan_key`` — the matrix
+        backend; the native family cannot host process replicas).
+    size:
+        Number of worker processes (≥ 1).
+    owns_base:
+        Whether closing the pool also closes the planner backend
+        (workers are always pool-owned and always joined on close).
+    start_method:
+        Multiprocessing start method; default ``fork`` where available
+        (fast, inherits ``sys.path``), else ``spawn``.  Also overridable
+        via the ``REPRO_POOL_START_METHOD`` environment variable.
+    """
+
+    mode = "process"
+
+    def __init__(
+        self,
+        backend: object,
+        size: int = 1,
+        *,
+        owns_base: bool = False,
+        start_method: str | None = None,
+    ):
+        if not hasattr(backend, "plan_payload") or not hasattr(backend, "plan_key"):
+            raise TypeError(
+                f"backend {type(backend).__name__} cannot host process replicas: "
+                "spec shipping needs plan_payload()/plan_key() (use the matrix "
+                "backend, or pool_mode='thread')"
+            )
+        self._start_method = _pick_start_method(start_method)
+        self._directory = PlanDirectory(backend)
+        super().__init__(backend, size, owns_base=owns_base)
+
+    def _create_replicas(self, backend: object, size: int) -> list[Replica]:
+        context = multiprocessing.get_context(self._start_method)
+        with _importable_package_path(self._start_method):
+            return [
+                Replica(index, WorkerHandle(index, self._directory, context))
+                for index in range(size)
+            ]
+
+    @property
+    def directory(self) -> PlanDirectory:
+        """The shared plan directory (parent-side compile-once registry)."""
+        return self._directory
+
+    @property
+    def start_method(self) -> str:
+        return self._start_method
+
+    def workers(self) -> list[WorkerHandle]:
+        """The worker handles, in replica order."""
+        return [replica.backend for replica in self.replicas]
+
+    def worker_reports(self) -> list[dict]:
+        """Fresh per-worker stats, fetched through the ordinary lease path."""
+        reports = []
+        for replica in self.lease_each():
+            reports.append(replica.backend.ping())
+        return reports
+
+    def _owns_replica(self, replica: Replica) -> bool:
+        # Every replica fronts a pool-spawned worker process; all of them
+        # are stopped and joined on close, regardless of owns_base (which
+        # only governs the parent-side planner backend).
+        return True
+
+    def _close_base(self) -> None:
+        if self._owns_base:
+            closer = getattr(self._directory.planner, "close", None)
+            if closer is not None:
+                closer()
+
+
+#: Serialises _importable_package_path: os.environ is process-global, so
+#: concurrent spawn-mode pool constructions must not interleave their
+#: save/mutate/restore of PYTHONPATH (interleaving could drop the
+#: variable mid-start or leak the mutated value permanently).
+_ENV_LOCK = threading.Lock()
+
+
+class _importable_package_path:
+    """Make ``repro`` importable in spawned children via ``PYTHONPATH``.
+
+    ``spawn``/``forkserver`` children re-import :func:`worker_main`'s
+    module from scratch; when the package is driven from a source tree
+    (``PYTHONPATH=src``) rather than installed, the child needs the same
+    path.  Temporarily prepending the package root to ``PYTHONPATH``
+    around process start covers both layouts.  ``fork`` children inherit
+    ``sys.path`` directly, so fork mode touches nothing.  The environment
+    mutation is process-global, hence guarded by a module lock for the
+    (short) duration of worker start-up.
+    """
+
+    def __init__(self, start_method: str):
+        self._active = start_method != "fork"
+
+    def __enter__(self) -> None:
+        if not self._active:
+            return
+        import repro
+
+        root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        _ENV_LOCK.acquire()
+        self._previous = os.environ.get("PYTHONPATH")
+        parts = [root] + ([self._previous] if self._previous else [])
+        os.environ["PYTHONPATH"] = os.pathsep.join(parts)
+
+    def __exit__(self, *exc) -> None:
+        if not self._active:
+            return
+        try:
+            if self._previous is None:
+                os.environ.pop("PYTHONPATH", None)
+            else:
+                os.environ["PYTHONPATH"] = self._previous
+        finally:
+            _ENV_LOCK.release()
+
+
+__all__ = [
+    "PlanDirectory",
+    "ProcessBackendPool",
+    "WorkerHandle",
+    "worker_main",
+]

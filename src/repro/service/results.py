@@ -123,6 +123,12 @@ class ShardReport:
     shards of a batch, so overlapping ``[started, finished]`` intervals
     are direct evidence that shards executed in parallel rather than
     serialising on a shared solver lock.
+
+    ``pool_mode`` records how the serving replicas were hosted
+    (``"thread"`` or ``"process"``) and ``workers`` the OS pid behind
+    each leased replica, in ``replicas`` order — in process mode,
+    distinct pids on overlapping shard windows are direct evidence of
+    cross-process parallel execution, carried into benchmark artifacts.
     """
 
     index: int
@@ -132,6 +138,8 @@ class ShardReport:
     cache_hits: int
     replica: int = -1
     replicas: tuple[int, ...] = ()
+    pool_mode: str = "thread"
+    workers: tuple[int, ...] = ()
     started: float = 0.0
     finished: float = 0.0
 
@@ -207,6 +215,8 @@ class ResultSet:
                     "cache_hits": report.cache_hits,
                     "replica": report.replica,
                     "replicas": list(report.replicas),
+                    "pool_mode": report.pool_mode,
+                    "workers": list(report.workers),
                 }
                 for report in self.shards
             ],

@@ -24,7 +24,9 @@ A query batch flows through the session as follows:
    pool (affinity-routed: shards of one destination stick to the replica
    already holding that destination's factorizations) and solves the
    missing slice against it — shards on different replicas share no
-   solver state and therefore run genuinely in parallel;
+   solver state and therefore run genuinely in parallel (with
+   ``pool_mode="process"`` each replica lives in its own worker process
+   fed by spec shipping, so even the GIL-bound phases overlap);
 4. per-shard answers are merged back into one
    :class:`~repro.service.results.ResultSet` in the caller's original
    query order, with per-shard timings (including the serving replica
@@ -52,7 +54,8 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, Iterable, Mapping, Sequence
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.backends import resolve_backend
 from repro.core import syntax as s
@@ -88,13 +91,24 @@ class AnalysisSession:
         up front; built models are compiled once and cached.
     backend:
         The base query engine: a registry name (default ``"matrix"``) or
-        a backend instance.  It becomes replica 0 of the session's
-        backend pool; additional replicas are forked from it.
+        a backend instance.  In thread mode it becomes replica 0 of the
+        session's backend pool (additional replicas are forked from it);
+        in process mode it stays in the parent as the planner backend
+        that compiles policies once and ships their specs to workers.
     pool_size:
         Number of independent backend replicas (default 1).  With N > 1
         the backend must support ``fork()`` (the matrix backend does);
         backends that cannot fork degrade to a single replica, which
         behaves exactly like the historical one-backend session.
+    pool_mode:
+        ``"thread"`` (default) hosts replicas in this process — they
+        parallelise wherever the work releases the GIL (``splu``).
+        ``"process"`` hosts each replica in its own worker process
+        (:class:`~repro.service.procpool.ProcessBackendPool`): plans ship
+        as manager-independent specs and *every* phase — plan rebuild,
+        matrix assembly, factorization, solve — runs outside the
+        parent's GIL, at the price of per-query IPC and per-worker
+        memory.  Requires a spec-shipping backend (matrix).
     planner:
         Default shard planner: a name (``"destination"``, ``"ingress"``,
         ``"round-robin"``, optionally ``"name:arg"``) or a
@@ -117,6 +131,7 @@ class AnalysisSession:
         model_factory: Callable[[int], NetworkModel] | None = None,
         backend: object | str | None = "matrix",
         pool_size: int = 1,
+        pool_mode: str = "thread",
         planner: ShardPlanner | str | None = None,
         workers: int | None = None,
         cache: bool = True,
@@ -132,14 +147,26 @@ class AnalysisSession:
         self._backend = engine
         # Registry names instantiate a fresh backend the session owns (and
         # closes); caller-supplied instances stay the caller's to close.
-        # Forked replicas are always pool-owned either way.
+        # Forked replicas and worker processes are always pool-owned.
         self._owns_backend = isinstance(backend, str)
-        self._pool = BackendPool(engine, pool_size, owns_base=self._owns_backend)
+        if pool_mode == "thread":
+            self._pool = BackendPool(engine, pool_size, owns_base=self._owns_backend)
+        elif pool_mode == "process":
+            from repro.service.procpool import ProcessBackendPool
+
+            self._pool = ProcessBackendPool(
+                engine, pool_size, owns_base=self._owns_backend
+            )
+        else:
+            raise ValueError(
+                f"unknown pool_mode {pool_mode!r}; expected 'thread' or 'process'"
+            )
         self._planner = get_planner(planner)
         self._executor = ShardExecutor(workers)
         self._model_factory = model_factory
         self._cache_enabled = cache
         self._closed = False
+        self._closing = False
         # The only session-scoped lock: a short state lock for the result
         # cache, the model registry, and the counters.  Raw backend access
         # is serialised per replica by the pool's leases instead — shards
@@ -147,6 +174,12 @@ class AnalysisSession:
         # lock may be taken while holding a replica lease, never the other
         # way around (see repro.service.pool for the lock hierarchy).
         self._state_lock = threading.RLock()
+        # In-flight public calls (batches + engine-protocol calls).  close()
+        # waits for this to reach zero before tearing anything down, which
+        # makes teardown deterministic even for inline (workers=1) execution
+        # the executor cannot drain for us.
+        self._active_calls = 0
+        self._idle = threading.Condition(self._state_lock)
         # dest -> model; the None key is the session's default model.
         self._models: dict[int | None, NetworkModel] = {}
         # Canonical policy keys: id(policy) -> (policy, key).  The policy
@@ -225,21 +258,48 @@ class AnalysisSession:
         return self._pool
 
     @property
+    def pool_mode(self) -> str:
+        """How replicas are hosted: ``"thread"`` or ``"process"``."""
+        return self._pool.mode
+
+    @property
     def exact(self) -> bool:
         """Whether the underlying backend runs in exact mode."""
         return bool(getattr(self._backend, "exact", False))
 
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:
-        """Shut down the executor and the pool-owned backends (idempotent).
+        """Drain in-flight work, then shut down the executor and the pool.
+
+        Teardown is deterministic in both pool modes, in three ordered
+        steps: (1) the session starts *closing* — every public query
+        surface refuses new work, but shards already in flight keep full
+        access to the caches and the pool; (2) the executor is drained
+        (``shutdown(wait=True)`` runs every submitted shard to
+        completion, so a ``query_batch`` racing ``close()`` returns its
+        complete :class:`ResultSet` instead of dying mid-batch); (3) the
+        session is marked closed and the pool is torn down — which itself
+        waits out any lease still held by an engine-protocol call before
+        closing backends (and, in process mode, stopping and joining
+        every worker).
 
         A backend *instance* passed by the caller is not closed — shared
         instances may serve other users (the documented shared-backend
         pattern); only replica 0 instantiated from a registry name, plus
-        every forked replica (always pool-owned), are torn down.
+        every forked replica and every worker process (always
+        pool-owned), are torn down.
         """
-        self._closed = True
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closing = True
+            # Drain: every in-flight query_batch / engine-protocol call
+            # entered before _closing flipped runs to completion (inline
+            # execution included — the executor cannot drain that for us).
+            while self._active_calls:
+                self._idle.wait()
         self._executor.close()
+        self._closed = True
         self._pool.close()
 
     def __enter__(self) -> "AnalysisSession":
@@ -274,20 +334,19 @@ class AnalysisSession:
         Returns a :class:`~repro.service.results.ResultSet` in the
         original query order with per-shard timing reports attached.
         """
-        if self._closed:
-            raise RuntimeError("session is closed")
-        batch = [Query.coerce(raw) for raw in queries]
-        start = time.perf_counter()
-        chosen = get_planner(planner) if planner is not None else self._planner
-        shards = chosen.plan(batch)
-        validate_partition(batch, shards)
-        outputs = self._executor.map(self._run_shard, shards)
-        result = merge_shard_results(batch, outputs, time.perf_counter() - start)
-        with self._state_lock:
-            self._queries_served += len(batch)
-            self._batches_served += 1
-            self._shards_run += len(shards)
-        return result
+        with self._serving():
+            batch = [Query.coerce(raw) for raw in queries]
+            start = time.perf_counter()
+            chosen = get_planner(planner) if planner is not None else self._planner
+            shards = chosen.plan(batch)
+            validate_partition(batch, shards)
+            outputs = self._executor.map(self._run_shard, shards)
+            result = merge_shard_results(batch, outputs, time.perf_counter() - start)
+            with self._state_lock:
+                self._queries_served += len(batch)
+                self._batches_served += 1
+                self._shards_run += len(shards)
+            return result
 
     def query(self, kind: str, ingress, dest: int | None = None):
         """Answer one query and return its bare value.
@@ -334,36 +393,40 @@ class AnalysisSession:
         Same contract as the backends' ``output_distribution``, but
         answered through the session cache.
         """
-        if isinstance(policy, NetworkModel):
-            policy = policy.policy
-        if isinstance(inputs, Packet):
-            weighted: list[tuple[Outcome, object]] = [(inputs, 1)]
-        elif isinstance(inputs, Dist):
-            weighted = list(inputs.items())
-        else:
-            packets = list(inputs)
-            if not packets:
-                raise ValueError("cannot build a uniform distribution over no outcomes")
-            share = s.as_prob(1) / len(packets)
-            weighted = [(packet, share) for packet in packets]
-        proper = [pk for pk, _ in weighted if not isinstance(pk, _DropType)]
-        dists, _hits, _replica = self._distributions(policy, proper)
-        parts: list[tuple[Dist[Outcome], object]] = []
-        for outcome, mass in weighted:
-            if isinstance(outcome, _DropType):
-                parts.append((Dist.point(DROP), mass))
+        with self._serving():
+            if isinstance(policy, NetworkModel):
+                policy = policy.policy
+            if isinstance(inputs, Packet):
+                weighted: list[tuple[Outcome, object]] = [(inputs, 1)]
+            elif isinstance(inputs, Dist):
+                weighted = list(inputs.items())
             else:
-                parts.append((dists[outcome], mass))
-        return Dist.convex(parts, check=False)
+                packets = list(inputs)
+                if not packets:
+                    raise ValueError(
+                        "cannot build a uniform distribution over no outcomes"
+                    )
+                share = s.as_prob(1) / len(packets)
+                weighted = [(packet, share) for packet in packets]
+            proper = [pk for pk, _ in weighted if not isinstance(pk, _DropType)]
+            dists, _hits, _replica = self._distributions(policy, proper)
+            parts: list[tuple[Dist[Outcome], object]] = []
+            for outcome, mass in weighted:
+                if isinstance(outcome, _DropType):
+                    parts.append((Dist.point(DROP), mass))
+                else:
+                    parts.append((dists[outcome], mass))
+            return Dist.convex(parts, check=False)
 
     def output_distributions(
         self, policy: s.Policy | NetworkModel, inputs: Iterable[Packet]
     ) -> dict[Packet, Dist[Outcome]]:
         """Per-ingress output distributions, through the session cache."""
-        if isinstance(policy, NetworkModel):
-            policy = policy.policy
-        dists, _hits, _replica = self._distributions(policy, list(inputs))
-        return dists
+        with self._serving():
+            if isinstance(policy, NetworkModel):
+                policy = policy.policy
+            dists, _hits, _replica = self._distributions(policy, list(inputs))
+            return dists
 
     def certainly_delivers(self, model: NetworkModel) -> bool:
         """Whether every ingress of ``model`` delivers with probability one.
@@ -372,23 +435,25 @@ class AnalysisSession:
         family, batched numerical check for the matrix backend); verdicts
         are cached by canonical policy key.
         """
-        if self._closed:
-            raise RuntimeError("session is closed")
-        # Cached-verdict fast path: no lease needed when the policy's
-        # canonical key is already known and the verdict is cached.
-        entry = self._keys.get(id(model.policy))
-        if entry is not None and entry[0] is model.policy:
-            cached = self._verdicts.get((entry[1], "certainly_delivers"))
-            if cached is not None:
-                return cached
-        with self._pool.lease() as replica:
-            key = (self._policy_key(model.policy, replica.backend), "certainly_delivers")
-            cached = self._verdicts.get(key)
-            if cached is None:
-                verdict = bool(replica.backend.certainly_delivers(model))
-                with self._state_lock:
-                    cached = self._verdicts.setdefault(key, verdict)
-        return cached
+        with self._serving():
+            # Cached-verdict fast path: no lease needed when the policy's
+            # canonical key is already known and the verdict is cached.
+            entry = self._keys.get(id(model.policy))
+            if entry is not None and entry[0] is model.policy:
+                cached = self._verdicts.get((entry[1], "certainly_delivers"))
+                if cached is not None:
+                    return cached
+            with self._pool.lease() as replica:
+                key = (
+                    self._policy_key(model.policy, replica.backend),
+                    "certainly_delivers",
+                )
+                cached = self._verdicts.get(key)
+                if cached is None:
+                    verdict = bool(replica.backend.certainly_delivers(model))
+                    with self._state_lock:
+                        cached = self._verdicts.setdefault(key, verdict)
+            return cached
 
     # -- introspection ---------------------------------------------------------
     def stats(self) -> dict[str, object]:
@@ -430,28 +495,51 @@ class AnalysisSession:
         (plan-only warmup for latency-sensitive services: first queries
         then pay the solve but never the compile).
         """
-        if self._closed:
-            raise RuntimeError("session is closed")
-        model = self.model_for(dest)
-        policy = model.policy
-        for replica in self._pool.lease_each():
-            plan_fn = getattr(replica.backend, "plan", None)
-            if plan_fn is not None:
-                plan_fn(policy)
-        if solve:
-            self._distributions(policy, model.ingress_packets, affinity=("dest", dest))
-        return self
+        with self._serving():
+            model = self.model_for(dest)
+            policy = model.policy
+            for replica in self._pool.lease_each():
+                plan_fn = getattr(replica.backend, "plan", None)
+                if plan_fn is not None:
+                    plan_fn(policy)
+            if solve:
+                self._distributions(
+                    policy, model.ingress_packets, affinity=("dest", dest)
+                )
+            return self
 
     # -- internals -------------------------------------------------------------
+    def _check_open(self) -> None:
+        """Refuse new work once teardown has begun (closing or closed)."""
+        if self._closing or self._closed:
+            raise RuntimeError("session is closed")
+
+    @contextmanager
+    def _serving(self) -> Iterator[None]:
+        """Count one in-flight public call for close()'s deterministic drain.
+
+        Admission and the counter share the state lock, so a call either
+        sees the session open and is counted (close() then waits for it)
+        or is refused — there is no window in which work slips in after
+        the drain started.
+        """
+        with self._state_lock:
+            self._check_open()
+            self._active_calls += 1
+        try:
+            yield
+        finally:
+            with self._state_lock:
+                self._active_calls -= 1
+                if self._active_calls == 0:
+                    self._idle.notify_all()
+
     def _run_shard(self, shard: Shard) -> tuple[ShardReport, list[QueryResult]]:
         started = time.perf_counter()
         results: list[QueryResult] = []
         hits_total = 0
         replicas_used: list[int] = []
-        groups: dict[int | None, list[Query]] = {}
-        for query in shard.queries:
-            groups.setdefault(query.dest, []).append(query)
-        for dest, group in groups.items():
+        for dest, group in shard.dest_groups().items():
             model = self.model_for(dest)
             affinity = shard.affinity if shard.affinity is not None else ("dest", dest)
             dists, hits, served_by = self._distributions(
@@ -476,6 +564,12 @@ class AnalysisSession:
             # whole shard was served by exactly one.
             replica=replicas_used[0] if len(replicas_used) == 1 else -1,
             replicas=tuple(replicas_used),
+            # Provenance for benchmark artifacts: which pool mode served
+            # the shard and in which OS process(es) the solves actually
+            # ran — in process mode distinct worker pids are direct
+            # evidence of cross-process overlap.
+            pool_mode=self._pool.mode,
+            workers=tuple(self._pool.worker_id(index) for index in replicas_used),
             started=started,
             finished=finished,
         )
@@ -535,6 +629,9 @@ class AnalysisSession:
             # Every query surface funnels through here (query_batch via
             # _run_shard, the engine protocol, warm), so a closed session
             # cannot silently restart backend resources close() released.
+            # Deliberately `_closed`, not `_closing`: while close() drains
+            # the executor, in-flight shards must keep solving — only the
+            # *entry points* refuse new work during the drain.
             raise RuntimeError("session is closed")
         if self._cache_enabled:
             entry = self._keys.get(id(policy))

@@ -61,6 +61,19 @@ class Shard:
     def __len__(self) -> int:
         return len(self.queries)
 
+    def dest_groups(self) -> dict[int | None, list[Query]]:
+        """The shard's queries grouped by destination, in first-appearance order.
+
+        One group corresponds to one compiled model and therefore one
+        replica lease when the shard executes; single-destination shards
+        (everything the ``destination``/``ingress`` planners emit) have
+        exactly one group.
+        """
+        groups: dict[int | None, list[Query]] = {}
+        for query in self.queries:
+            groups.setdefault(query.dest, []).append(query)
+        return groups
+
 
 class ShardPlanner:
     """Base class of the pluggable sharding strategies."""

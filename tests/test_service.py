@@ -431,6 +431,65 @@ class TestLifecycleAndResults:
         assert owned._owns_backend
         owned.close()
 
+    def test_close_drains_slow_inflight_shard(self, models):
+        """Regression: close() racing a batch must drain it, not poison it.
+
+        ``close()`` used to flip ``_closed`` *before* draining the
+        executor, so a shard that had not yet reached ``_distributions``
+        when the flag flipped died with "session is closed" and the whole
+        in-flight ``query_batch`` failed nondeterministically.  Teardown
+        now rejects new batches first, runs every in-flight shard to
+        completion, and only then tears the pool down.
+        """
+        import threading as _threading
+
+        from repro.backends import MatrixBackend
+
+        class SlowBackend(MatrixBackend):
+            started = _threading.Event()
+            release = _threading.Event()
+
+            def output_distributions(self, policy, inputs):
+                self.started.set()
+                # The first shard stalls mid-lease until close() has begun.
+                self.release.wait(timeout=10.0)
+                return super().output_distributions(policy, inputs)
+
+        backend = SlowBackend()
+        # workers=1 runs shards inline — the hardest drain case, because the
+        # executor has no thread pool close() could wait on.
+        session = AnalysisSession(
+            models=models.values(), backend=backend, pool_size=1, workers=1
+        )
+        batch = [
+            Query.delivery(packet, dest)
+            for dest, model in models.items()
+            for packet in model.ingress_packets
+        ]
+        outcome: dict = {}
+
+        def serve():
+            try:
+                outcome["result"] = session.query_batch(batch)
+            except Exception as exc:
+                outcome["error"] = exc
+
+        thread = _threading.Thread(target=serve)
+        thread.start()
+        assert SlowBackend.started.wait(timeout=10.0)
+        closer = _threading.Thread(target=session.close)
+        closer.start()
+        # close() is now committed to the drain; let the slow shard go.
+        SlowBackend.release.set()
+        thread.join(timeout=30.0)
+        closer.join(timeout=30.0)
+        assert not thread.is_alive() and not closer.is_alive()
+        assert "error" not in outcome, f"in-flight batch died: {outcome.get('error')}"
+        assert len(outcome["result"]) == len(batch)
+        # After the drain the session really is closed.
+        with pytest.raises(RuntimeError, match="closed"):
+            session.query_batch(batch)
+
     def test_needs_some_model_source(self):
         with pytest.raises(ValueError, match="at least one model"):
             AnalysisSession()
@@ -574,7 +633,8 @@ class TestServiceCli:
         assert payload["queries"] == 28
         # The two destination shards were served by distinct replicas.
         assert {shard["replica"] for shard in payload["shards"]} == {0, 1}
-        assert "pool: 2 replicas" in capsys.readouterr().out
+        assert all(shard["pool_mode"] == "thread" for shard in payload["shards"])
+        assert "pool: 2 thread-hosted replicas" in capsys.readouterr().out
 
     def test_pool_size_rejected(self):
         with pytest.raises(SystemExit, match="pool-size"):
