@@ -15,7 +15,18 @@ Usage::
 
 Only keys present in the baseline's ``metrics`` object are compared, so
 adding a new metric to the harness never breaks CI until a baseline for
-it is committed.  All compared metrics are higher-is-better (speedups).
+it is committed.  Metrics are higher-is-better (speedups, throughputs)
+by default; latency-style metrics are gated in the other direction —
+"worse" means *above* the baseline — by declaring the direction, either
+in the baseline entry itself::
+
+    {"metrics": {"p99_ms": {"value": 40.0, "direction": "lower_is_better"}}}
+
+(a bare number keeps the higher-is-better default) or on the command
+line with ``--lower-is-better p99_ms`` (repeatable).  ``--require NAME``
+(repeatable) additionally fails the check when NAME is absent from the
+*current* metrics even if no baseline entry exists — the guard against a
+harness change silently dropping a gated metric.
 """
 
 from __future__ import annotations
@@ -24,12 +35,51 @@ import argparse
 import json
 import sys
 
+LOWER_IS_BETTER = "lower_is_better"
+HIGHER_IS_BETTER = "higher_is_better"
 
-def load_metrics(path: str) -> dict[str, float]:
+
+def load_metrics(path: str) -> dict[str, tuple[float, str | None]]:
+    """Read ``{"metrics": {...}}``; values are numbers or value/direction objects."""
     with open(path, encoding="utf-8") as handle:
         payload = json.load(handle)
     metrics = payload.get("metrics") or {}
-    return {name: float(value) for name, value in metrics.items()}
+    loaded: dict[str, tuple[float, str | None]] = {}
+    for name, entry in metrics.items():
+        if isinstance(entry, dict):
+            direction = entry.get("direction")
+            if direction not in (None, LOWER_IS_BETTER, HIGHER_IS_BETTER):
+                raise SystemExit(
+                    f"{path}: metric {name!r} has unknown direction {direction!r}"
+                )
+            loaded[name] = (float(entry["value"]), direction)
+        else:
+            loaded[name] = (float(entry), None)
+    return loaded
+
+
+def check_metric(
+    name: str,
+    value: float,
+    base_value: float,
+    direction: str,
+    tolerance: float,
+) -> tuple[str, bool]:
+    """One metric's report line and pass verdict."""
+    if direction == LOWER_IS_BETTER:
+        ceiling = base_value * (1.0 + tolerance)
+        ok = value <= ceiling
+        bound = f"ceiling={ceiling:.3f}"
+    else:
+        floor = base_value * (1.0 - tolerance)
+        ok = value >= floor
+        bound = f"floor={floor:.3f}"
+    status = "OK" if ok else "REGRESSION"
+    line = (
+        f"{name}: current={value:.3f} baseline={base_value:.3f} "
+        f"{bound} ({direction}) [{status}]"
+    )
+    return line, ok
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -40,31 +90,53 @@ def main(argv: list[str] | None = None) -> int:
         "--tolerance",
         type=float,
         default=0.30,
-        help="allowed fractional drop below the baseline (default 0.30 = 30%%)",
+        help="allowed fractional drift past the baseline, in the metric's "
+        "worse direction (default 0.30 = 30%%)",
+    )
+    parser.add_argument(
+        "--lower-is-better",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="treat NAME as lower-is-better (repeatable; baseline entries "
+        "may also declare their own direction)",
+    )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail if NAME is missing from the current metrics (repeatable)",
     )
     args = parser.parse_args(argv)
 
     baseline = load_metrics(args.baseline)
     current = load_metrics(args.current)
-    if not baseline:
+    failures: list[str] = []
+
+    for name in args.require:
+        if name not in current:
+            failures.append(f"{name}: required metric missing from {args.current}")
+
+    if not baseline and not failures:
         print(f"no metrics in baseline {args.baseline}; nothing to check")
         return 0
 
-    failures: list[str] = []
-    for name, base_value in sorted(baseline.items()):
+    for name, (base_value, direction) in sorted(baseline.items()):
         if name not in current:
             failures.append(f"{name}: missing from {args.current} (baseline {base_value})")
             continue
-        value = current[name]
-        floor = base_value * (1.0 - args.tolerance)
-        status = "OK" if value >= floor else "REGRESSION"
-        print(
-            f"{name}: current={value:.3f} baseline={base_value:.3f} "
-            f"floor={floor:.3f} [{status}]"
-        )
-        if value < floor:
+        value, _ = current[name]
+        if direction is None:
+            direction = (
+                LOWER_IS_BETTER if name in args.lower_is_better else HIGHER_IS_BETTER
+            )
+        line, ok = check_metric(name, value, base_value, direction, args.tolerance)
+        print(line)
+        if not ok:
+            worse = "above" if direction == LOWER_IS_BETTER else "below"
             failures.append(
-                f"{name}: {value:.3f} is more than {args.tolerance:.0%} below "
+                f"{name}: {value:.3f} is more than {args.tolerance:.0%} {worse} "
                 f"the baseline {base_value:.3f}"
             )
 

@@ -31,7 +31,15 @@ Architecture (**session → shards → pool → backend**):
 * :mod:`repro.service.results` — :class:`Query`, :class:`ResultSet`,
   and per-shard reports;
 * :mod:`repro.service.cli` — ``python -m repro.service``, serving a
-  batch query file against a topology + routing scheme.
+  batch query file against a topology + routing scheme;
+* :mod:`repro.service.coalesce` — the :class:`BatchCoalescer`: an
+  admission window that merges queries arriving from *different*
+  clients into one coalesced batch, with bounded-queue backpressure,
+  per-query deadlines, and poisoned-batch isolation;
+* :mod:`repro.service.server` — the :class:`QueryServer`:
+  ``python -m repro.service serve``, an asyncio JSON-lines-over-TCP
+  streaming front end with per-reply correlation ids, graceful lossless
+  drain, and a queue-depth :class:`PoolAutoscaler`.
 
 Quick start::
 
@@ -47,6 +55,14 @@ Sessions also satisfy the analysis engine protocol, so every
 ``backend=``) and gains the session's caches transparently.
 """
 
+from repro.service.coalesce import (
+    BatchCoalescer,
+    CoalescedAnswer,
+    DeadlineExceeded,
+    Overloaded,
+    QueryRejected,
+    ShuttingDown,
+)
 from repro.service.executor import ShardExecutor
 from repro.service.pool import BackendPool, Replica
 from repro.service.procpool import ProcessBackendPool, WorkerHandle
@@ -57,6 +73,7 @@ from repro.service.results import (
     ResultSet,
     ShardReport,
 )
+from repro.service.server import PoolAutoscaler, QueryServer, StreamClient
 from repro.service.session import AnalysisSession
 from repro.service.shards import (
     PLANNERS,
@@ -75,12 +92,19 @@ __all__ = [
     "QUERY_KINDS",
     "AnalysisSession",
     "BackendPool",
+    "BatchCoalescer",
     "ByDestinationPlanner",
     "ByIngressBlockPlanner",
+    "CoalescedAnswer",
+    "DeadlineExceeded",
+    "Overloaded",
+    "PoolAutoscaler",
     "ProcessBackendPool",
     "Query",
+    "QueryRejected",
     "QueryResult",
     "QuerySpec",
+    "QueryServer",
     "Replica",
     "ResultSet",
     "ResultSpec",
@@ -89,6 +113,8 @@ __all__ = [
     "ShardExecutor",
     "ShardPlanner",
     "ShardReport",
+    "ShuttingDown",
+    "StreamClient",
     "WorkerHandle",
     "get_planner",
     "validate_partition",

@@ -21,6 +21,12 @@ Example::
     python -m repro.service --topology fattree:4 --scheme ecmp \\
         --dest 1 --dest 2 --all-pairs --planner destination \\
         --workers 4 --pool-size 4 --output results.json
+
+``python -m repro.service serve ...`` instead starts the asyncio
+streaming front end (:mod:`repro.service.server`): newline-delimited
+JSON queries over TCP, coalesced across concurrent clients by an
+admission window — see ``serve --help`` and the README's "Serving
+streams" section.
 """
 
 from __future__ import annotations
@@ -37,12 +43,8 @@ from repro.service.session import AnalysisSession
 from repro.service.shards import PLANNERS
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.service",
-        description="Serve a batch of network-analysis queries from one "
-        "persistent, sharded session.",
-    )
+def _add_session_arguments(parser: argparse.ArgumentParser) -> None:
+    """Topology/scheme/session flags shared by batch and serve modes."""
     parser.add_argument(
         "--topology",
         default="fattree:4",
@@ -61,15 +63,6 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="destination switch (repeatable; default: the queries' dests, "
         "or switch 1 with --all-pairs)",
-    )
-    parser.add_argument(
-        "--queries",
-        help="JSON batch file ({'queries': [...]} or a bare list)",
-    )
-    parser.add_argument(
-        "--all-pairs",
-        action="store_true",
-        help="generate delivery queries for every (ingress, dest) pair",
     )
     parser.add_argument(
         "--failure-prob",
@@ -121,6 +114,24 @@ def build_parser() -> argparse.ArgumentParser:
         "worker process fed by spec shipping, parallelising plan rebuild + "
         "matrix assembly + solve end-to-end (default thread)",
     )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve a batch of network-analysis queries from one "
+        "persistent, sharded session.",
+    )
+    _add_session_arguments(parser)
+    parser.add_argument(
+        "--queries",
+        help="JSON batch file ({'queries': [...]} or a bare list)",
+    )
+    parser.add_argument(
+        "--all-pairs",
+        action="store_true",
+        help="generate delivery queries for every (ingress, dest) pair",
+    )
     parser.add_argument(
         "--repeat",
         type=int,
@@ -128,6 +139,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve the batch N times (repeats exercise the result cache)",
     )
     parser.add_argument("--output", help="write the ResultSet JSON to this path")
+    return parser
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service serve",
+        description="Run the asyncio streaming front end: newline-delimited "
+        "JSON queries over TCP, coalesced across clients by an admission "
+        "window into the sharded session.",
+    )
+    _add_session_arguments(parser)
+    parser.add_argument("--host", default="127.0.0.1", help="listen address")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listen port (default 0: pick a free port and print it)",
+    )
+    parser.add_argument(
+        "--window-ms",
+        type=float,
+        default=4.0,
+        help="admission window in milliseconds; queries arriving within one "
+        "window coalesce into one batch (0 disables coalescing; default 4)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=256,
+        help="dispatch a window early once it holds this many queries",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        help="bound on outstanding queries before admissions are refused "
+        "with a retryable 'overloaded' error (backpressure)",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="default per-query deadline in milliseconds (queries may carry "
+        "their own 'deadline_ms'; default: none)",
+    )
+    parser.add_argument(
+        "--autoscale-max",
+        type=int,
+        default=None,
+        help="enable the queue-depth pool autoscaler with this replica "
+        "ceiling (floor is --pool-size; default: autoscaling off)",
+    )
+    parser.add_argument(
+        "--autoscale-target",
+        type=int,
+        default=32,
+        help="autoscaler target of outstanding queries per replica",
+    )
+    parser.add_argument(
+        "--warm",
+        action="store_true",
+        help="pre-solve each --dest before accepting connections",
+    )
     return parser
 
 
@@ -213,7 +287,100 @@ def load_queries(args: argparse.Namespace, topology) -> list[Query]:
     return batch
 
 
+def build_session(args: argparse.Namespace, topology) -> AnalysisSession:
+    """Open the session both entry points (batch and serve) share."""
+    if args.pool_size < 1:
+        raise SystemExit("--pool-size must be >= 1")
+    return AnalysisSession(
+        model_factory=model_factory(topology, args),
+        backend=args.backend,
+        pool_size=args.pool_size,
+        pool_mode=args.pool_mode,
+        planner=args.planner,
+        workers=args.workers,
+    )
+
+
+def serve_main(
+    argv: Sequence[str] | None = None,
+    started_cb: Callable[[object], None] | None = None,
+) -> int:
+    """Entry point of ``python -m repro.service serve``.
+
+    ``started_cb(server)`` — if given — fires from inside the event loop
+    once the listener is bound, before serving; tests use it to learn the
+    ephemeral port and to hold a stop handle.
+    """
+    import asyncio
+
+    args = build_serve_parser().parse_args(argv)
+    if args.window_ms < 0:
+        raise SystemExit("--window-ms must be >= 0")
+    if args.autoscale_max is not None and args.autoscale_max < args.pool_size:
+        raise SystemExit("--autoscale-max must be >= --pool-size")
+    return asyncio.run(_run_server(args, started_cb))
+
+
+async def _run_server(args: argparse.Namespace, started_cb=None) -> int:
+    import asyncio
+    import signal
+
+    from repro.service.server import QueryServer
+
+    topology = load_topology(args.topology)
+    session = build_session(args, topology)
+    for dest in args.dest or [1]:
+        if args.warm:
+            session.warm(dest)
+        else:
+            session.model_for(dest)  # register so dest-less queries fail fast
+    server = QueryServer(
+        session,
+        host=args.host,
+        port=args.port,
+        window=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+        default_deadline=(
+            args.deadline_ms / 1000.0 if args.deadline_ms is not None else None
+        ),
+        autoscale_max=args.autoscale_max,
+        autoscale_target=args.autoscale_target,
+        owns_session=True,
+    )
+    await server.start()
+    loop = asyncio.get_running_loop()
+    for signame in ("SIGINT", "SIGTERM"):
+        try:
+            loop.add_signal_handler(getattr(signal, signame), server.request_stop)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # e.g. not the main thread (tests), or unsupported platform
+    print(
+        f"serving {args.topology}/{args.scheme} on {server.host}:{server.port} "
+        f"(window {args.window_ms}ms, pool {session.pool_size} "
+        f"{session.pool_mode}-hosted replica(s))",
+        flush=True,
+    )
+    if started_cb is not None:
+        started_cb(server)
+    await server.serve_until_stopped()
+    await server.stop()
+    stats = server.stats()
+    coalescer = stats["coalescer"]
+    print(
+        f"served {coalescer['answered']} queries in {coalescer['batches']} "
+        f"coalesced batch(es) (mean batch {coalescer['batch_mean']:.2f}, "
+        f"{coalescer['deadline_exceeded']} deadline-exceeded, "
+        f"{coalescer['overloaded']} overloaded)"
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return serve_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     if args.repeat < 1:
         raise SystemExit("--repeat must be >= 1")
@@ -222,16 +389,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if any(query.kind == "hops" for query in batch) and not args.count_hops:
         args.count_hops = True  # hop queries need the counter in the model
 
-    if args.pool_size < 1:
-        raise SystemExit("--pool-size must be >= 1")
-    with AnalysisSession(
-        model_factory=model_factory(topology, args),
-        backend=args.backend,
-        pool_size=args.pool_size,
-        pool_mode=args.pool_mode,
-        planner=args.planner,
-        workers=args.workers,
-    ) as session:
+    with build_session(args, topology) as session:
         # Default-destination queries need a registered default model.
         if any(query.dest is None for query in batch):
             default_dest = (args.dest or [1])[0]

@@ -1,0 +1,372 @@
+"""Cross-client batch coalescing: the admission layer of the streaming server.
+
+The paper's serving advantage is *batch-shaped*: one compiled plan per
+destination answers any number of ingress packets as a single multi-RHS
+solve, which is why pre-built batch files (PRs 3-5) scale.  Production
+traffic is not batch-shaped — it is N independent clients each asking one
+question at a time.  This module recovers the batched advantage for
+streams: queries are **admitted** as they arrive and held for a short
+*admission window* (a few milliseconds); everything admitted within one
+window — across *all* clients — is dispatched as one batch through the
+session's ordinary pipeline (planner → shards → replica pool), so N
+concurrent single queries for one destination become one multi-RHS solve.
+
+Failure semantics, because an admission layer is only as good as its
+edges:
+
+* **Backpressure** — the admission queue is bounded (``max_pending``
+  outstanding queries).  When it is full, :meth:`BatchCoalescer.submit`
+  fails *fast* with :class:`Overloaded` instead of queueing unboundedly;
+  the server turns that into a retryable slow-down response.
+* **Deadlines** — a query may carry a deadline.  A query whose deadline
+  passes before its batch is dispatched, or whose batch completes after
+  the deadline, is answered with :class:`DeadlineExceeded` — an explicit
+  error to its own client, never a silent drop.
+* **Isolation** — a poisoned batch (one query for an unknown destination
+  can fail the whole coalesced ``query_batch``) is retried query by
+  query, so exactly the bad queries get the error and every innocent
+  bystander coalesced into the same window still gets its answer.
+* **Drain** — :meth:`BatchCoalescer.aclose` refuses new admissions,
+  flushes the pending window immediately, and waits for every in-flight
+  answer to be delivered, which is what makes server shutdown lossless.
+
+The coalescer runs on the event loop; the actual solves run on the
+session's dispatch thread pool (``session.submit_batch``), so admission
+latency stays in microseconds while solves proceed in parallel.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.service.results import Query, QueryResult
+
+
+class QueryRejected(RuntimeError):
+    """Base class of per-query admission failures (code + message)."""
+
+    #: Stable machine-readable error code (mirrored in server replies).
+    code = "rejected"
+
+    #: Whether the client should retry the same query after backing off.
+    retryable = False
+
+
+class Overloaded(QueryRejected):
+    """The bounded admission queue is full: slow down and retry."""
+
+    code = "overloaded"
+    retryable = True
+
+
+class DeadlineExceeded(QueryRejected):
+    """The query's deadline passed before its answer could be served."""
+
+    code = "deadline-exceeded"
+    retryable = False
+
+
+class ShuttingDown(QueryRejected):
+    """The coalescer is draining for shutdown and admits nothing new."""
+
+    code = "shutting-down"
+    retryable = False
+
+
+@dataclass(frozen=True)
+class CoalescedAnswer:
+    """One answered streamed query plus its coalescing provenance.
+
+    ``batch`` is the number of queries dispatched in the same coalesced
+    batch — direct per-answer evidence of cross-client coalescing (a
+    streamed single query answered with ``batch > 1`` shared its solve).
+    """
+
+    result: QueryResult
+    batch: int
+
+    @property
+    def value(self) -> object:
+        return self.result.value
+
+
+@dataclass
+class _Pending:
+    """One admitted query waiting in the current window."""
+
+    query: Query
+    deadline: float | None
+    future: asyncio.Future
+    submitted: float
+
+
+class BatchCoalescer:
+    """Admission window + bounded queue over an ``AnalysisSession``.
+
+    Parameters
+    ----------
+    session:
+        The serving session.  Batches are dispatched through its
+        ``submit_batch`` (the executor's dispatch pool), so the event
+        loop never blocks on a solve.
+    window:
+        Admission window in seconds (default 4 ms).  The first query
+        admitted into an empty window arms a timer; everything submitted
+        before it fires joins the same batch.  ``0`` disables coalescing:
+        every query dispatches immediately as a batch of one (the
+        configuration the benchmark uses as its baseline).
+    max_batch:
+        Dispatch early once a window has accumulated this many queries,
+        bounding both batch latency and per-batch memory.
+    max_pending:
+        Bound on *outstanding* queries (admitted but unanswered, in the
+        window or in flight).  Admissions beyond it fail with
+        :class:`Overloaded`.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        session,
+        *,
+        window: float = 0.004,
+        max_batch: int = 256,
+        max_pending: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if window < 0:
+            raise ValueError("window must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self._session = session
+        self.window = window
+        self.max_batch = max_batch
+        self.max_pending = max_pending
+        self._clock = clock
+        self._pending: list[_Pending] = []
+        self._timer: asyncio.TimerHandle | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._inflight: set[asyncio.Future] = set()
+        self._outstanding = 0
+        self._closing = False
+        # Stats (monotonic counters; see stats()).
+        self._submitted = 0
+        self._answered = 0
+        self._batches = 0
+        self._coalesced = 0
+        self._max_batch_seen = 0
+        self._deadline_exceeded = 0
+        self._overloaded = 0
+        self._isolation_retries = 0
+
+    # -- admission -------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Outstanding queries: admitted (window + in flight) minus answered."""
+        return self._outstanding
+
+    @property
+    def closing(self) -> bool:
+        return self._closing
+
+    async def submit(self, query: Query, *, deadline: float | None = None) -> CoalescedAnswer:
+        """Admit one query and await its answer.
+
+        ``deadline`` is an absolute time on this coalescer's clock
+        (``time.monotonic()`` by default).  Raises :class:`Overloaded`,
+        :class:`DeadlineExceeded`, or :class:`ShuttingDown` — all carry a
+        machine-readable ``code`` the server maps onto wire errors.
+        """
+        return await self.submit_nowait(query, deadline=deadline)
+
+    def submit_nowait(self, query: Query, *, deadline: float | None = None) -> asyncio.Future:
+        """Admit one query; returns the future of its :class:`CoalescedAnswer`.
+
+        Admission itself is synchronous (and cheap): rejections raise
+        immediately rather than travelling through the future, so an
+        overloaded server answers "slow down" without consuming a slot.
+        """
+        if self._loop is None:
+            self._loop = asyncio.get_running_loop()
+        self._submitted += 1
+        if self._closing:
+            raise ShuttingDown("the server is shutting down")
+        now = self._clock()
+        if deadline is not None and now >= deadline:
+            self._deadline_exceeded += 1
+            raise DeadlineExceeded("deadline expired before admission")
+        if self._outstanding >= self.max_pending:
+            self._overloaded += 1
+            raise Overloaded(
+                f"admission queue is full ({self._outstanding} outstanding)"
+            )
+        future: asyncio.Future = self._loop.create_future()
+        self._pending.append(_Pending(query, deadline, future, now))
+        self._outstanding += 1
+        self._track(future)
+        if self.window <= 0 or len(self._pending) >= self.max_batch:
+            self._flush()
+        elif self._timer is None:
+            self._timer = self._loop.call_later(self.window, self._flush)
+        return future
+
+    # -- dispatch --------------------------------------------------------------
+    def _flush(self) -> None:
+        """Dispatch the current window as one coalesced batch."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        entries = self._pending
+        self._pending = []
+        if not entries:
+            return
+        live: list[_Pending] = []
+        now = self._clock()
+        for entry in entries:
+            if entry.deadline is not None and now >= entry.deadline:
+                self._resolve_deadline(entry, "expired while awaiting dispatch")
+            else:
+                live.append(entry)
+        if not live:
+            return
+        self._batches += 1
+        self._coalesced += len(live)
+        self._max_batch_seen = max(self._max_batch_seen, len(live))
+        self._dispatch(live, isolate_on_error=True)
+
+    def _dispatch(self, entries: list[_Pending], *, isolate_on_error: bool) -> None:
+        """Hand ``entries`` to the session's dispatch pool as one batch."""
+        try:
+            handle = self._session.submit_batch([entry.query for entry in entries])
+        except Exception as exc:  # closing session, executor torn down, ...
+            self._fail_all(entries, exc)
+            return
+        wrapped = asyncio.wrap_future(handle, loop=self._loop)
+        wrapped.add_done_callback(
+            lambda done: self._deliver(entries, done, isolate_on_error)
+        )
+
+    def _deliver(
+        self, entries: list[_Pending], done: asyncio.Future, isolate_on_error: bool
+    ) -> None:
+        """Resolve every entry of a completed (or failed) batch dispatch."""
+        error = done.exception()
+        if error is not None:
+            if isolate_on_error and len(entries) > 1:
+                # One poisoned query fails the whole coalesced batch; retry
+                # query-by-query so only the culprit sees the error.
+                self._isolation_retries += 1
+                for entry in entries:
+                    self._dispatch([entry], isolate_on_error=False)
+            else:
+                self._fail_all(entries, error)
+            return
+        result_set = done.result()
+        now = self._clock()
+        batch = len(entries)
+        for entry, result in zip(entries, result_set.results):
+            if entry.future.done():
+                continue
+            if entry.deadline is not None and now >= entry.deadline:
+                self._resolve_deadline(entry, "answer arrived after the deadline")
+                continue
+            self._outstanding -= 1
+            self._answered += 1
+            entry.future.set_result(CoalescedAnswer(result, batch))
+
+    def _resolve_deadline(self, entry: _Pending, reason: str) -> None:
+        self._deadline_exceeded += 1
+        self._outstanding -= 1
+        if not entry.future.done():
+            entry.future.set_exception(DeadlineExceeded(reason))
+
+    def _fail_all(self, entries: list[_Pending], error: BaseException) -> None:
+        for entry in entries:
+            if not entry.future.done():
+                self._outstanding -= 1
+                entry.future.set_exception(error)
+
+    def _track(self, future: asyncio.Future) -> None:
+        self._inflight.add(future)
+        future.add_done_callback(self._inflight.discard)
+        # A client that abandons its await must not crash the loop with an
+        # unretrieved-exception warning; rejections were already counted.
+        future.add_done_callback(
+            lambda done: done.exception() if not done.cancelled() else None
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+    async def drain(self) -> None:
+        """Flush the pending window and wait for every admitted answer."""
+        self._flush()
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+
+    async def aclose(self) -> None:
+        """Refuse new admissions, then drain (idempotent).
+
+        Every query admitted before the close still gets its reply — the
+        lossless-drain half of the server's shutdown contract.
+        """
+        self._closing = True
+        await self.drain()
+
+    # -- introspection ---------------------------------------------------------
+    def stats(self) -> dict[str, object]:
+        """Admission counters; ``batch_mean`` is the coalescing headline.
+
+        ``batch_mean`` is the mean number of queries per *dispatched*
+        batch — the factor by which the admission window turned streamed
+        single queries back into multi-RHS solves.
+        """
+        batch_mean = self._coalesced / self._batches if self._batches else 0.0
+        return {
+            "submitted": self._submitted,
+            "answered": self._answered,
+            "outstanding": self._outstanding,
+            "batches": self._batches,
+            "coalesced_queries": self._coalesced,
+            "batch_mean": batch_mean,
+            "batch_max": self._max_batch_seen,
+            "deadline_exceeded": self._deadline_exceeded,
+            "overloaded": self._overloaded,
+            "isolation_retries": self._isolation_retries,
+            "window": self.window,
+            "max_batch": self.max_batch,
+            "max_pending": self.max_pending,
+        }
+
+
+def coerce_stream_query(message: dict) -> Query:
+    """Coerce one wire message (already JSON-decoded) into a :class:`Query`.
+
+    Uses the same ``{"kind", "ingress", "dest"}`` shape as the CLI's
+    batch files, so a batch-file line and a streamed line are the same
+    query.
+    """
+    if "ingress" not in message:
+        raise ValueError("query message needs an 'ingress' field")
+    return Query.coerce(
+        {
+            "kind": message.get("kind", "delivery"),
+            "ingress": message["ingress"],
+            "dest": message.get("dest"),
+        }
+    )
+
+
+__all__ = [
+    "BatchCoalescer",
+    "CoalescedAnswer",
+    "DeadlineExceeded",
+    "Overloaded",
+    "QueryRejected",
+    "ShuttingDown",
+    "coerce_stream_query",
+]

@@ -30,7 +30,7 @@ pool down; ``workers=1`` runs shards inline with no pool at all.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
 T = TypeVar("T")
@@ -52,6 +52,7 @@ class ShardExecutor:
             else min(_DEFAULT_WORKER_CAP, os.cpu_count() or 1)
         )
         self._pool: ThreadPoolExecutor | None = None
+        self._dispatch: ThreadPoolExecutor | None = None
         self._closed = False
 
     @property
@@ -75,9 +76,40 @@ class ShardExecutor:
             )
         return list(self._pool.map(fn, items))
 
+    def submit(self, fn: Callable[..., R], *args) -> "Future[R]":
+        """Run ``fn(*args)`` on the *dispatch* pool; returns its future.
+
+        This is the asynchronous submission surface the streaming front
+        end drives: a whole-batch call (``session.query_batch``) is
+        dispatched here and later calls :meth:`map` to fan its shards out.
+        Dispatch runs on a **separate** thread pool from the shard
+        workers, deliberately: if batch dispatch shared the shard pool, a
+        window of concurrent batches could occupy every worker thread
+        with batch coordinators, each blocked waiting for shard slots
+        none of them can free — a classic same-pool deadlock.  Keeping
+        the two stages on distinct pools makes the pipeline acyclic.  The
+        dispatch pool is sized like the shard pool (up to ``workers``
+        concurrent batches) and started lazily on first use.
+        """
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        if self._dispatch is None:
+            self._dispatch = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-dispatch"
+            )
+        return self._dispatch.submit(fn, *args)
+
     def close(self) -> None:
-        """Shut the pool down (idempotent); subsequent :meth:`map` calls fail."""
+        """Shut both pools down (idempotent); subsequent calls fail.
+
+        The dispatch pool drains first: every in-flight batch runs to
+        completion (and may keep using the shard pool while it does),
+        then the shard pool is drained and torn down.
+        """
         self._closed = True
+        if self._dispatch is not None:
+            self._dispatch.shutdown(wait=True)
+            self._dispatch = None
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

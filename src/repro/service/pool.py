@@ -149,15 +149,26 @@ class BackendPool:
 
     @contextmanager
     def lease_replica(self, index: int) -> Iterator[Replica]:
-        """Exclusively lease a *specific* replica (used by pool-wide warmup)."""
-        replica = self.replicas[index]
+        """Exclusively lease a *specific* replica (used by pool-wide warmup).
+
+        The replica is re-fetched by index on every wake-up, so a
+        concurrent :meth:`resize` that retires and replaces pool tails
+        can never hand out a lease on a replica that already left the
+        pool — a request for an index the pool no longer has fails
+        loudly instead.
+        """
         with self._cv:
-            while replica.busy:
+            while True:
                 if self._closed:
                     raise RuntimeError("pool is closed")
+                if index >= len(self.replicas):
+                    raise RuntimeError(
+                        f"replica {index} is not in the pool (size {len(self.replicas)})"
+                    )
+                replica = self.replicas[index]
+                if not replica.busy:
+                    break
                 self._cv.wait()
-            if self._closed:
-                raise RuntimeError("pool is closed")
             self._grant(replica)
         try:
             yield replica
@@ -170,11 +181,16 @@ class BackendPool:
         This is the warmup path: pre-planning must reach each replica's
         private caches, and taking the ordinary lease path (instead of
         touching backends directly) is what makes warmup safe against
-        concurrent ``query_batch`` traffic on the same destination.
+        concurrent ``query_batch`` traffic on the same destination.  The
+        pool size is re-read per step, so a concurrent :meth:`resize`
+        shrink simply ends the walk early rather than leasing a retired
+        replica.
         """
-        for index in range(len(self.replicas)):
+        index = 0
+        while index < len(self.replicas):
             with self.lease_replica(index) as replica:
                 yield replica
+            index += 1
 
     def _acquire(self, affinity: object | None) -> Replica:
         with self._cv:
@@ -231,6 +247,87 @@ class BackendPool:
             replica.busy = False
             replica.lock.release()
             self._cv.notify_all()
+
+    # -- elasticity ------------------------------------------------------------
+    def _spawn_backend(self, index: int) -> object | None:
+        """Create the backend of a new replica ``index`` (subclass hook).
+
+        The base pool forks from replica 0 *under its lease*, so growth
+        never races an in-flight solve on the base backend.  Returns
+        ``None`` when the backend cannot fork (the pool then stays at its
+        current size, mirroring the constructor's degradation rule).
+        """
+        if getattr(self.replicas[0].backend, "fork", None) is None:
+            return None
+        with self.lease_replica(0) as base:
+            return base.backend.fork()
+
+    def resize(self, size: int) -> int:
+        """Grow or shrink the pool to ``size`` replicas; returns the new size.
+
+        Growth appends fresh replicas (forked in thread mode, spawned
+        worker processes in process mode) and makes them leasable
+        immediately.  Shrinking retires replicas from the *tail* of the
+        pool — replica indices are positions in the replica list, so the
+        affinity map and ``lease_replica`` stay valid throughout — and
+        waits for a busy tail replica's lease to finish before closing
+        its backend, so downsizing never rips state out from under an
+        in-flight solve.  Affinities bound to a retired replica are
+        unbound; the next query for such a destination re-routes (and
+        rebuilds from the shared plan specs) like any unassigned key.
+
+        Unforkable backends (the native family) stay at one replica, and
+        the pool never shrinks below one.  Safe to call concurrently with
+        leasing; concurrent ``resize`` calls serialise on the pool lock.
+        """
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        # Grow: spawn outside the condition variable (forking may itself
+        # lease replica 0; process workers take real time to start).
+        while True:
+            with self._cv:
+                if self._closed:
+                    raise RuntimeError("pool is closed")
+                current = len(self.replicas)
+            if current >= size:
+                break
+            backend = self._spawn_backend(current)
+            if backend is None:
+                break  # cannot fork: degrade exactly like the constructor
+            with self._cv:
+                if self._closed:
+                    self._close_replica_backend(backend)
+                    raise RuntimeError("pool is closed")
+                self.replicas.append(Replica(len(self.replicas), backend))
+                self._cv.notify_all()
+        # Shrink: retire tails once their leases drain (never replica 0).
+        retired: list[Replica] = []
+        with self._cv:
+            while len(self.replicas) > max(size, 1):
+                tail = self.replicas[-1]
+                while tail.busy:
+                    if self._closed:
+                        return len(self.replicas)
+                    self._cv.wait()
+                if self._closed:
+                    return len(self.replicas)
+                if self.replicas[-1] is not tail:  # concurrent resize moved it
+                    continue
+                self.replicas.pop()
+                for key in tail.affinities:
+                    self._affinity.pop(key, None)
+                tail.affinities.clear()
+                retired.append(tail)
+            self._cv.notify_all()
+        for replica in retired:
+            self._close_replica_backend(replica.backend)
+        return self.size
+
+    def _close_replica_backend(self, backend: object) -> None:
+        """Tear down one retired (always pool-owned, index > 0) backend."""
+        closer = getattr(backend, "close", None)
+        if closer is not None:
+            closer()
 
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:

@@ -428,12 +428,23 @@ class ProcessBackendPool(BackendPool):
         super().__init__(backend, size, owns_base=owns_base)
 
     def _create_replicas(self, backend: object, size: int) -> list[Replica]:
-        context = multiprocessing.get_context(self._start_method)
+        self._context = multiprocessing.get_context(self._start_method)
         with _importable_package_path(self._start_method):
             return [
-                Replica(index, WorkerHandle(index, self._directory, context))
+                Replica(index, WorkerHandle(index, self._directory, self._context))
                 for index in range(size)
             ]
+
+    def _spawn_backend(self, index: int) -> WorkerHandle:
+        """Start one more worker process (the ``resize`` growth hook).
+
+        New workers join with empty plan caches; the shared
+        :class:`PlanDirectory` re-ships each compiled plan payload the
+        first time the fresh worker is asked about the policy, so growth
+        needs no parent-side recompilation.
+        """
+        with _importable_package_path(self._start_method):
+            return WorkerHandle(index, self._directory, self._context)
 
     @property
     def directory(self) -> PlanDirectory:

@@ -263,6 +263,26 @@ class AnalysisSession:
         return self._pool.mode
 
     @property
+    def pool_size(self) -> int:
+        """The current number of backend replicas (autoscaling changes it)."""
+        return self._pool.size
+
+    def resize_pool(self, size: int) -> int:
+        """Grow or shrink the replica pool to ``size``; returns the new size.
+
+        Delegates to :meth:`~repro.service.pool.BackendPool.resize`:
+        growth is immediate, shrinking waits for the retired replicas'
+        in-flight leases to finish.  This is the knob the streaming
+        server's queue-depth autoscaler turns; it counts as an in-flight
+        call for :meth:`close`'s drain, so teardown and resizing cannot
+        interleave.  Note the shard executor's ``workers`` bound is fixed
+        at construction: to let an autoscaler drive ``N`` replicas
+        concurrently, construct the session with ``workers >= N``.
+        """
+        with self._serving():
+            return self._pool.resize(size)
+
+    @property
     def exact(self) -> bool:
         """Whether the underlying backend runs in exact mode."""
         return bool(getattr(self._backend, "exact", False))
@@ -347,6 +367,41 @@ class AnalysisSession:
                 self._batches_served += 1
                 self._shards_run += len(shards)
             return result
+
+    def submit_batch(
+        self,
+        queries: Iterable[Query | Mapping | tuple],
+        planner: ShardPlanner | str | None = None,
+    ):
+        """Dispatch a batch asynchronously; returns a ``Future[ResultSet]``.
+
+        The batch is handed to the executor's dispatch pool (distinct
+        from the shard workers — see
+        :meth:`~repro.service.executor.ShardExecutor.submit` for why)
+        and runs exactly like :meth:`query_batch`, including the
+        closing-session refusal, which then surfaces as the future's
+        exception.  This is the submission surface the asyncio streaming
+        front end (:mod:`repro.service.server`) coalesces queries onto.
+        """
+        batch = list(queries)
+        with self._state_lock:
+            self._check_open()
+        return self._executor.submit(self.query_batch, batch, planner)
+
+    async def query_batch_async(
+        self,
+        queries: Iterable[Query | Mapping | tuple],
+        planner: ShardPlanner | str | None = None,
+    ) -> ResultSet:
+        """Awaitable :meth:`query_batch` for asyncio callers.
+
+        The solve runs on the session's dispatch pool; the awaiting
+        coroutine (and its event loop) stays free to admit more queries
+        while the batch is in flight.
+        """
+        import asyncio
+
+        return await asyncio.wrap_future(self.submit_batch(queries, planner))
 
     def query(self, kind: str, ingress, dest: int | None = None):
         """Answer one query and return its bare value.

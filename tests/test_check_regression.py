@@ -1,0 +1,126 @@
+"""Tests for the CI benchmark gate (``benchmarks/check_regression.py``):
+per-metric direction support and required-metric enforcement."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_SCRIPT = (
+    pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py"
+)
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture()
+def write_json(tmp_path):
+    def write(name: str, metrics: dict) -> str:
+        path = tmp_path / name
+        path.write_text(json.dumps({"metrics": metrics}), encoding="utf-8")
+        return str(path)
+
+    return write
+
+
+def run_gate(gate, write_json, current, baseline, *extra) -> int:
+    return gate.main(
+        [
+            "--current",
+            write_json("current.json", current),
+            "--baseline",
+            write_json("baseline.json", baseline),
+            *extra,
+        ]
+    )
+
+
+class TestHigherIsBetter:
+    def test_within_tolerance_passes(self, gate, write_json):
+        assert run_gate(gate, write_json, {"qps": 80.0}, {"qps": 100.0}) == 0
+
+    def test_below_floor_fails(self, gate, write_json):
+        assert run_gate(gate, write_json, {"qps": 69.0}, {"qps": 100.0}) == 1
+
+    def test_improvement_never_fails(self, gate, write_json):
+        assert run_gate(gate, write_json, {"qps": 500.0}, {"qps": 100.0}) == 0
+
+    def test_missing_baselined_metric_fails(self, gate, write_json):
+        assert run_gate(gate, write_json, {"other": 1.0}, {"qps": 100.0}) == 1
+
+
+class TestLowerIsBetter:
+    def test_direction_in_baseline_entry(self, gate, write_json):
+        baseline = {"p99_ms": {"value": 100.0, "direction": "lower_is_better"}}
+        # 120 <= 130 (the 30% ceiling): within tolerance.
+        assert run_gate(gate, write_json, {"p99_ms": 120.0}, baseline) == 0
+        # 131 > 130: a latency regression fails.
+        assert run_gate(gate, write_json, {"p99_ms": 131.0}, baseline) == 1
+        # An improvement (lower latency) never fails.
+        assert run_gate(gate, write_json, {"p99_ms": 5.0}, baseline) == 0
+
+    def test_direction_via_flag(self, gate, write_json):
+        args = ("--lower-is-better", "p99_ms")
+        assert run_gate(gate, write_json, {"p99_ms": 120.0}, {"p99_ms": 100.0}, *args) == 0
+        assert run_gate(gate, write_json, {"p99_ms": 131.0}, {"p99_ms": 100.0}, *args) == 1
+
+    def test_without_direction_high_latency_would_pass(self, gate, write_json):
+        """The failure mode direction support exists for: without it, a
+        latency blow-up looks like an 'improvement' and passes."""
+        assert run_gate(gate, write_json, {"p99_ms": 10000.0}, {"p99_ms": 100.0}) == 0
+
+    def test_explicit_higher_is_better_entry(self, gate, write_json):
+        baseline = {"qps": {"value": 100.0, "direction": "higher_is_better"}}
+        assert run_gate(gate, write_json, {"qps": 80.0}, baseline) == 0
+        assert run_gate(gate, write_json, {"qps": 60.0}, baseline) == 1
+
+    def test_unknown_direction_rejected(self, gate, write_json):
+        baseline = {"qps": {"value": 100.0, "direction": "sideways"}}
+        with pytest.raises(SystemExit):
+            run_gate(gate, write_json, {"qps": 100.0}, baseline)
+
+
+class TestRequire:
+    def test_missing_required_metric_fails(self, gate, write_json):
+        assert (
+            run_gate(gate, write_json, {"qps": 1.0}, {}, "--require", "p99_ms") == 1
+        )
+
+    def test_present_required_metric_passes(self, gate, write_json):
+        assert (
+            run_gate(
+                gate,
+                write_json,
+                {"qps": 1.0, "p99_ms": 5.0},
+                {},
+                "--require",
+                "qps",
+                "--require",
+                "p99_ms",
+            )
+            == 0
+        )
+
+    def test_require_fails_even_with_empty_baseline(self, gate, write_json):
+        """--require guards against a harness change silently dropping the
+        gated metric: it fails even when the baseline gates nothing."""
+        assert run_gate(gate, write_json, {}, {}, "--require", "qps") == 1
+
+    def test_empty_baseline_without_require_passes(self, gate, write_json):
+        assert run_gate(gate, write_json, {"anything": 1.0}, {}) == 0
+
+
+class TestTolerance:
+    def test_custom_tolerance(self, gate, write_json):
+        args = ("--tolerance", "0.5")
+        assert run_gate(gate, write_json, {"qps": 51.0}, {"qps": 100.0}, *args) == 0
+        assert run_gate(gate, write_json, {"qps": 49.0}, {"qps": 100.0}, *args) == 1

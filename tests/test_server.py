@@ -1,0 +1,528 @@
+"""Tests for the streaming front end: admission coalescing
+(``repro.service.coalesce``), the asyncio JSON-lines server
+(``repro.service.server``), the pool autoscaler, and the CLI ``serve``
+subcommand."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.analysis.queries import delivery_probability
+from repro.network.model import build_model
+from repro.routing import ecmp_policy
+from repro.service import (
+    AnalysisSession,
+    BatchCoalescer,
+    DeadlineExceeded,
+    Overloaded,
+    PoolAutoscaler,
+    Query,
+    QueryServer,
+    ShuttingDown,
+    StreamClient,
+)
+from repro.service.cli import serve_main
+from repro.topology import edge_switches, fat_tree
+
+
+def ecmp_model(topo, dest: int):
+    return build_model(topo, routing=ecmp_policy(topo, dest), dest=dest)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return fat_tree(4)
+
+
+@pytest.fixture(scope="module")
+def models(topo):
+    return {dest: ecmp_model(topo, dest) for dest in edge_switches(topo)[:2]}
+
+
+@pytest.fixture(scope="module")
+def all_pairs(models):
+    return [
+        Query.delivery(packet, dest)
+        for dest, model in models.items()
+        for packet in model.ingress_packets
+    ]
+
+
+@pytest.fixture(scope="module")
+def per_call_values(models, all_pairs):
+    return [
+        delivery_probability(models[query.dest], inputs=[query.ingress])
+        for query in all_pairs
+    ]
+
+
+@pytest.fixture()
+def session(models):
+    with AnalysisSession(models=models.values(), workers=4, pool_size=2) as session:
+        yield session
+
+
+def wire(query: Query) -> dict:
+    """The JSON-lines message for one query (the CLI batch-file shape)."""
+    return {
+        "kind": query.kind,
+        "ingress": [query.ingress["sw"], query.ingress["pt"]],
+        "dest": query.dest,
+    }
+
+
+# ---------------------------------------------------------------------------
+# BatchCoalescer: the admission window, in-process
+# ---------------------------------------------------------------------------
+class TestCoalescer:
+    def test_window_coalesces_across_submitters(self, session, all_pairs, per_call_values):
+        """Concurrent single submissions within one window become one batch."""
+
+        async def run():
+            coalescer = BatchCoalescer(session, window=0.05)
+            answers = await asyncio.gather(
+                *[coalescer.submit(query) for query in all_pairs]
+            )
+            await coalescer.aclose()
+            return answers, coalescer.stats()
+
+        answers, stats = asyncio.run(run())
+        assert stats["batches"] == 1
+        assert stats["batch_mean"] == len(all_pairs)
+        assert all(answer.batch == len(all_pairs) for answer in answers)
+        for answer, expected in zip(answers, per_call_values):
+            assert answer.value == pytest.approx(expected, abs=1e-9)
+
+    def test_window_zero_disables_coalescing(self, session, all_pairs, per_call_values):
+        async def run():
+            coalescer = BatchCoalescer(session, window=0.0)
+            answers = [await coalescer.submit(query) for query in all_pairs[:6]]
+            await coalescer.aclose()
+            return answers, coalescer.stats()
+
+        answers, stats = asyncio.run(run())
+        assert stats["batches"] == 6
+        assert stats["batch_mean"] == 1.0
+        assert all(answer.batch == 1 for answer in answers)
+        for answer, expected in zip(answers, per_call_values):
+            assert answer.value == pytest.approx(expected, abs=1e-9)
+
+    def test_max_batch_dispatches_early(self, session, all_pairs):
+        async def run():
+            coalescer = BatchCoalescer(session, window=30.0, max_batch=4)
+            answers = await asyncio.gather(
+                *[coalescer.submit(query) for query in all_pairs[:8]]
+            )
+            await coalescer.aclose()
+            return answers, coalescer.stats()
+
+        answers, stats = asyncio.run(run())
+        # A 30 s window never fires in-test: only the max_batch early
+        # dispatch can have answered, in two full batches of four.
+        assert stats["batches"] == 2
+        assert all(answer.batch == 4 for answer in answers)
+
+    def test_pre_expired_deadline_rejected_at_admission(self, session, all_pairs):
+        async def run():
+            coalescer = BatchCoalescer(session, window=0.05)
+            with pytest.raises(DeadlineExceeded):
+                await coalescer.submit(all_pairs[0], deadline=time.monotonic() - 1)
+            await coalescer.aclose()
+            return coalescer.stats()
+
+        stats = asyncio.run(run())
+        assert stats["deadline_exceeded"] == 1
+        assert stats["outstanding"] == 0
+
+    def test_deadline_expires_inside_window(self, session, all_pairs):
+        """A deadline shorter than the window fails at dispatch, not silently."""
+
+        async def run():
+            coalescer = BatchCoalescer(session, window=0.2)
+            doomed = coalescer.submit_nowait(
+                all_pairs[0], deadline=time.monotonic() + 0.01
+            )
+            alive = coalescer.submit_nowait(all_pairs[1])
+            with pytest.raises(DeadlineExceeded):
+                await doomed
+            answer = await alive
+            await coalescer.aclose()
+            return answer, coalescer.stats()
+
+        answer, stats = asyncio.run(run())
+        assert answer.batch == 1  # the doomed entry never reached dispatch
+        assert stats["deadline_exceeded"] == 1
+        assert stats["answered"] == 1
+        assert stats["outstanding"] == 0
+
+    def test_backpressure_bounds_outstanding(self, session, all_pairs):
+        async def run():
+            coalescer = BatchCoalescer(session, window=0.5, max_pending=2)
+            first = coalescer.submit_nowait(all_pairs[0])
+            second = coalescer.submit_nowait(all_pairs[1])
+            with pytest.raises(Overloaded) as excinfo:
+                coalescer.submit_nowait(all_pairs[2])
+            assert excinfo.value.retryable
+            await coalescer.aclose()  # flushes and answers the two admitted
+            return await first, await second, coalescer.stats()
+
+        first, second, stats = asyncio.run(run())
+        assert first.batch == second.batch == 2
+        assert stats["overloaded"] == 1
+        assert stats["outstanding"] == 0
+
+    def test_poisoned_batch_is_isolated(self, session, all_pairs, per_call_values):
+        """One unknown-destination query must not take down its window."""
+        poison = Query.delivery((1, 1), 99)  # dest 99: no model, no factory
+
+        async def run():
+            coalescer = BatchCoalescer(session, window=0.05)
+            good = [coalescer.submit_nowait(query) for query in all_pairs[:3]]
+            bad = coalescer.submit_nowait(poison)
+            answers = await asyncio.gather(*good)
+            with pytest.raises(KeyError, match="99"):
+                await bad
+            await coalescer.aclose()
+            return answers, coalescer.stats()
+
+        answers, stats = asyncio.run(run())
+        assert stats["isolation_retries"] == 1
+        assert stats["outstanding"] == 0
+        for answer, expected in zip(answers, per_call_values):
+            assert answer.value == pytest.approx(expected, abs=1e-9)
+            assert answer.batch == 1  # answered by the per-query retry pass
+
+    def test_aclose_drains_then_refuses(self, session, all_pairs):
+        async def run():
+            coalescer = BatchCoalescer(session, window=5.0)
+            pending = [coalescer.submit_nowait(query) for query in all_pairs[:4]]
+            await coalescer.aclose()  # flushes the un-fired 5 s window
+            answers = [await future for future in pending]
+            with pytest.raises(ShuttingDown):
+                coalescer.submit_nowait(all_pairs[0])
+            return answers
+
+        answers = asyncio.run(run())
+        assert len(answers) == 4
+        assert all(answer.batch == 4 for answer in answers)
+
+
+# ---------------------------------------------------------------------------
+# QueryServer over TCP, thread- and process-hosted pools
+# ---------------------------------------------------------------------------
+class TestServer:
+    @pytest.mark.parametrize("pool_mode", ["thread", "process"])
+    def test_concurrent_clients_agree_with_per_call(
+        self, models, all_pairs, per_call_values, pool_mode
+    ):
+        """Streamed queries from many clients match ``repro.analysis``
+        per-call results within 1e-9, and coalesce across clients."""
+        n_clients = 4
+
+        async def client(port, share):
+            conn = await StreamClient.connect("127.0.0.1", port)
+            replies = await asyncio.gather(
+                *[conn.request(wire(query)) for query in share]
+            )
+            await conn.aclose()
+            return replies
+
+        async def run(session):
+            async with QueryServer(session, window=0.05) as server:
+                shares = [all_pairs[i::n_clients] for i in range(n_clients)]
+                return await asyncio.gather(
+                    *[client(server.port, share) for share in shares]
+                )
+
+        with AnalysisSession(
+            models=models.values(), workers=4, pool_size=2, pool_mode=pool_mode
+        ) as session:
+            outcomes = asyncio.run(run(session))
+
+        expected = {
+            id(query): value for query, value in zip(all_pairs, per_call_values)
+        }
+        batched = []
+        for share, replies in zip(
+            [all_pairs[i::n_clients] for i in range(n_clients)], outcomes
+        ):
+            for query, reply in zip(share, replies):
+                assert "error" not in reply, reply
+                assert reply["value"] == pytest.approx(
+                    expected[id(query)], abs=1e-9
+                )
+                batched.append(reply["batched"])
+        # Cross-client coalescing: replies carry multi-query batch sizes.
+        assert max(batched) > 1
+
+    def test_deadline_backpressure_and_bad_request(self, session, all_pairs):
+        async def run():
+            async with QueryServer(
+                session, window=0.3, max_pending=3
+            ) as server:
+                conn = await StreamClient.connect("127.0.0.1", server.port)
+                first = await conn.send(wire(all_pairs[0]))
+                second = await conn.send(wire(all_pairs[1]))
+                # Deadline: admitted, but expires inside the long window.
+                doomed = await conn.send({**wire(all_pairs[3]), "deadline_ms": 1})
+                # Backpressure: the fourth in-window query overflows
+                # max_pending and is refused with a retryable error.
+                overloaded = await conn.request(wire(all_pairs[2]))
+                assert overloaded["error"]["code"] == "overloaded"
+                assert overloaded["error"]["retry"] is True
+                # Bad requests answer immediately, before the window fires.
+                missing = await conn.request({"kind": "delivery", "dest": 1})
+                assert missing["error"]["code"] == "bad-request"
+                unknown_op = await conn.request({"op": "nope"})
+                assert unknown_op["error"]["code"] == "bad-request"
+                replies = await asyncio.gather(first, second, doomed)
+                await conn.aclose()
+                return replies
+
+        first, second, doomed = asyncio.run(run())
+        assert "error" not in first and "error" not in second
+        assert doomed["error"]["code"] == "deadline-exceeded"
+        assert doomed["error"]["retry"] is False
+
+    def test_ping_and_stats_ops(self, session, all_pairs):
+        async def run():
+            async with QueryServer(session, window=0.01) as server:
+                conn = await StreamClient.connect("127.0.0.1", server.port)
+                pong = await conn.request({"op": "ping"})
+                await conn.request(wire(all_pairs[0]))
+                stats = (await conn.request({"op": "stats"}))["stats"]
+                await conn.aclose()
+                return pong, stats
+
+        pong, stats = asyncio.run(run())
+        assert pong["pong"] is True
+        assert stats["queries_answered"] >= 1
+        assert stats["coalescer"]["answered"] >= 1
+        assert stats["pool"]["mode"] == "thread"
+        assert stats["autoscaler"] is None
+
+    def test_midstream_shutdown_drains_inflight_replies(self, models, all_pairs):
+        """stop() during an open admission window loses no admitted query."""
+
+        async def run(session):
+            server = QueryServer(session, window=5.0, owns_session=True)
+            await server.start()
+            conn = await StreamClient.connect("127.0.0.1", server.port)
+            # Admitted into a 5 s window that will never fire on its own:
+            # only the shutdown drain can flush and answer these.
+            pending = [await conn.send(wire(query)) for query in all_pairs[:6]]
+            await asyncio.sleep(0.05)  # let the server read every line
+            await server.stop()
+            replies = await asyncio.gather(*pending)
+            # The drained connection is closed once its replies are out:
+            # a later request fails loudly instead of hanging forever.
+            with pytest.raises(ConnectionError):
+                await conn.request(wire(all_pairs[6]))
+            await conn.aclose()
+            return replies
+
+        session = AnalysisSession(models=models.values(), workers=2, pool_size=1)
+        replies = asyncio.run(run(session))
+        assert session._closed  # owns_session: drained, then closed
+        for reply in replies:
+            assert "error" not in reply, reply
+            assert reply["batched"] == 6
+
+    def test_stop_is_idempotent_and_unowned_session_survives(self, session):
+        async def run():
+            server = QueryServer(session, window=0.01)
+            await server.start()
+            await server.stop()
+            await server.stop()
+
+        asyncio.run(run())
+        assert not session._closed
+
+
+# ---------------------------------------------------------------------------
+# PoolAutoscaler: sizing decisions and end-to-end resizing
+# ---------------------------------------------------------------------------
+class TestAutoscaler:
+    def make(self, session, **kwargs):
+        kwargs.setdefault("min_size", 1)
+        kwargs.setdefault("max_size", 4)
+        kwargs.setdefault("target_depth", 10)
+        kwargs.setdefault("patience", 2)
+        return PoolAutoscaler(session, lambda: 0, **kwargs)
+
+    def test_grow_is_immediate_shrink_needs_patience(self, models):
+        with AnalysisSession(
+            models=models.values(), workers=4, pool_size=1
+        ) as session:
+            scaler = self.make(session)
+            # Depth 35 over target 10 -> ceil = 4 replicas, immediately.
+            assert scaler.plan(35) == 4
+            session.resize_pool(4)
+            # Depth back to 0 wants 1, but only after `patience` votes.
+            assert scaler.plan(0) is None
+            assert scaler.plan(0) == 1
+            session.resize_pool(1)
+            # A grow burst resets the shrink hysteresis.
+            session.resize_pool(2)
+            assert scaler.plan(0) is None
+            assert scaler.plan(25) == 3  # grow interrupts the shrink streak
+            session.resize_pool(3)
+            assert scaler.plan(0) is None  # the streak starts over
+            assert scaler.plan(0) == 1
+
+    def test_plan_clamps_to_bounds(self, models):
+        with AnalysisSession(
+            models=models.values(), workers=4, pool_size=2
+        ) as session:
+            scaler = self.make(session, min_size=2, max_size=3)
+            assert scaler.plan(1000) == 3  # clamped to the ceiling
+            session.resize_pool(3)
+            assert scaler.plan(0) is None
+            assert scaler.plan(0) == 2  # clamped to the floor, not min 1
+            assert scaler.plan(25) is None  # desired == current size: no-op
+
+    def test_validation(self, models):
+        with AnalysisSession(models=models.values(), workers=1) as session:
+            with pytest.raises(ValueError, match="min_size"):
+                PoolAutoscaler(session, lambda: 0, min_size=0)
+            with pytest.raises(ValueError, match="target_depth"):
+                PoolAutoscaler(session, lambda: 0, target_depth=0)
+            with pytest.raises(ValueError, match="patience"):
+                PoolAutoscaler(session, lambda: 0, patience=0)
+
+    def test_autoscaler_grows_pool_under_load(self, models, all_pairs):
+        """End to end: queue depth grows the pool through the event loop."""
+
+        async def run(session):
+            server = QueryServer(
+                session,
+                window=0.15,
+                autoscale_max=3,
+                autoscale_target=4,
+                autoscale_interval=0.02,
+            )
+            await server.start()
+            conn = await StreamClient.connect("127.0.0.1", server.port)
+            # Hold >= 2*target queries inside the long admission window so
+            # several autoscaler observations see the queue depth.
+            pending = [await conn.send(wire(query)) for query in all_pairs[:12]]
+            await asyncio.sleep(0.1)
+            grown_size = session.pool_size
+            replies = await asyncio.gather(*pending)
+            await conn.aclose()
+            await server.stop()
+            return grown_size, replies, server.autoscaler.stats()
+
+        with AnalysisSession(
+            models=models.values(), workers=4, pool_size=1
+        ) as session:
+            grown_size, replies, stats = asyncio.run(run(session))
+        assert grown_size == 3  # ceil(12 / 4) = 3, clamped by autoscale_max
+        assert stats["grow_events"] >= 1
+        assert all("error" not in reply for reply in replies)
+
+
+# ---------------------------------------------------------------------------
+# CLI: python -m repro.service serve
+# ---------------------------------------------------------------------------
+class TestServeCommand:
+    def test_serve_end_to_end(self, capsys):
+        holder: dict[str, object] = {}
+        ready = threading.Event()
+
+        def started(server):
+            holder["server"] = server
+            ready.set()
+
+        thread = threading.Thread(
+            target=serve_main,
+            args=(
+                [
+                    "--topology",
+                    "fattree:4",
+                    "--dest",
+                    "1",
+                    "--pool-size",
+                    "2",
+                    "--window-ms",
+                    "10",
+                    "--deadline-ms",
+                    "30000",
+                ],
+                started,
+            ),
+        )
+        thread.start()
+        try:
+            assert ready.wait(timeout=60), "serve did not start"
+            server = holder["server"]
+
+            async def drive():
+                conn = await StreamClient.connect("127.0.0.1", server.port)
+                topo = fat_tree(4)
+                queries = [
+                    {"ingress": [sw, pt], "dest": 1}
+                    for sw, pt in topo.ingress_locations(exclude=[1])
+                ]
+                replies = await asyncio.gather(
+                    *[conn.request(message) for message in queries]
+                )
+                await conn.aclose()
+                return replies
+
+            replies = asyncio.run(drive())
+            assert all("error" not in reply for reply in replies)
+            assert all(0.0 <= reply["value"] <= 1.0 for reply in replies)
+            assert max(reply["batched"] for reply in replies) > 1
+        finally:
+            holder["server"].request_stop()
+            thread.join(timeout=60)
+        assert not thread.is_alive()
+
+    def test_serve_flag_validation(self):
+        with pytest.raises(SystemExit):
+            serve_main(["--window-ms", "-1"])
+        with pytest.raises(SystemExit):
+            serve_main(["--pool-size", "2", "--autoscale-max", "1"])
+
+    def test_main_dispatches_serve(self, monkeypatch):
+        from repro.service import cli
+
+        seen: dict[str, object] = {}
+
+        def fake_serve_main(argv):
+            seen["argv"] = argv
+            return 0
+
+        monkeypatch.setattr(cli, "serve_main", fake_serve_main)
+        assert cli.main(["serve", "--port", "7"]) == 0
+        assert seen["argv"] == ["--port", "7"]
+
+
+# ---------------------------------------------------------------------------
+# Session async surface
+# ---------------------------------------------------------------------------
+class TestAsyncSubmission:
+    def test_submit_batch_returns_future(self, session, all_pairs, per_call_values):
+        handle = session.submit_batch(all_pairs[:4])
+        results = handle.result(timeout=60)
+        for result, expected in zip(results.results, per_call_values):
+            assert result.value == pytest.approx(expected, abs=1e-9)
+
+    def test_query_batch_async(self, session, all_pairs, per_call_values):
+        async def run():
+            return await session.query_batch_async(all_pairs[:4])
+
+        results = asyncio.run(run())
+        for result, expected in zip(results.results, per_call_values):
+            assert result.value == pytest.approx(expected, abs=1e-9)
+
+    def test_submit_batch_on_closed_session_raises(self, models):
+        session = AnalysisSession(models=models.values(), workers=1)
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.submit_batch([])
