@@ -39,7 +39,17 @@ Architecture (**session → shards → pool → backend**):
 * :mod:`repro.service.server` — the :class:`QueryServer`:
   ``python -m repro.service serve``, an asyncio JSON-lines-over-TCP
   streaming front end with per-reply correlation ids, graceful lossless
-  drain, and a queue-depth :class:`PoolAutoscaler`.
+  drain, and a queue-depth :class:`PoolAutoscaler`;
+* :mod:`repro.service.faults` — the :class:`FaultPlan` fault-injection
+  harness (``REPRO_FAULTS``): deterministic worker kills, reply delays,
+  and dropped pipes for chaos-testing the supervision layer.
+
+Fault tolerance: replica failure is supervised and recoverable — a
+crashed or hung worker is quarantined, respawned in place (plans
+re-shipped as specs), and its shard transparently retried on a healthy
+replica (:class:`ReplicaFailure` → bounded retry →
+:class:`PoolUnavailable`); streamed clients see at most a retryable
+``unavailable`` error (:class:`Unavailable`).
 
 Quick start::
 
@@ -62,9 +72,16 @@ from repro.service.coalesce import (
     Overloaded,
     QueryRejected,
     ShuttingDown,
+    Unavailable,
 )
 from repro.service.executor import ShardExecutor
-from repro.service.pool import BackendPool, Replica
+from repro.service.faults import Fault, FaultPlan
+from repro.service.pool import (
+    BackendPool,
+    PoolUnavailable,
+    Replica,
+    ReplicaFailure,
+)
 from repro.service.procpool import ProcessBackendPool, WorkerHandle
 from repro.service.results import (
     QUERY_KINDS,
@@ -97,8 +114,11 @@ __all__ = [
     "ByIngressBlockPlanner",
     "CoalescedAnswer",
     "DeadlineExceeded",
+    "Fault",
+    "FaultPlan",
     "Overloaded",
     "PoolAutoscaler",
+    "PoolUnavailable",
     "ProcessBackendPool",
     "Query",
     "QueryRejected",
@@ -106,6 +126,7 @@ __all__ = [
     "QuerySpec",
     "QueryServer",
     "Replica",
+    "ReplicaFailure",
     "ResultSet",
     "ResultSpec",
     "RoundRobinPlanner",
@@ -115,6 +136,7 @@ __all__ = [
     "ShardReport",
     "ShuttingDown",
     "StreamClient",
+    "Unavailable",
     "WorkerHandle",
     "get_planner",
     "validate_partition",

@@ -114,6 +114,21 @@ def _add_session_arguments(parser: argparse.ArgumentParser) -> None:
         "worker process fed by spec shipping, parallelising plan rebuild + "
         "matrix assembly + solve end-to-end (default thread)",
     )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        help="per-shard wall-clock watchdog in seconds (process pools): a "
+        "worker that does not answer in time is killed, respawned, and the "
+        "shard retried on a healthy replica (default: no watchdog)",
+    )
+    parser.add_argument(
+        "--shard-attempts",
+        type=int,
+        default=2,
+        help="replicas a shard may be attempted on across crashes before "
+        "failing with PoolUnavailable (default 2: original + one retry)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -291,6 +306,8 @@ def build_session(args: argparse.Namespace, topology) -> AnalysisSession:
     """Open the session both entry points (batch and serve) share."""
     if args.pool_size < 1:
         raise SystemExit("--pool-size must be >= 1")
+    if args.shard_attempts < 1:
+        raise SystemExit("--shard-attempts must be >= 1")
     return AnalysisSession(
         model_factory=model_factory(topology, args),
         backend=args.backend,
@@ -298,6 +315,8 @@ def build_session(args: argparse.Namespace, topology) -> AnalysisSession:
         pool_mode=args.pool_mode,
         planner=args.planner,
         workers=args.workers,
+        shard_timeout=args.shard_timeout,
+        max_attempts=args.shard_attempts,
     )
 
 
@@ -373,6 +392,13 @@ async def _run_server(args: argparse.Namespace, started_cb=None) -> int:
         f"{coalescer['deadline_exceeded']} deadline-exceeded, "
         f"{coalescer['overloaded']} overloaded)"
     )
+    pool = stats["pool"]
+    if pool["failures"] or stats["retried_shards"]:
+        print(
+            f"supervision: {pool['failures']} replica failure(s), "
+            f"{pool['restarts']} worker restart(s), "
+            f"{stats['retried_shards']} shard(s) transparently retried"
+        )
     return 0
 
 
@@ -420,7 +446,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(
                 f"pool: {pool['size']} {pool['mode']}-hosted replicas "
                 f"(pids {workers}), leases {pool['leases']}, "
-                f"{pool['steals']} steal(s)"
+                f"{pool['steals']} steal(s), {pool['restarts']} restart(s)"
+            )
+        if pool["failures"] or stats["retried_shards"]:
+            print(
+                f"supervision: {pool['failures']} replica failure(s), "
+                f"{pool['restarts']} worker restart(s), "
+                f"{stats['retried_shards']} shard(s) transparently retried"
             )
         timings = stats["backend_timings"]
         if timings:

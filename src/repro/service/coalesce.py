@@ -26,6 +26,16 @@ edges:
   can fail the whole coalesced ``query_batch``) is retried query by
   query, so exactly the bad queries get the error and every innocent
   bystander coalesced into the same window still gets its answer.
+* **Classification** — failures are sorted into *retryable* transport
+  conditions and *terminal* semantic errors before reaching clients: a
+  replica crash or exhausted pool
+  (:class:`~repro.service.pool.ReplicaFailure` /
+  :class:`~repro.service.pool.PoolUnavailable`) becomes
+  :class:`Unavailable` (``retry: true`` — the pool is respawning the
+  worker; the same query will succeed), while a genuinely bad query
+  keeps its non-retryable error.  Without this split, isolation retries
+  would mark *every* error terminal and clients would drop queries the
+  pool could have served a moment later.
 * **Drain** — :meth:`BatchCoalescer.aclose` refuses new admissions,
   flushes the pending window immediately, and waits for every in-flight
   answer to be delivered, which is what makes server shutdown lossless.
@@ -74,6 +84,37 @@ class ShuttingDown(QueryRejected):
 
     code = "shutting-down"
     retryable = False
+
+
+class Unavailable(QueryRejected):
+    """A backend replica failed mid-query; the pool is healing — retry.
+
+    Raised in place of a raw :class:`~repro.service.pool.ReplicaFailure`
+    or :class:`~repro.service.pool.PoolUnavailable` so streamed clients
+    see a *retryable* wire error: the crashed worker is being respawned
+    and the same query is expected to succeed on the next attempt.
+    """
+
+    code = "unavailable"
+    retryable = True
+
+
+def classify_failure(error: BaseException) -> BaseException:
+    """Map transport/replica failures to retryable errors, pass the rest.
+
+    The split the wire contract relies on: infrastructure failures
+    (replica crashed, watchdog fired, retries exhausted while the pool
+    heals) become :class:`Unavailable` (``retry: true``); semantic query
+    errors (unknown destination, bad kind) come back unchanged and stay
+    terminal — resending those would fail identically.
+    """
+    from repro.service.pool import PoolUnavailable, ReplicaFailure
+
+    if isinstance(error, (ReplicaFailure, PoolUnavailable)):
+        mapped = Unavailable(f"backend replicas temporarily unavailable: {error}")
+        mapped.__cause__ = error
+        return mapped
+    return error
 
 
 @dataclass(frozen=True)
@@ -164,6 +205,7 @@ class BatchCoalescer:
         self._deadline_exceeded = 0
         self._overloaded = 0
         self._isolation_retries = 0
+        self._unavailable = 0
 
     # -- admission -------------------------------------------------------------
     @property
@@ -287,10 +329,17 @@ class BatchCoalescer:
             entry.future.set_exception(DeadlineExceeded(reason))
 
     def _fail_all(self, entries: list[_Pending], error: BaseException) -> None:
+        # Classify before delivering: replica/transport failures surface as
+        # the retryable Unavailable, so a worker crash that slipped past the
+        # session's own retries (or raced the isolation re-dispatch) tells
+        # clients to resend rather than to give up.
+        mapped = classify_failure(error)
         for entry in entries:
             if not entry.future.done():
                 self._outstanding -= 1
-                entry.future.set_exception(error)
+                if isinstance(mapped, Unavailable):
+                    self._unavailable += 1
+                entry.future.set_exception(mapped)
 
     def _track(self, future: asyncio.Future) -> None:
         self._inflight.add(future)
@@ -337,6 +386,7 @@ class BatchCoalescer:
             "deadline_exceeded": self._deadline_exceeded,
             "overloaded": self._overloaded,
             "isolation_retries": self._isolation_retries,
+            "unavailable": self._unavailable,
             "window": self.window,
             "max_batch": self.max_batch,
             "max_pending": self.max_pending,
@@ -368,5 +418,7 @@ __all__ = [
     "Overloaded",
     "QueryRejected",
     "ShuttingDown",
+    "Unavailable",
+    "classify_failure",
     "coerce_stream_query",
 ]

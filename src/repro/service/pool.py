@@ -30,6 +30,30 @@ planners), and
   keep routing to the warm replica;
 * only when every replica is busy does the request wait.
 
+Supervision: replica failure is a *recoverable* event, not a
+session-killing one.  Every replica carries a health state::
+
+    healthy ──(ReplicaFailure in a lease)──▶ suspect
+    suspect ──(probe succeeds: transient)──▶ healthy
+    suspect ──(probe fails / no probe)─────▶ restarting ──▶ healthy
+    restarting ──(respawn impossible)──────▶ dead  (permanent)
+
+A lease body that raises :class:`ReplicaFailure` (worker crash, hung
+worker killed by the watchdog, broken pipe) quarantines its replica: the
+replica is marked suspect, probed once (backends with a ``ping`` — a
+transient transport blip on a live backend recovers in place), and on a
+failed probe a background thread respawns the backend *in place at the
+same index* — so the affinity map and ``lease_replica`` indices stay
+valid and the destination bindings transparently re-attach to the fresh
+backend.  Process pools re-publish the dead worker's adopted plans from
+the parent-side plan directory during respawn (see
+:class:`~repro.service.procpool.ProcessBackendPool`), so respawned
+workers never recompile.  Only when respawn is impossible (no healthy
+replica to fork from, or the pool is closing) does a replica go
+permanently ``dead``: its affinities are unbound and, once *every*
+replica is dead, lease requests fail with :class:`PoolUnavailable`
+instead of waiting forever.
+
 Lock hierarchy (strict, never nested the other way around)::
 
     replica lease (pool condition + per-replica lock)
@@ -40,7 +64,9 @@ A thread may take the session state lock or the spec-store lock *while
 holding* a replica lease (that is how computed distributions enter the
 shared result cache), but never acquires a lease while holding either of
 the inner locks, and never holds two leases at once.  This makes the
-hierarchy acyclic, so the pool cannot deadlock.
+hierarchy acyclic, so the pool cannot deadlock.  Respawn threads touch
+only the pool condition and the dead/fresh backends — never a session
+lock — so they sit at the top of the same hierarchy.
 """
 
 from __future__ import annotations
@@ -50,9 +76,60 @@ import threading
 from contextlib import contextmanager
 from typing import Iterator
 
+#: Replica health states (see the supervision diagram in the module doc).
+HEALTHY = "healthy"
+SUSPECT = "suspect"
+RESTARTING = "restarting"
+DEAD = "dead"
+
+
+class ReplicaFailure(RuntimeError):
+    """A replica's backend failed mid-lease (crash, hang, broken transport).
+
+    This is the *structured* crash signal the supervision layer acts on:
+    raising it out of a lease body quarantines the replica (probe →
+    respawn) instead of silently leaving a corpse in the pool.  Queries
+    are pure, so callers retry the failed shard on a healthy replica
+    (see ``AnalysisSession``); exhausted retries surface as
+    :class:`PoolUnavailable`.
+
+    Attributes
+    ----------
+    replica:
+        Index of the failed replica, when known.
+    kind:
+        ``"crash"`` (process died / transport broke) or ``"timeout"``
+        (hung worker killed by the per-shard watchdog).
+    exit_code:
+        The dead worker's exit code, when known (negative = signal).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        replica: int | None = None,
+        kind: str = "crash",
+        exit_code: int | None = None,
+    ):
+        super().__init__(message)
+        self.replica = replica
+        self.kind = kind
+        self.exit_code = exit_code
+
+
+class PoolUnavailable(RuntimeError):
+    """No healthy replica can serve: retries exhausted or every replica dead.
+
+    The typed terminal error of the supervision layer — callers that see
+    it know the *pool* (not their query) is the problem, so the streaming
+    front end maps it to the retryable ``unavailable`` wire error rather
+    than a non-retryable per-query failure.
+    """
+
 
 class Replica:
-    """One pooled backend instance plus its lease bookkeeping.
+    """One pooled backend instance plus its lease + health bookkeeping.
 
     ``lock`` is the replica's solver lock: it is held exactly while the
     replica is leased, so all raw backend access happens under it.  The
@@ -62,7 +139,19 @@ class Replica:
     free replica or waits for pool capacity.
     """
 
-    __slots__ = ("index", "backend", "lock", "busy", "leases", "affinities")
+    __slots__ = (
+        "index",
+        "backend",
+        "lock",
+        "busy",
+        "leases",
+        "affinities",
+        "health",
+        "failures",
+        "restarts",
+        "exit_code",
+        "last_error",
+    )
 
     def __init__(self, index: int, backend: object):
         self.index = index
@@ -73,10 +162,20 @@ class Replica:
         self.leases = 0
         #: Affinity keys currently bound to this replica.
         self.affinities: set[object] = set()
+        #: Supervision state: healthy / suspect / restarting / dead.
+        self.health = HEALTHY
+        #: How many times this replica slot has failed.
+        self.failures = 0
+        #: How many times this slot's backend was respawned in place.
+        self.restarts = 0
+        #: Exit code of the last dead backend (process pools; negative = signal).
+        self.exit_code: int | None = None
+        #: Short description of the last failure (for reports).
+        self.last_error: str | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "busy" if self.busy else "free"
-        return f"Replica(#{self.index}, {state}, leases={self.leases})"
+        return f"Replica(#{self.index}, {state}, {self.health}, leases={self.leases})"
 
 
 class BackendPool:
@@ -112,6 +211,10 @@ class BackendPool:
         # affinity key -> index of the replica holding that key's state.
         self._affinity: dict[object, int] = {}
         self._steals = 0
+        self._failures = 0
+        self._restarts = 0
+        # In-flight respawn threads (joined by close()).
+        self._respawns: list[threading.Thread] = []
         self.replicas: list[Replica] = self._create_replicas(backend, size)
 
     def _create_replicas(self, backend: object, size: int) -> list[Replica]:
@@ -137,13 +240,32 @@ class BackendPool:
         """How many leases were served by stealing from a busy preferred replica."""
         return self._steals
 
+    @property
+    def restarts(self) -> int:
+        """How many dead replicas were respawned in place."""
+        return self._restarts
+
+    @property
+    def failures(self) -> int:
+        """How many replica failures the supervision layer has absorbed."""
+        return self._failures
+
     # -- leasing ---------------------------------------------------------------
     @contextmanager
     def lease(self, affinity: object | None = None) -> Iterator[Replica]:
-        """Exclusively lease one replica (affinity-routed; blocks when full)."""
+        """Exclusively lease one replica (affinity-routed; blocks when full).
+
+        A lease body raising :class:`ReplicaFailure` quarantines the
+        replica (probe, then in-place respawn on a background thread)
+        before the failure propagates — so the pool self-heals while the
+        caller retries the shard on a healthy replica.
+        """
         replica = self._acquire(affinity)
         try:
             yield replica
+        except ReplicaFailure as failure:
+            self._quarantine(replica, failure)
+            raise
         finally:
             self._release(replica)
 
@@ -155,7 +277,10 @@ class BackendPool:
         concurrent :meth:`resize` that retires and replaces pool tails
         can never hand out a lease on a replica that already left the
         pool — a request for an index the pool no longer has fails
-        loudly instead.
+        loudly instead.  A permanently dead replica raises
+        :class:`ReplicaFailure` (callers walking the pool skip it); a
+        suspect/restarting replica is waited for, so warmup lands on the
+        respawned backend.
         """
         with self._cv:
             while True:
@@ -166,17 +291,26 @@ class BackendPool:
                         f"replica {index} is not in the pool (size {len(self.replicas)})"
                     )
                 replica = self.replicas[index]
-                if not replica.busy:
+                if replica.health == DEAD:
+                    raise ReplicaFailure(
+                        f"replica {index} is dead ({replica.last_error})",
+                        replica=index,
+                        exit_code=replica.exit_code,
+                    )
+                if not replica.busy and replica.health == HEALTHY:
                     break
                 self._cv.wait()
             self._grant(replica)
         try:
             yield replica
+        except ReplicaFailure as failure:
+            self._quarantine(replica, failure)
+            raise
         finally:
             self._release(replica)
 
     def lease_each(self) -> Iterator[Replica]:
-        """Lease every replica in turn (sequentially, one at a time).
+        """Lease every live replica in turn (sequentially, one at a time).
 
         This is the warmup path: pre-planning must reach each replica's
         private caches, and taking the ordinary lease path (instead of
@@ -184,12 +318,15 @@ class BackendPool:
         concurrent ``query_batch`` traffic on the same destination.  The
         pool size is re-read per step, so a concurrent :meth:`resize`
         shrink simply ends the walk early rather than leasing a retired
-        replica.
+        replica; permanently dead replicas are skipped.
         """
         index = 0
         while index < len(self.replicas):
-            with self.lease_replica(index) as replica:
-                yield replica
+            try:
+                with self.lease_replica(index) as replica:
+                    yield replica
+            except ReplicaFailure:
+                pass  # dead slot: skip it, keep walking the live ones
             index += 1
 
     def _acquire(self, affinity: object | None) -> Replica:
@@ -214,22 +351,36 @@ class BackendPool:
                             # replica would rebuild the same factorizations.
                             self._steals += 1
                     return replica
+                if not any(r.health != DEAD for r in self.replicas):
+                    raise PoolUnavailable(
+                        f"all {len(self.replicas)} replica(s) are dead and "
+                        "cannot be respawned"
+                    )
                 self._cv.wait()
 
     def _select(self, affinity: object | None) -> Replica | None:
-        """Pick a free replica for ``affinity``, or ``None`` to wait.
+        """Pick a free healthy replica for ``affinity``, or ``None`` to wait.
 
         Preference order: the replica already bound to the affinity if it
         is free; otherwise any idle replica (work stealing — for a bound
         affinity this trades a state rebuild for not waiting); otherwise
         wait.  Unbound requests go to the free replica with the fewest
-        affinities, then fewest leases, spreading load evenly.
+        affinities, then fewest leases, spreading load evenly.  Only
+        healthy replicas are candidates: an affinity bound to a dead or
+        restarting replica transparently falls through to the steal path
+        until its home replica is healthy again.
         """
         if affinity is not None:
             bound = self._affinity.get(affinity)
-            if bound is not None and not self.replicas[bound].busy:
-                return self.replicas[bound]
-        free = [replica for replica in self.replicas if not replica.busy]
+            if bound is not None:
+                preferred = self.replicas[bound]
+                if not preferred.busy and preferred.health == HEALTHY:
+                    return preferred
+        free = [
+            replica
+            for replica in self.replicas
+            if not replica.busy and replica.health == HEALTHY
+        ]
         if not free:
             return None
         return min(free, key=lambda r: (len(r.affinities), r.leases, r.index))
@@ -248,19 +399,134 @@ class BackendPool:
             replica.lock.release()
             self._cv.notify_all()
 
+    # -- supervision -----------------------------------------------------------
+    def _quarantine(self, replica: Replica, failure: ReplicaFailure) -> None:
+        """Handle a failed lease: probe the replica, then respawn or revive.
+
+        Runs on the failing lease's thread *while it still holds the
+        lease* (exclusive access makes the probe safe).  The replica goes
+        ``suspect``; a backend with a working ``ping`` recovers in place
+        (transient transport blip), anything else goes ``restarting`` and
+        a daemon thread respawns the backend at the same index.
+        """
+        kind = getattr(failure, "kind", "crash")
+        with self._cv:
+            if replica.health != HEALTHY:
+                return  # already quarantined (double failure on one lease)
+            replica.health = SUSPECT
+            replica.failures += 1
+            replica.exit_code = getattr(failure, "exit_code", None)
+            replica.last_error = str(failure)
+            self._failures += 1
+            self._cv.notify_all()
+        alive = False
+        if kind != "timeout":  # a watchdog-killed worker is dead by design
+            probe = getattr(replica.backend, "ping", None)
+            if probe is not None:
+                try:
+                    probe()
+                    alive = True
+                except Exception:  # noqa: BLE001 - any probe failure = dead
+                    alive = False
+        with self._cv:
+            if alive:
+                replica.health = HEALTHY
+                self._cv.notify_all()
+                return
+            replica.health = DEAD if self._closed else RESTARTING
+            self._cv.notify_all()
+            if self._closed:
+                return
+            thread = threading.Thread(
+                target=self._respawn,
+                args=(replica,),
+                name=f"repro-respawn-{replica.index}",
+                daemon=True,
+            )
+            self._respawns.append(thread)
+        thread.start()
+
+    def _respawn(self, replica: Replica) -> None:
+        """Background thread: replace a dead replica's backend in place.
+
+        The fresh backend is installed at the *same index*, so the
+        affinity map and ``lease_replica`` indices stay valid and bound
+        destinations re-attach transparently.  When the slot was retired
+        (resize shrink) or the pool closed mid-respawn, the fresh backend
+        is torn down instead of installed; when no backend can be built
+        (every peer dead, or an unforkable base), the replica goes
+        permanently dead and its affinities are unbound so future leases
+        re-route.
+        """
+        try:
+            backend = self._respawn_backend(replica.index, replica.backend)
+        except Exception:  # noqa: BLE001 - a failed respawn = permanent death
+            backend = None
+        old = replica.backend
+        close_old = False
+        close_new = False
+        with self._cv:
+            current = (
+                replica.index < len(self.replicas)
+                and self.replicas[replica.index] is replica
+            )
+            if backend is None or self._closed or not current:
+                replica.health = DEAD
+                for key in replica.affinities:
+                    self._affinity.pop(key, None)
+                replica.affinities.clear()
+                close_new = backend is not None
+                close_old = current and self._owns_replica(replica)
+            else:
+                replica.backend = backend
+                replica.health = HEALTHY
+                replica.restarts += 1
+                self._restarts += 1
+                close_old = self._owns_replica(replica)
+            self._cv.notify_all()
+        if close_new:
+            self._close_replica_backend(backend)
+        if close_old:
+            self._close_replica_backend(old)
+
+    def _respawn_backend(self, index: int, dead: object) -> object | None:
+        """Build a replacement backend for slot ``index`` (subclass hook).
+
+        The base pool forks from any healthy replica; process pools spawn
+        a fresh worker and re-publish the dead worker's plans.  Returns
+        ``None`` when no replacement can be built (permanent death).
+        """
+        return self._fork_healthy()
+
+    def _fork_healthy(self) -> object | None:
+        """Fork a new backend from any healthy replica (under its lease)."""
+        with self._cv:
+            candidates = [
+                replica.index
+                for replica in self.replicas
+                if replica.health == HEALTHY
+            ]
+        for index in candidates:
+            try:
+                with self.lease_replica(index) as source:
+                    fork = getattr(source.backend, "fork", None)
+                    if fork is None:
+                        return None
+                    return fork()
+            except (ReplicaFailure, RuntimeError):
+                continue  # that replica died / pool closed; try the next
+        return None
+
     # -- elasticity ------------------------------------------------------------
     def _spawn_backend(self, index: int) -> object | None:
         """Create the backend of a new replica ``index`` (subclass hook).
 
-        The base pool forks from replica 0 *under its lease*, so growth
-        never races an in-flight solve on the base backend.  Returns
-        ``None`` when the backend cannot fork (the pool then stays at its
-        current size, mirroring the constructor's degradation rule).
+        The base pool forks from a healthy replica *under its lease*, so
+        growth never races an in-flight solve.  Returns ``None`` when the
+        backend cannot fork (the pool then stays at its current size,
+        mirroring the constructor's degradation rule).
         """
-        if getattr(self.replicas[0].backend, "fork", None) is None:
-            return None
-        with self.lease_replica(0) as base:
-            return base.backend.fork()
+        return self._fork_healthy()
 
     def resize(self, size: int) -> int:
         """Grow or shrink the pool to ``size`` replicas; returns the new size.
@@ -272,7 +538,9 @@ class BackendPool:
         affinity map and ``lease_replica`` stay valid throughout — and
         waits for a busy tail replica's lease to finish before closing
         its backend, so downsizing never rips state out from under an
-        in-flight solve.  Affinities bound to a retired replica are
+        in-flight solve.  A dead or restarting tail is retired without
+        waiting (its respawn thread notices the retired slot and discards
+        the fresh backend).  Affinities bound to a retired replica are
         unbound; the next query for such a destination re-routes (and
         rebuilds from the shared plan specs) like any unassigned key.
 
@@ -283,7 +551,7 @@ class BackendPool:
         if size < 1:
             raise ValueError("pool size must be >= 1")
         # Grow: spawn outside the condition variable (forking may itself
-        # lease replica 0; process workers take real time to start).
+        # lease a replica; process workers take real time to start).
         while True:
             with self._cv:
                 if self._closed:
@@ -320,6 +588,9 @@ class BackendPool:
                 retired.append(tail)
             self._cv.notify_all()
         for replica in retired:
+            # Closing a dead backend is a cheap no-op-ish reap (handles are
+            # idempotent), so retiring a crashed tail neither hangs nor
+            # double-joins.
             self._close_replica_backend(replica.backend)
         return self.size
 
@@ -337,13 +608,17 @@ class BackendPool:
         *held* (e.g. an engine-protocol call mid-solve on another thread)
         are drained first — backends are only torn down once every
         replica is free, so ``close()`` never rips a worker pool or
-        factorization out from under an in-flight solve.  Forked replicas
-        (index ≥ 1) are always owned by the pool; the base backend is
-        closed only when ``owns_base`` was set (the session passes its
-        usual ownership rule through).
+        factorization out from under an in-flight solve.  In-flight
+        respawn threads are joined (a respawn finishing after the close
+        began discards its fresh backend).  Forked replicas (index ≥ 1)
+        are always owned by the pool; the base backend is closed only
+        when ``owns_base`` was set (the session passes its usual
+        ownership rule through).
         """
         if not self._drain():
             return
+        for thread in self._join_respawns():
+            thread.join(timeout=30.0)
         for replica in self.replicas:
             if not self._owns_replica(replica):
                 continue
@@ -352,12 +627,20 @@ class BackendPool:
                 closer()
         self._close_base()
 
+    def _join_respawns(self) -> list[threading.Thread]:
+        with self._cv:
+            threads = list(self._respawns)
+            self._respawns.clear()
+        return threads
+
     def _drain(self) -> bool:
         """Mark the pool closed and wait for every held lease to finish.
 
         Returns ``False`` when the pool was already closed (teardown must
         not run twice).  After the drain no replica is busy and no new
-        lease can be granted, so backends can be torn down safely.
+        lease can be granted, so backends can be torn down safely.  Dead
+        and restarting replicas are never busy, so a crashed worker can
+        not hang the drain.
         """
         with self._cv:
             if self._closed:
@@ -377,24 +660,35 @@ class BackendPool:
         """Subclass hook: tear down non-replica base state after the drain."""
 
     def clear_caches(self, keep_plans: bool = False) -> None:
-        """Clear every replica's backend caches (under its lease).
+        """Clear every live replica's backend caches (under its lease).
 
         With ``keep_plans`` replicas that support it only reset their
         solver state (``reset_solutions``: row caches, absorption
-        solutions, ``splu`` factorizations) and keep compiled plans.
+        solutions, ``splu`` factorizations) and keep compiled plans.  A
+        replica that dies mid-clear is quarantined and skipped — its
+        respawned backend starts with empty caches anyway.
         """
         if self._closed:
             return
-        for replica in self.lease_each():
-            backend = replica.backend
-            if keep_plans:
-                resetter = getattr(backend, "reset_solutions", None)
-                if resetter is not None:
-                    resetter()
-                    continue
-            clearer = getattr(backend, "clear_caches", None)
-            if clearer is not None:
-                clearer()
+        index = 0
+        while index < len(self.replicas):
+            try:
+                with self.lease_replica(index) as replica:
+                    backend = replica.backend
+                    if keep_plans:
+                        resetter = getattr(backend, "reset_solutions", None)
+                        if resetter is not None:
+                            resetter()
+                            index += 1
+                            continue
+                    clearer = getattr(backend, "clear_caches", None)
+                    if clearer is not None:
+                        clearer()
+            except ReplicaFailure:
+                pass  # quarantined; the respawn starts from empty caches
+            except RuntimeError:
+                return  # pool closed (or shrank past index) mid-walk
+            index += 1
 
     # -- introspection ---------------------------------------------------------
     def worker_id(self, index: int) -> int:
@@ -408,12 +702,15 @@ class BackendPool:
         return os.getpid() if pid is None else pid
 
     def stats(self) -> dict[str, object]:
-        """Pool shape, per-replica lease counts, and the affinity map."""
+        """Pool shape, health, per-replica lease counts, and the affinity map."""
         with self._cv:
             return {
                 "mode": self.mode,
                 "size": self.size,
                 "steals": self._steals,
+                "failures": self._failures,
+                "restarts": self._restarts,
+                "health": [replica.health for replica in self.replicas],
                 "leases": [replica.leases for replica in self.replicas],
                 "workers": [self.worker_id(i) for i in range(len(self.replicas))],
                 "affinities": {
@@ -424,4 +721,13 @@ class BackendPool:
             }
 
 
-__all__ = ["BackendPool", "Replica"]
+__all__ = [
+    "DEAD",
+    "HEALTHY",
+    "RESTARTING",
+    "SUSPECT",
+    "BackendPool",
+    "PoolUnavailable",
+    "Replica",
+    "ReplicaFailure",
+]

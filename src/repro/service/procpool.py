@@ -45,18 +45,36 @@ own; the :class:`PlanDirectory` lock is the process-pool analogue of the
 *may* compile (parent-side, first time a policy is seen) — it is
 therefore only ever taken from inside a lease or from warmup, never
 while holding the session state lock.
+
+Supervision: worker death is detected *immediately* — every request
+waits on both the reply pipe and the worker's ``Process.sentinel`` via
+:func:`multiprocessing.connection.wait`, so a crash surfaces as a
+structured :class:`~repro.service.pool.ReplicaFailure` the instant the
+process exits (not after a poll interval).  A ``shard_timeout`` arms a
+per-request wall-clock watchdog: a worker that does not answer in time
+is killed and reported as ``kind="timeout"`` — hung workers are replaced
+exactly like crashed ones.  The pool's quarantine/respawn machinery (see
+:mod:`repro.service.pool`) then spawns a fresh worker at the same index
+and re-publishes every plan the dead worker had adopted from the
+parent-side :class:`PlanDirectory` — as specs, so respawned workers
+still report 0 AST compilations.  Fault injection for all of this lives
+in :mod:`repro.service.faults` (``REPRO_FAULTS``), which
+:func:`worker_main` consults around query requests only.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import os
 import threading
+import time
 import traceback
 import weakref
 from typing import TYPE_CHECKING
 
-from repro.service.pool import BackendPool, Replica
+from repro.service.faults import FaultPlan
+from repro.service.pool import HEALTHY, BackendPool, Replica, ReplicaFailure
 from repro.service.wire import QuerySpec, ResultSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -64,10 +82,6 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Environment override for the worker start method ("fork", "spawn", ...).
 START_METHOD_ENV = "REPRO_POOL_START_METHOD"
-
-
-class _WorkerDied(Exception):
-    """Internal: the worker process exited mid-request."""
 
 
 def _pick_start_method(requested: str | None) -> str:
@@ -100,7 +114,7 @@ def _worker_stats(backend: "MatrixBackend", queries: int) -> dict:
     }
 
 
-def worker_main(connection) -> None:
+def worker_main(connection, index: int = 0) -> None:
     """The worker process: one backend replica, driven over one pipe.
 
     The worker owns a full :class:`~repro.backends.matrix.MatrixBackend`
@@ -119,6 +133,12 @@ def worker_main(connection) -> None:
     Any exception is caught and returned as ``("error", summary,
     traceback)`` — the worker survives and keeps serving, so one bad
     query cannot take a replica (and its warm factorizations) down.
+
+    Fault injection (chaos testing): when ``REPRO_FAULTS`` names this
+    worker's ``index``, the :mod:`repro.service.faults` hooks run around
+    **query** requests only — plan shipping and the respawn path stay
+    clean, so injected crashes exercise the same recovery machinery a
+    real mid-solve crash would.
     """
     import signal
 
@@ -128,8 +148,11 @@ def worker_main(connection) -> None:
 
     from repro.backends.matrix import MatrixBackend
 
+    plan = FaultPlan.from_env()
+    faults = plan.for_worker(index) if plan is not None else None
     backend = MatrixBackend()
     queries_served = 0
+    requests_served = 0
     while True:
         try:
             message = connection.recv()
@@ -145,12 +168,18 @@ def worker_main(connection) -> None:
                 backend.adopt_plan(plan_id, fields, stage_specs)
                 connection.send(("ok", _worker_stats(backend, queries_served)))
             elif op == "query":
+                if faults is not None and faults.sabotage_query(requests_served) == "drop":
+                    connection.close()
+                    return
+                requests_served += 1
                 spec: QuerySpec = message[1]
                 if spec.kind != "distributions":
                     raise ValueError(f"unknown wire query kind {spec.kind!r}")
                 dists = backend.query_plan(spec.plan, spec.ingress_packets())
                 queries_served += len(spec.ingress)
                 result = ResultSpec.from_distributions(spec.plan, dists)
+                if faults is not None:
+                    faults.delay_reply(requests_served)
                 connection.send(
                     ("result", result, _worker_stats(backend, queries_served))
                 )
@@ -191,6 +220,9 @@ class PlanDirectory:
         # id(policy) -> (policy, plan_id, fields, stage_specs, plan_key);
         # the policy is retained so a recycled id cannot alias.
         self._entries: dict[int, tuple] = {}
+        # plan_id -> (fields, stage_specs): the respawn path re-ships a
+        # dead worker's adopted plans by id, without the policy objects.
+        self._by_id: dict[int, tuple] = {}
         self._next_id = 0
 
     @property
@@ -211,7 +243,18 @@ class PlanDirectory:
             plan_id = self._next_id
             self._next_id += 1
             self._entries[id(policy)] = (policy, plan_id, fields, stage_specs, key)
+            self._by_id[plan_id] = (fields, stage_specs)
             return plan_id, fields, stage_specs, key
+
+    def payload(self, plan_id: int) -> tuple | None:
+        """The ``(fields, stage_specs)`` payload of ``plan_id``, if known.
+
+        This is the respawn re-publication path: a fresh worker replacing
+        a dead one re-adopts every plan the corpse had, straight from the
+        directory — no policy object, no recompilation.
+        """
+        with self._lock:
+            return self._by_id.get(plan_id)
 
     def __len__(self) -> int:
         with self._lock:
@@ -228,21 +271,41 @@ class WorkerHandle:
     so sessions, warmup, and benchmarks are drop-in between thread and
     process pools.  A handle is only ever used under its replica's
     exclusive lease, hence one outstanding request at a time per pipe.
+
+    Failure detection: every request waits on the reply pipe *and* the
+    worker's ``Process.sentinel`` simultaneously, so a dead worker is
+    noticed the moment the OS reaps it — not after a poll interval.
+    Death (and a ``shard_timeout`` expiry, which kills the hung worker
+    first) raises :class:`~repro.service.pool.ReplicaFailure`; the handle
+    is then permanently dead and the pool's supervision replaces it with
+    a fresh handle at the same replica index.  Semantic worker errors
+    (bad query, unknown plan) still come back as ordinary
+    ``RuntimeError`` — the worker survives those, nothing restarts.
     """
 
-    def __init__(self, index: int, directory: PlanDirectory, context):
+    def __init__(
+        self,
+        index: int,
+        directory: PlanDirectory,
+        context,
+        *,
+        shard_timeout: float | None = None,
+    ):
         self.index = index
         self._directory = directory
+        self._timeout = shard_timeout
         self._conn, child_conn = context.Pipe(duplex=True)
         self._process = context.Process(
             target=worker_main,
-            args=(child_conn,),
+            args=(child_conn, index),
             name=f"repro-worker-{index}",
             daemon=True,
         )
         self._process.start()
         child_conn.close()
         self._closed = False
+        #: The failure that killed this handle, when dead (sticky).
+        self._failure: ReplicaFailure | None = None
         #: Plan ids this worker has adopted (ship-once bookkeeping).
         self._shipped: set[int] = set()
         #: Latest stats blob returned by the worker (refreshed per reply).
@@ -261,25 +324,83 @@ class WorkerHandle:
 
     @property
     def alive(self) -> bool:
-        return self._process.is_alive()
+        return self._failure is None and self._process.is_alive()
+
+    @property
+    def exit_code(self) -> int | None:
+        """The worker's exit code once dead (negative = killed by signal)."""
+        return self._process.exitcode
+
+    def _mark_dead(
+        self, kind: str, detail: str, cause: BaseException | None = None
+    ) -> ReplicaFailure:
+        """Record this handle as permanently dead; returns the failure."""
+        exit_code = self._process.exitcode
+        hint = ""
+        if kind == "crash":
+            hint = (
+                "; with the spawn start method this usually means the 'repro' "
+                "package is not importable in child processes"
+            )
+        failure = ReplicaFailure(
+            f"worker {self.index} (pid {self.pid}) {detail} "
+            f"(exit code {exit_code}){hint}",
+            replica=self.index,
+            kind=kind,
+            exit_code=exit_code,
+        )
+        if cause is not None:
+            failure.__cause__ = cause
+        self._failure = failure
+        return failure
 
     def _request(self, message: tuple) -> tuple:
         if self._closed:
             raise RuntimeError("worker handle is closed")
+        if self._failure is not None:
+            raise self._failure
+        op = message[0]
         try:
             self._conn.send(message)
-            while not self._conn.poll(1.0):
-                if not self._process.is_alive():
-                    raise _WorkerDied()
-            reply = self._conn.recv()
-        except (_WorkerDied, EOFError, ConnectionResetError, BrokenPipeError) as exc:
+        except (OSError, BrokenPipeError, ValueError) as exc:
             self._process.join(timeout=1.0)
-            raise RuntimeError(
-                f"worker {self.index} (pid {self.pid}) died while serving "
-                f"{message[0]!r} (exit code {self._process.exitcode}); with the "
-                f"spawn start method this usually means the 'repro' package is "
-                f"not importable in child processes"
-            ) from exc
+            raise self._mark_dead("crash", f"pipe broke while sending {op!r}", exc)
+        deadline = None if self._timeout is None else time.monotonic() + self._timeout
+        sentinel = self._process.sentinel
+        while True:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    # Watchdog: the worker is hung (or stalling) past the
+                    # per-shard budget.  Kill it so the caller can retry on
+                    # a healthy replica instead of waiting forever.
+                    self._process.kill()
+                    self._process.join(timeout=5.0)
+                    raise self._mark_dead(
+                        "timeout",
+                        f"did not answer {op!r} within {self._timeout:.3f}s "
+                        "and was killed",
+                    )
+            ready = multiprocessing.connection.wait(
+                [self._conn, sentinel], timeout=remaining
+            )
+            if self._conn in ready:
+                try:
+                    reply = self._conn.recv()
+                except (EOFError, ConnectionResetError, OSError) as exc:
+                    self._process.join(timeout=1.0)
+                    raise self._mark_dead(
+                        "crash", f"pipe closed mid-reply to {op!r}", exc
+                    )
+                break
+            if sentinel in ready:
+                # The worker exited.  A final reply may still sit in the
+                # pipe buffer (reply raced the exit) — drain it first.
+                if self._conn.poll(0):
+                    continue
+                self._process.join(timeout=1.0)
+                raise self._mark_dead("crash", f"died while serving {op!r}")
         if reply[0] == "error":
             _, summary, trace = reply
             raise RuntimeError(
@@ -288,11 +409,15 @@ class WorkerHandle:
         self.worker_stats = reply[-1]
         return reply
 
+    def adopt(self, plan_id: int, fields, stage_specs) -> None:
+        """Ship one plan payload by id (the respawn re-publication path)."""
+        self._request(("plan", plan_id, fields, stage_specs))
+        self._shipped.add(plan_id)
+
     def _ensure_plan(self, policy) -> int:
         plan_id, fields, stage_specs, _key = self._directory.entry(policy)
         if plan_id not in self._shipped:
-            self._request(("plan", plan_id, fields, stage_specs))
-            self._shipped.add(plan_id)
+            self.adopt(plan_id, fields, stage_specs)
         return plan_id
 
     # -- backend surface (driven under a replica lease) ------------------------
@@ -405,6 +530,13 @@ class ProcessBackendPool(BackendPool):
         Multiprocessing start method; default ``fork`` where available
         (fast, inherits ``sys.path``), else ``spawn``.  Also overridable
         via the ``REPRO_POOL_START_METHOD`` environment variable.
+    shard_timeout:
+        Per-request wall-clock watchdog in seconds.  A worker that does
+        not answer within the budget is killed, reported as a
+        ``kind="timeout"`` :class:`~repro.service.pool.ReplicaFailure`,
+        and respawned — so a hung worker degrades into a retried shard
+        instead of a stuck batch.  ``None`` (default) disables the
+        watchdog.
     """
 
     mode = "process"
@@ -416,6 +548,7 @@ class ProcessBackendPool(BackendPool):
         *,
         owns_base: bool = False,
         start_method: str | None = None,
+        shard_timeout: float | None = None,
     ):
         if not hasattr(backend, "plan_payload") or not hasattr(backend, "plan_key"):
             raise TypeError(
@@ -423,17 +556,22 @@ class ProcessBackendPool(BackendPool):
                 "spec shipping needs plan_payload()/plan_key() (use the matrix "
                 "backend, or pool_mode='thread')"
             )
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ValueError("shard_timeout must be positive (or None)")
         self._start_method = _pick_start_method(start_method)
+        self._shard_timeout = shard_timeout
         self._directory = PlanDirectory(backend)
         super().__init__(backend, size, owns_base=owns_base)
+
+    def _new_handle(self, index: int) -> WorkerHandle:
+        return WorkerHandle(
+            index, self._directory, self._context, shard_timeout=self._shard_timeout
+        )
 
     def _create_replicas(self, backend: object, size: int) -> list[Replica]:
         self._context = multiprocessing.get_context(self._start_method)
         with _importable_package_path(self._start_method):
-            return [
-                Replica(index, WorkerHandle(index, self._directory, self._context))
-                for index in range(size)
-            ]
+            return [Replica(index, self._new_handle(index)) for index in range(size)]
 
     def _spawn_backend(self, index: int) -> WorkerHandle:
         """Start one more worker process (the ``resize`` growth hook).
@@ -444,7 +582,28 @@ class ProcessBackendPool(BackendPool):
         needs no parent-side recompilation.
         """
         with _importable_package_path(self._start_method):
-            return WorkerHandle(index, self._directory, self._context)
+            return self._new_handle(index)
+
+    def _respawn_backend(self, index: int, dead: object) -> WorkerHandle:
+        """Spawn a replacement worker and re-publish the corpse's plans.
+
+        The fresh worker re-adopts every plan id the dead worker had
+        shipped, straight from the parent-side :class:`PlanDirectory` —
+        as manager-independent specs, never as ASTs — so the respawned
+        replica serves its destinations immediately and its
+        ``ast_compilations`` counter stays 0.
+        """
+        with _importable_package_path(self._start_method):
+            handle = self._new_handle(index)
+        try:
+            for plan_id in sorted(getattr(dead, "_shipped", ())):
+                payload = self._directory.payload(plan_id)
+                if payload is not None:
+                    handle.adopt(plan_id, *payload)
+        except Exception:
+            handle.close()  # the replacement died too: reap, then give up
+            raise
+        return handle
 
     @property
     def directory(self) -> PlanDirectory:
@@ -455,15 +614,57 @@ class ProcessBackendPool(BackendPool):
     def start_method(self) -> str:
         return self._start_method
 
+    @property
+    def shard_timeout(self) -> float | None:
+        return self._shard_timeout
+
     def workers(self) -> list[WorkerHandle]:
         """The worker handles, in replica order."""
         return [replica.backend for replica in self.replicas]
 
     def worker_reports(self) -> list[dict]:
-        """Fresh per-worker stats, fetched through the ordinary lease path."""
-        reports = []
-        for replica in self.lease_each():
-            reports.append(replica.backend.ping())
+        """Fresh per-worker stats, fetched through the ordinary lease path.
+
+        Every report carries ``index`` and ``health``; a dead or
+        restarting replica is reported as ``{"index", "health", "pid",
+        "exit_code", "error"}`` instead of raising through the lease
+        path, so introspection keeps working while the pool is healing.
+        A worker found dead *by* the probe itself is quarantined as a
+        side effect (the ordinary supervision path) and reported in
+        whatever state that leaves it.
+        """
+        reports: list[dict] = []
+        index = 0
+        while True:
+            with self._cv:
+                if index >= len(self.replicas):
+                    break
+                replica = self.replicas[index]
+                health = replica.health
+            report = None
+            if health == HEALTHY:
+                try:
+                    with self.lease_replica(index) as leased:
+                        report = dict(leased.backend.ping())
+                        report["health"] = HEALTHY
+                except ReplicaFailure:
+                    pass  # died under the probe: fall through to a status report
+                except RuntimeError:
+                    break  # pool closed (or shrank past index) mid-walk
+            if report is None:
+                with self._cv:
+                    if index >= len(self.replicas):
+                        break
+                    replica = self.replicas[index]
+                    report = {
+                        "health": replica.health,
+                        "pid": getattr(replica.backend, "pid", None),
+                        "exit_code": replica.exit_code,
+                        "error": replica.last_error,
+                    }
+            report["index"] = index
+            reports.append(report)
+            index += 1
         return reports
 
     def _owns_replica(self, replica: Replica) -> bool:

@@ -25,9 +25,13 @@ Wire protocol (one JSON object per line, both directions)::
     ← {"id": 9, "stats": {...}}
 
 ``kind`` defaults to ``"delivery"``; ``deadline_ms`` is a per-query
-relative deadline; error codes are ``bad-request``, ``overloaded``
-(retryable — the backpressure slow-down), ``deadline-exceeded``,
-``shutting-down``, and ``internal``.  Control ops: ``ping``, ``stats``.
+relative deadline; error codes (see :mod:`repro.service.wire`) are
+``bad-request``, ``overloaded`` (retryable — the backpressure
+slow-down), ``unavailable`` (retryable — a backend replica crashed and
+the pool is respawning it), ``deadline-exceeded``, ``shutting-down``,
+and ``internal``.  :meth:`StreamClient.request` honours ``retry: true``
+with exponential backoff + full jitter when asked to
+(``retries=N``).  Control ops: ``ping``, ``stats``.
 
 Shutdown is a lossless drain: :meth:`QueryServer.stop` stops accepting
 connections and admissions, flushes the pending admission window, waits
@@ -47,15 +51,18 @@ import asyncio
 import itertools
 import json
 import math
+import random
 import time
 from typing import Callable
 
 from repro.service.coalesce import (
     BatchCoalescer,
     QueryRejected,
+    classify_failure,
     coerce_stream_query,
 )
 from repro.service.results import _json_value
+from repro.service.wire import error_payload
 
 
 class PoolAutoscaler:
@@ -390,7 +397,18 @@ class QueryServer:
             await self._send_error(conn, qid, exc.code, str(exc), retry=exc.retryable)
             return
         except Exception as exc:  # noqa: BLE001 - protocol boundary
-            await self._send_error(conn, qid, "internal", f"{type(exc).__name__}: {exc}")
+            # Belt to the coalescer's classification braces: a raw replica
+            # failure that reached this boundary is still a retryable
+            # infrastructure condition, not an "internal" dead end.
+            mapped = classify_failure(exc)
+            if isinstance(mapped, QueryRejected):
+                await self._send_error(
+                    conn, qid, mapped.code, str(mapped), retry=mapped.retryable
+                )
+            else:
+                await self._send_error(
+                    conn, qid, "internal", f"{type(exc).__name__}: {exc}"
+                )
             return
         self._queries_admitted += 1
         await self._send(
@@ -429,23 +447,31 @@ class QueryServer:
     async def _send_error(
         self, conn: _Connection, qid, code: str, message: str, *, retry: bool = False
     ) -> None:
-        await self._send(
-            conn,
-            {"id": qid, "error": {"code": code, "message": message, "retry": retry}},
-        )
+        await self._send(conn, {"id": qid, "error": error_payload(code, message, retry)})
 
     # -- introspection ---------------------------------------------------------
     def stats(self) -> dict[str, object]:
-        """Server + coalescer + pool counters (the ``stats`` op's payload)."""
+        """Server + coalescer + pool counters (the ``stats`` op's payload).
+
+        The ``pool`` block carries the supervision counters (failures,
+        restarts, per-replica health) and ``retried_shards`` counts the
+        crashes the session absorbed without any client noticing.
+        """
+        pool = self.session.pool.stats()
         return {
             "connections": len(self._connections),
             "connections_served": self._connections_served,
             "queries_answered": self._queries_admitted,
             "coalescer": self.coalescer.stats(),
             "pool": {
-                "mode": self.session.pool_mode,
-                "size": self.session.pool_size,
+                "mode": pool["mode"],
+                "size": pool["size"],
+                "steals": pool["steals"],
+                "failures": pool["failures"],
+                "restarts": pool["restarts"],
+                "health": pool["health"],
             },
+            "retried_shards": getattr(self.session, "retried_shards", 0),
             "autoscaler": self.autoscaler.stats() if self.autoscaler else None,
         }
 
@@ -464,6 +490,8 @@ class StreamClient:
         self._writer = writer
         self._ids = itertools.count()
         self._waiting: dict[object, asyncio.Future] = {}
+        #: How many requests were resent after a retryable error reply.
+        self.retries = 0
         self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
 
     @classmethod
@@ -508,16 +536,48 @@ class StreamClient:
             await self._writer.drain()
         return future
 
-    async def request(self, message: dict) -> dict:
-        """Send one message and await its reply."""
-        return await (await self.send(message))
+    async def request(
+        self,
+        message: dict,
+        *,
+        retries: int = 0,
+        backoff: float = 0.05,
+        max_backoff: float = 2.0,
+    ) -> dict:
+        """Send one message and await its reply, optionally retrying.
+
+        With ``retries > 0``, a reply carrying a *retryable* error
+        (``error.retry == true`` — the ``overloaded`` backpressure signal
+        or ``unavailable`` while the pool respawns a crashed worker) is
+        resent up to ``retries`` times with capped exponential backoff
+        and full jitter (each delay is uniform in ``[0, min(max_backoff,
+        backoff * 2**attempt)]``, so synchronized clients de-correlate
+        instead of re-stampeding the server).  The final attempt's reply
+        is returned either way; non-retryable errors return immediately.
+        Each attempt sends a fresh copy of ``message`` (a new ``id`` is
+        assigned unless the caller pinned one).
+        """
+        attempt = 0
+        while True:
+            reply = await (await self.send(dict(message)))
+            error = reply.get("error")
+            if not error or not error.get("retry") or attempt >= retries:
+                return reply
+            delay = min(max_backoff, backoff * (2**attempt)) * random.random()
+            attempt += 1
+            self.retries += 1
+            await asyncio.sleep(delay)
 
     async def query(
-        self, kind: str, ingress, dest: int | None = None, **extra
+        self, kind: str, ingress, dest: int | None = None, *, retries: int = 0, **extra
     ) -> dict:
-        """Convenience: send one query and await its reply."""
+        """Convenience: send one query and await its reply.
+
+        ``retries`` enables the backoff-and-resend behaviour of
+        :meth:`request` for transient (``retry: true``) errors.
+        """
         message = {"kind": kind, "ingress": list(ingress), "dest": dest, **extra}
-        return await self.request(message)
+        return await self.request(message, retries=retries)
 
     async def aclose(self) -> None:
         self._writer.close()

@@ -48,6 +48,17 @@ Sessions implement the analysis engine protocol
 ``repro.analysis`` entry point accepts one via its ``session=``
 parameter — or directly as ``backend=`` — and transparently gains the
 session's caches.
+
+Fault tolerance: queries are **pure** — a shard that died with its
+replica can be re-run verbatim on a healthy one — so every leased solve
+is wrapped in a bounded retry loop (``max_attempts``, default 2).  A
+:class:`~repro.service.pool.ReplicaFailure` raised under a lease
+quarantines and respawns the replica (see :mod:`repro.service.pool`)
+while this session immediately re-leases and re-solves; callers only
+ever see an error once retries are exhausted, and then the *typed*
+:class:`~repro.service.pool.PoolUnavailable` rather than a replica
+corpse's stack trace.  The streaming front end maps that type to the
+retryable ``unavailable`` wire error.
 """
 
 from __future__ import annotations
@@ -64,7 +75,12 @@ from repro.core.interpreter import Outcome
 from repro.core.packet import DROP, Packet, _DropType
 from repro.network.model import NetworkModel
 from repro.service.executor import ShardExecutor
-from repro.service.pool import BackendPool, Replica
+from repro.service.pool import (
+    BackendPool,
+    PoolUnavailable,
+    Replica,
+    ReplicaFailure,
+)
 from repro.service.results import (
     Query,
     QueryResult,
@@ -121,6 +137,18 @@ class AnalysisSession:
     cache:
         Keep the canonical-spec-keyed result cache (default).  Disable to
         re-solve every query (e.g. for benchmarking the raw solver path).
+    shard_timeout:
+        Per-shard wall-clock watchdog in seconds (process mode only): a
+        worker that does not answer a shard within the budget is killed,
+        respawned, and the shard retried on a healthy replica.  ``None``
+        (default) disables the watchdog; thread-mode replicas share the
+        session process and cannot be killed independently, so the value
+        is ignored there.
+    max_attempts:
+        How many replicas a shard may be attempted on before the query
+        fails with :class:`~repro.service.pool.PoolUnavailable`
+        (default 2: the original attempt plus one retry).  Queries are
+        pure, so retrying on a healthy replica is always sound.
     """
 
     def __init__(
@@ -135,7 +163,11 @@ class AnalysisSession:
         planner: ShardPlanner | str | None = None,
         workers: int | None = None,
         cache: bool = True,
+        shard_timeout: float | None = None,
+        max_attempts: int = 2,
     ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
         engine = resolve_backend(backend)
         if engine is None:
             raise ValueError("a session needs a backend (name or instance)")
@@ -155,7 +187,10 @@ class AnalysisSession:
             from repro.service.procpool import ProcessBackendPool
 
             self._pool = ProcessBackendPool(
-                engine, pool_size, owns_base=self._owns_backend
+                engine,
+                pool_size,
+                owns_base=self._owns_backend,
+                shard_timeout=shard_timeout,
             )
         else:
             raise ValueError(
@@ -189,9 +224,11 @@ class AnalysisSession:
         self._dists: dict[tuple, Dist[Outcome]] = {}
         # (policy key, "certainly_delivers") -> bool.
         self._verdicts: dict[tuple, bool] = {}
+        self._max_attempts = max_attempts
         self._queries_served = 0
         self._batches_served = 0
         self._shards_run = 0
+        self._shard_retries = 0
 
         if model is not None:
             self.add_model(model, default=True)
@@ -286,6 +323,12 @@ class AnalysisSession:
     def exact(self) -> bool:
         """Whether the underlying backend runs in exact mode."""
         return bool(getattr(self._backend, "exact", False))
+
+    @property
+    def retried_shards(self) -> int:
+        """How many shard attempts were transparently retried after a
+        replica failure (each one a crash the caller never saw)."""
+        return self._shard_retries
 
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:
@@ -498,7 +541,8 @@ class AnalysisSession:
                 cached = self._verdicts.get((entry[1], "certainly_delivers"))
                 if cached is not None:
                     return cached
-            with self._pool.lease() as replica:
+
+            def check(replica: Replica) -> bool:
                 key = (
                     self._policy_key(model.policy, replica.backend),
                     "certainly_delivers",
@@ -508,7 +552,9 @@ class AnalysisSession:
                     verdict = bool(replica.backend.certainly_delivers(model))
                     with self._state_lock:
                         cached = self._verdicts.setdefault(key, verdict)
-            return cached
+                return cached
+
+            return self._with_lease(None, check)
 
     # -- introspection ---------------------------------------------------------
     def stats(self) -> dict[str, object]:
@@ -528,6 +574,7 @@ class AnalysisSession:
             "queries": self._queries_served,
             "batches": self._batches_served,
             "shards": self._shards_run,
+            "retried_shards": self._shard_retries,
             "cached_distributions": len(self._dists),
             "destinations": self.destinations,
             "backend": type(self._backend).__name__,
@@ -553,10 +600,23 @@ class AnalysisSession:
         with self._serving():
             model = self.model_for(dest)
             policy = model.policy
-            for replica in self._pool.lease_each():
-                plan_fn = getattr(replica.backend, "plan", None)
-                if plan_fn is not None:
-                    plan_fn(policy)
+            # Per-index leases rather than lease_each(): a replica dying
+            # *under the warmup call* must quarantine through the lease's
+            # own exception path (generator-mediated leases never see the
+            # caller's exceptions), and a dead slot is simply skipped —
+            # its respawn re-ships adopted plans anyway.
+            index = 0
+            while index < self._pool.size:
+                try:
+                    with self._pool.lease_replica(index) as replica:
+                        plan_fn = getattr(replica.backend, "plan", None)
+                        if plan_fn is not None:
+                            plan_fn(policy)
+                except ReplicaFailure:
+                    pass  # dead or dying slot: skip; supervision handles it
+                except RuntimeError:
+                    break  # pool closed or shrank mid-walk
+                index += 1
             if solve:
                 self._distributions(
                     policy, model.ingress_packets, affinity=("dest", dest)
@@ -704,9 +764,40 @@ class AnalysisSession:
                     hits.add(packet)
                 if complete:
                     return out, hits, None
-        with self._pool.lease(affinity) as replica:
-            dists, hits = self._solve_on(replica, policy, packets)
-            return dists, hits, replica.index
+
+        def solve(replica: Replica) -> tuple[dict[Packet, Dist[Outcome]], set[Packet], int]:
+            dists, solved_hits = self._solve_on(replica, policy, packets)
+            return dists, solved_hits, replica.index
+
+        return self._with_lease(affinity, solve)
+
+    def _with_lease(self, affinity: object | None, body: Callable[[Replica], object]):
+        """Run ``body`` under a pool lease, retrying replica failures.
+
+        Queries are pure, so a shard whose replica crashed (or hung past
+        the watchdog) mid-solve re-runs verbatim on a healthy replica —
+        the crashed attempt published nothing partial (cache publication
+        happens after a completed solve).  The failed replica is already
+        quarantined and respawning by the time the failure reaches this
+        loop (the lease's exception path does that), so the re-lease
+        routes around it.  After ``max_attempts`` distinct failures the
+        typed :class:`~repro.service.pool.PoolUnavailable` surfaces,
+        chained to the last replica failure.
+        """
+        attempt = 0
+        while True:
+            try:
+                with self._pool.lease(affinity) as replica:
+                    return body(replica)
+            except ReplicaFailure as failure:
+                attempt += 1
+                if attempt >= self._max_attempts:
+                    raise PoolUnavailable(
+                        f"shard failed on {attempt} replica(s); "
+                        f"retries exhausted (max_attempts={self._max_attempts})"
+                    ) from failure
+                with self._state_lock:
+                    self._shard_retries += 1
 
     def _solve_on(
         self, replica: Replica, policy: s.Policy, packets: Sequence[Packet]

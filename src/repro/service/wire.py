@@ -46,6 +46,34 @@ OutcomeSpec = PacketSpec | None
 #: A distribution on the wire: ((outcome spec, probability), ...).
 DistSpec = tuple
 
+# -- streaming error contract --------------------------------------------------
+# Stable error codes of the JSON-lines front end (repro.service.server).
+# A reply's {"error": {"code", "message", "retry"}} carries one of these;
+# `retry` tells the client whether resending the SAME query can succeed.
+ERROR_BAD_REQUEST = "bad-request"
+ERROR_OVERLOADED = "overloaded"
+ERROR_UNAVAILABLE = "unavailable"
+ERROR_DEADLINE_EXCEEDED = "deadline-exceeded"
+ERROR_SHUTTING_DOWN = "shutting-down"
+ERROR_INTERNAL = "internal"
+
+#: Codes a client should retry after backing off: transient conditions
+#: (admission queue full; replica pool healing after a worker crash) —
+#: as opposed to semantic errors, which would fail identically again.
+RETRYABLE_ERROR_CODES = frozenset({ERROR_OVERLOADED, ERROR_UNAVAILABLE})
+
+
+def error_payload(code: str, message: str, retry: bool | None = None) -> dict:
+    """The standard body of a wire error reply (the ``"error"`` object).
+
+    ``retry`` defaults to the code's class: transient codes
+    (:data:`RETRYABLE_ERROR_CODES`) are retryable, everything else is
+    terminal.
+    """
+    if retry is None:
+        retry = code in RETRYABLE_ERROR_CODES
+    return {"code": code, "message": message, "retry": bool(retry)}
+
 
 def packet_to_spec(packet: Packet) -> PacketSpec:
     """The canonical picklable spec of a concrete packet."""
@@ -165,11 +193,19 @@ class ResultSpec:
 
 
 __all__ = [
+    "ERROR_BAD_REQUEST",
+    "ERROR_DEADLINE_EXCEEDED",
+    "ERROR_INTERNAL",
+    "ERROR_OVERLOADED",
+    "ERROR_SHUTTING_DOWN",
+    "ERROR_UNAVAILABLE",
+    "RETRYABLE_ERROR_CODES",
     "DistSpec",
     "OutcomeSpec",
     "PacketSpec",
     "QuerySpec",
     "ResultSpec",
+    "error_payload",
     "dist_from_spec",
     "dist_to_spec",
     "outcome_from_spec",

@@ -560,3 +560,207 @@ class TestResize:
         for values in outputs:
             for value, expected in zip(values, per_call_values):
                 assert value == pytest.approx(expected, abs=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Supervision: quarantine, probe, in-place respawn, permanent death
+# ---------------------------------------------------------------------------
+from repro.service.pool import (  # noqa: E402 - section-local imports
+    DEAD,
+    HEALTHY,
+    PoolUnavailable,
+    ReplicaFailure,
+)
+
+
+def _wait_until(predicate, timeout: float = 10.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return bool(predicate())
+
+
+class _StubBackend:
+    """A forkable in-memory backend with armable failure behaviour."""
+
+    def __init__(self, family=None, *, pingable=False, forkable=True, fork_delay=0.0):
+        self.family = [] if family is None else family
+        self.family.append(self)
+        self.pingable = pingable
+        self.forkable = forkable
+        self.fork_delay = fork_delay
+        self.closed = False
+
+    def fork(self):
+        if not self.forkable:
+            raise RuntimeError("fork disabled")
+        if self.fork_delay:
+            time.sleep(self.fork_delay)
+        return _StubBackend(self.family, pingable=self.pingable)
+
+    def ping(self):
+        if not self.pingable:
+            raise RuntimeError("stub is dead")
+        return {"pid": 0}
+
+    def close(self):
+        self.closed = True
+
+
+class _CrashingBackend:
+    """Wraps a real backend; raises ReplicaFailure while the bomb is armed.
+
+    The bomb is shared across forks, so "disarm after the first crash"
+    models a single worker death with healthy peers, while a bomb that
+    never disarms models a pool where every replica keeps dying.
+    """
+
+    def __init__(self, inner, bomb):
+        self._inner = inner
+        self._bomb = bomb
+
+    def fork(self):
+        return _CrashingBackend(self._inner.fork(), self._bomb)
+
+    def output_distributions(self, policy, inputs):
+        if self._bomb["armed"]:
+            if self._bomb.get("once"):
+                self._bomb["armed"] = False
+            raise ReplicaFailure("injected replica crash", kind="crash")
+        return self._inner.output_distributions(policy, inputs)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestSupervision:
+    def test_failure_respawns_in_place_and_keeps_affinity(self):
+        family: list = []
+        pool = BackendPool(_StubBackend(family), 2, owns_base=True)
+        first = pool.replicas[1].backend
+        with pytest.raises(ReplicaFailure):
+            with pool.lease(("dest", 7)) as replica:
+                bound = replica.index
+                raise ReplicaFailure("backend fell over")
+        assert _wait_until(lambda: pool.replicas[bound].health == HEALTHY)
+        stats = pool.stats()
+        assert stats["failures"] == 1
+        assert stats["restarts"] == 1
+        assert stats["health"] == [HEALTHY, HEALTHY]
+        # A fresh backend sits at the same index; the corpse was closed
+        # and the affinity binding survived the swap.
+        replaced = pool.replicas[bound].backend
+        assert replaced is not first or bound == 0
+        assert stats["affinities"][("dest", 7)] == bound
+        dead = [b for b in family if b.closed]
+        assert len(dead) == 1
+        pool.close()
+
+    def test_transient_blip_revives_without_respawn(self):
+        pool = BackendPool(_StubBackend(pingable=True), 2, owns_base=True)
+        survivor = pool.replicas[0].backend
+        with pytest.raises(ReplicaFailure):
+            with pool.lease_replica(0):
+                raise ReplicaFailure("transport blip")
+        # The probe answered: same backend object, healthy, no restart.
+        assert pool.replicas[0].health == HEALTHY
+        assert pool.replicas[0].backend is survivor
+        assert pool.failures == 1
+        assert pool.restarts == 0
+        pool.close()
+
+    def test_timeout_failure_skips_the_probe(self):
+        """A watchdog kill is death by definition — even a backend whose
+        ping would succeed is respawned, not revived."""
+        pool = BackendPool(_StubBackend(pingable=True), 2, owns_base=True)
+        victim = pool.replicas[1].backend
+        with pytest.raises(ReplicaFailure):
+            with pool.lease_replica(1):
+                raise ReplicaFailure("hung and killed", kind="timeout")
+        assert _wait_until(lambda: pool.replicas[1].health == HEALTHY)
+        assert pool.replicas[1].backend is not victim
+        assert pool.restarts == 1
+        pool.close()
+
+    def test_unrespawnable_pool_goes_dead_and_unavailable(self):
+        """When no replacement can be built, the replica dies for good:
+        affinities unbind and leases fail typed instead of hanging."""
+        backend = _StubBackend(forkable=False)
+        backend.fork = None  # wholly unforkable: single-replica pool
+        del backend.fork
+        pool = BackendPool(backend, 1, owns_base=True)
+        with pytest.raises(ReplicaFailure):
+            with pool.lease(("dest", 3)):
+                raise ReplicaFailure("backend fell over")
+        assert _wait_until(lambda: pool.replicas[0].health == DEAD)
+        assert pool.stats()["affinities"] == {}
+        with pytest.raises(PoolUnavailable):
+            with pool.lease():
+                pass  # pragma: no cover
+        with pytest.raises(ReplicaFailure):
+            with pool.lease_replica(0):
+                pass  # pragma: no cover
+        pool.close()
+
+    def test_lease_each_skips_dead_slots(self):
+        family: list = []
+        pool = BackendPool(_StubBackend(family), 3, owns_base=True)
+        for backend in family:
+            backend.forkable = False  # no peer can supply a replacement
+        with pytest.raises(ReplicaFailure):
+            with pool.lease_replica(1):
+                raise ReplicaFailure("backend fell over")
+        assert _wait_until(lambda: pool.replicas[1].health == DEAD)
+        visited = [replica.index for replica in pool.lease_each()]
+        assert visited == [0, 2]
+        pool.close()
+
+    def test_double_failure_in_one_lease_quarantines_once(self):
+        # fork_delay keeps the respawn in flight while the second failure
+        # of the same lease arrives: it must not re-quarantine the slot.
+        pool = BackendPool(_StubBackend(fork_delay=0.3), 2, owns_base=True)
+        with pytest.raises(ReplicaFailure):
+            with pool.lease_replica(1) as replica:
+                pool._quarantine(replica, ReplicaFailure("first"))
+                raise ReplicaFailure("second")
+        assert _wait_until(lambda: pool.replicas[1].health == HEALTHY)
+        assert pool.failures == 1
+        assert pool.restarts == 1
+        pool.close()
+
+
+class TestSessionRetry:
+    def test_crashed_shard_is_retried_transparently(self, models, all_pairs):
+        """One replica crash mid-batch: the shard re-runs on a healthy
+        replica, answers stay exact, and the retry is counted."""
+        model = next(iter(models.values()))
+        bomb = {"armed": True, "once": True}
+        backend = _CrashingBackend(MatrixBackend(), bomb)
+        batch = [Query.delivery(p, model.dest) for p in model.ingress_packets]
+        with AnalysisSession(
+            model, backend=backend, pool_size=2, workers=1, max_attempts=2
+        ) as session:
+            result = session.query_batch(batch)
+            expected = delivery_probability(model, inputs=[model.ingress_packets[0]])
+            assert result.values[0] == pytest.approx(expected, abs=1e-9)
+            assert session.retried_shards == 1
+            assert session.stats()["retried_shards"] == 1
+            assert session.pool.failures == 1
+
+    def test_exhausted_retries_surface_pool_unavailable(self, models):
+        model = next(iter(models.values()))
+        bomb = {"armed": True}  # never disarms: every replica keeps dying
+        backend = _CrashingBackend(MatrixBackend(), bomb)
+        with AnalysisSession(
+            model, backend=backend, pool_size=2, workers=1, max_attempts=2
+        ) as session:
+            with pytest.raises(PoolUnavailable, match="retries exhausted"):
+                session.query("delivery", model.ingress_packets[0], model.dest)
+            assert session.pool.failures >= 2
+
+    def test_max_attempts_validation(self, models):
+        model = next(iter(models.values()))
+        with pytest.raises(ValueError, match="max_attempts"):
+            AnalysisSession(model, max_attempts=0)

@@ -361,3 +361,93 @@ class TestProcessCli:
         pids = {pid for shard in payload["shards"] for pid in shard["workers"]}
         assert os.getpid() not in pids
         assert "pool: 2 process-hosted replicas" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle racing worker crashes: close()/resize() with corpses in the pool
+# ---------------------------------------------------------------------------
+@pytest.mark.chaos
+class TestCrashLifecycleRaces:
+    def test_close_with_undetected_corpse_is_prompt(self, all_models):
+        """close() with a SIGKILLed (never-probed) worker neither hangs
+        nor double-joins: the corpse is reaped like any other replica."""
+        import os
+        import signal
+
+        model = next(iter(all_models.values()))
+        session = AnalysisSession(model, pool_size=2, pool_mode="process", workers=1)
+        session.warm(model.dest, solve=False)
+        victim = session.pool.workers()[1]
+        os.kill(victim.pid, signal.SIGKILL)
+        victim._process.join(timeout=10.0)
+        started = time.monotonic()
+        session.close()
+        assert time.monotonic() - started < 20.0
+        assert all(not handle._process.is_alive() for handle in session.pool.workers())
+
+    def test_resize_retires_crashed_tail(self, all_models):
+        """Shrinking over a dead tail replica reaps it without waiting."""
+        import os
+        import signal
+
+        with AnalysisSession(
+            model := next(iter(all_models.values())),
+            pool_size=3,
+            pool_mode="process",
+            workers=1,
+            max_attempts=3,
+        ) as session:
+            session.warm(model.dest, solve=False)
+            tail = session.pool.workers()[2]
+            os.kill(tail.pid, signal.SIGKILL)
+            tail._process.join(timeout=10.0)
+            assert session.resize_pool(1) == 1
+            assert [replica.index for replica in session.pool.replicas] == [0]
+            # The survivor still answers.
+            batch = [Query.delivery(p, model.dest) for p in model.ingress_packets]
+            result = session.query_batch(batch)
+            assert len(result) == len(batch)
+
+    def test_close_races_inflight_crash_and_respawn(self, all_models, all_pairs):
+        """Killing a busy worker and closing immediately afterwards must
+        terminate cleanly: the drain, the respawn thread, and the worker
+        joins all resolve without hanging or double-joining."""
+        import os
+        import signal
+
+        session = AnalysisSession(
+            models=all_models.values(),
+            pool_size=2,
+            pool_mode="process",
+            workers=2,
+            max_attempts=3,
+        )
+        outcome: dict = {}
+
+        def serve():
+            try:
+                outcome["result"] = session.query_batch(all_pairs)
+            except Exception as exc:
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        # Wait for a busy worker, kill it, then close out from under the
+        # in-flight batch while the supervision machinery is reacting.
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline and thread.is_alive():
+            busy = [r for r in session.pool.replicas if r.busy and r.health == "healthy"]
+            if busy:
+                os.kill(busy[0].backend.pid, signal.SIGKILL)
+                break
+            time.sleep(0.0005)
+        session.close()
+        thread.join(timeout=60.0)
+        assert not thread.is_alive()
+        # The batch either completed through the drain or failed typed —
+        # never a hang, and every worker is joined.
+        if "error" in outcome:
+            assert isinstance(outcome["error"], RuntimeError)
+        else:
+            assert len(outcome["result"]) == len(all_pairs)
+        assert all(not handle._process.is_alive() for handle in session.pool.workers())

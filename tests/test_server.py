@@ -526,3 +526,161 @@ class TestAsyncSubmission:
         session.close()
         with pytest.raises(RuntimeError, match="closed"):
             session.submit_batch([])
+
+
+# ---------------------------------------------------------------------------
+# Replica-failure classification and client-side retry backoff
+# ---------------------------------------------------------------------------
+class TestFailureClassification:
+    def test_replica_failures_classify_retryable(self):
+        from repro.service.coalesce import Unavailable, classify_failure
+        from repro.service.pool import PoolUnavailable, ReplicaFailure
+
+        for error in (
+            ReplicaFailure("worker 1 (pid 7) died while serving 'query'"),
+            PoolUnavailable("shard failed on 2 replica(s); retries exhausted"),
+        ):
+            mapped = classify_failure(error)
+            assert isinstance(mapped, Unavailable)
+            assert mapped.retryable is True
+            assert mapped.code == "unavailable"
+            assert mapped.__cause__ is error
+        # Semantic failures pass through untouched: retrying cannot help.
+        semantic = KeyError("99")
+        assert classify_failure(semantic) is semantic
+
+    def test_pool_failure_fails_batch_retryable(self, session, all_pairs, monkeypatch):
+        """A poisoned batch whose cause is the *pool* (not a query) fails
+        every entry with the retryable Unavailable, not a terminal error."""
+        from repro.service import Unavailable
+        from repro.service.pool import PoolUnavailable
+
+        def doomed(*args, **kwargs):
+            raise PoolUnavailable("all replicas dead")
+
+        monkeypatch.setattr(session, "query_batch", doomed)
+
+        async def run():
+            coalescer = BatchCoalescer(session, window=0.01)
+            with pytest.raises(Unavailable) as excinfo:
+                await coalescer.submit(all_pairs[0])
+            await coalescer.aclose()
+            return excinfo.value, coalescer.stats()
+
+        error, stats = asyncio.run(run())
+        assert error.retryable is True
+        assert stats["unavailable"] == 1
+        assert stats["outstanding"] == 0
+
+    def test_server_maps_pool_failure_to_unavailable_wire_error(
+        self, session, all_pairs, monkeypatch
+    ):
+        from repro.service.pool import PoolUnavailable
+
+        def doomed(*args, **kwargs):
+            raise PoolUnavailable("pool is healing")
+
+        monkeypatch.setattr(session, "query_batch", doomed)
+
+        async def run():
+            async with QueryServer(session, window=0.01) as server:
+                conn = await StreamClient.connect("127.0.0.1", server.port)
+                reply = await conn.request(wire(all_pairs[0]))
+                await conn.aclose()
+                return reply
+
+        reply = asyncio.run(run())
+        assert reply["error"]["code"] == "unavailable"
+        assert reply["error"]["retry"] is True
+
+    def test_stats_expose_supervision_counters(self, session):
+        async def run():
+            async with QueryServer(session, window=0.01) as server:
+                conn = await StreamClient.connect("127.0.0.1", server.port)
+                stats = (await conn.request({"op": "stats"}))["stats"]
+                await conn.aclose()
+                return stats
+
+        stats = asyncio.run(run())
+        assert stats["pool"]["failures"] == 0
+        assert stats["pool"]["restarts"] == 0
+        assert stats["pool"]["health"] == ["healthy", "healthy"]
+        assert stats["retried_shards"] == 0
+
+
+class TestClientBackoff:
+    """StreamClient.request(retries=...) against a scripted fake server."""
+
+    @staticmethod
+    def _scripted_server(script):
+        """An asyncio JSON-lines server answering per the scripted replies.
+
+        ``script`` maps the 1-based attempt number to either the string
+        ``"ok"`` (answer with a value) or an error code (answer with that
+        wire error).  Later attempts reuse the last entry.
+        """
+        import json
+
+        from repro.service.wire import error_payload
+
+        attempts: list[dict] = []
+
+        async def handle(reader, writer):
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                message = json.loads(line)
+                attempts.append(message)
+                action = script[min(len(attempts), len(script)) - 1]
+                if action == "ok":
+                    body = {"id": message["id"], "value": 1.0}
+                else:
+                    body = {
+                        "id": message["id"],
+                        "error": error_payload(action, f"scripted {action}"),
+                    }
+                writer.write(json.dumps(body).encode("utf-8") + b"\n")
+                await writer.drain()
+            writer.close()
+
+        return handle, attempts
+
+    def _drive(self, script, retries):
+        async def run():
+            handle, attempts = self._scripted_server(script)
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            conn = await StreamClient.connect("127.0.0.1", port)
+            reply = await conn.request(
+                {"kind": "delivery"}, retries=retries, backoff=0.001
+            )
+            client_retries = conn.retries
+            await conn.aclose()
+            server.close()
+            await server.wait_closed()
+            return reply, client_retries, attempts
+
+        return asyncio.run(run())
+
+    def test_retryable_errors_resent_until_success(self):
+        reply, retries, attempts = self._drive(
+            ["unavailable", "overloaded", "ok"], retries=5
+        )
+        assert reply["value"] == 1.0
+        assert retries == 2
+        assert len(attempts) == 3
+        # Every attempt is a fresh request with its own correlation id.
+        assert len({message["id"] for message in attempts}) == 3
+
+    def test_retries_exhausted_returns_last_error(self):
+        reply, retries, attempts = self._drive(["unavailable"], retries=2)
+        assert reply["error"]["code"] == "unavailable"
+        assert retries == 2
+        assert len(attempts) == 3
+
+    def test_terminal_errors_are_not_retried(self):
+        reply, retries, attempts = self._drive(["bad-request"], retries=5)
+        assert reply["error"]["code"] == "bad-request"
+        assert retries == 0
+        assert len(attempts) == 1
