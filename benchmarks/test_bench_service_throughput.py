@@ -44,6 +44,14 @@ machines, and free-threaded builds.  The structural evidence of
 parallelism — distinct replicas serving shards whose wall-clock windows
 overlap — is asserted unconditionally.
 
+A fifth claim landed with the telemetry layer: observability must not
+cost what it observes.  The same warmed steady-state solver passes are
+served once with the default tracing-disabled telemetry and once with
+full span tracing on; the throughput loss is recorded as the
+lower-is-better ``telemetry_overhead_pct`` metric and gated by CI, so
+instrumentation creep on the serving path fails the build instead of
+silently taxing every query.
+
 A fourth claim rides along since the supervision layer landed: crash
 recovery must be cheap.  The same 112-pair batch is served twice by a
 warmed two-worker process pool — once cleanly, once while one worker is
@@ -71,7 +79,7 @@ from repro.backends import MatrixBackend
 from repro.failure.models import independent_failure_program
 from repro.network.model import build_model
 from repro.routing import downward_failable_ports, ecmp_policy, f10_model
-from repro.service import AnalysisSession, Query
+from repro.service import AnalysisSession, Query, Telemetry
 from repro.service.pool import HEALTHY
 from repro.topology import ab_fat_tree, edge_switches, fat_tree
 
@@ -288,6 +296,95 @@ def test_pool_parallel_throughput(benchmark, workload):
     solved = [report for report in pooled_last.shards if report.replica >= 0]
     assert len({report.replica for report in solved}) > 1
     assert any(a.overlaps(b) for a in solved for b in solved if a.index < b.index)
+
+
+def test_telemetry_overhead(benchmark, workload):
+    """Span tracing must not cost what it observes (and off must be free).
+
+    Two warmed sessions serve the same steady-state solver passes as the
+    pool benchmark — one with the default telemetry (tracing disabled:
+    the NOOP-span fast path plus per-batch metric increments), one with
+    full tracing on (every request records its whole span tree,
+    including backend phase spans).  The throughput loss of the traced
+    configuration is recorded as the lower-is-better
+    ``telemetry_overhead_pct`` metric and gated by CI against the
+    committed baseline, so instrumentation creep can never silently tax
+    the serving path.  The *disabled* path's cost is bounded by the
+    existing ``speedup``/``pool_speedup`` gates: telemetry is always
+    constructed now, so a disabled-path regression would drag those
+    gated ratios down.
+    """
+    models, batch = workload
+
+    def passes(telemetry):
+        with AnalysisSession(
+            models=models.values(),
+            planner="destination",
+            workers=POOL_SIZE,
+            telemetry=telemetry,
+        ) as session:
+            session.query_batch(batch)  # untimed warm pass: compile + solve
+            session.clear_cache(keep_plans=True)
+            start = time.perf_counter()
+            for _ in range(POOL_PASSES):
+                session.query_batch(batch)
+                session.clear_cache(keep_plans=True)
+            elapsed = time.perf_counter() - start
+            return elapsed, len(session.telemetry.tracer)
+
+    def both():
+        with _quiesced_gc():
+            return passes(None), passes(Telemetry(tracing=True))
+
+    (off_time, off_spans), (on_time, on_spans) = benchmark.pedantic(
+        both, rounds=1, iterations=1
+    )
+    # The disabled path must buffer nothing; the traced path must have
+    # captured every pass (request + shard + lease + phase spans).
+    assert off_spans == 0
+    assert on_spans >= (POOL_PASSES + 1) * (1 + N_DESTS)
+    off_qps = len(batch) * POOL_PASSES / off_time
+    on_qps = len(batch) * POOL_PASSES / on_time
+    overhead_pct = max(0.0, (off_qps - on_qps) / off_qps * 100.0)
+    MEASURED["telemetry_overhead_pct"] = overhead_pct
+    MEASURED["untraced_qps"] = off_qps
+    MEASURED["traced_qps"] = on_qps
+    RESULTS.append(
+        [
+            "telemetry off (solver passes)",
+            len(batch) * POOL_PASSES,
+            f"{off_time:.2f}s",
+            f"{off_qps:.1f}",
+            "0 spans",
+        ]
+    )
+    RESULTS.append(
+        [
+            "telemetry traced",
+            len(batch) * POOL_PASSES,
+            f"{on_time:.2f}s",
+            f"{on_qps:.1f}",
+            f"+{overhead_pct:.1f}% overhead, {on_spans} spans",
+        ]
+    )
+    record(
+        "service",
+        "Service throughput — sharded session vs naive per-call analysis (FatTree k=4)",
+        ["path", "queries", "time", "q/s", "notes"],
+        RESULTS,
+        metrics={
+            "telemetry_overhead_pct": overhead_pct,
+            "untraced_qps": off_qps,
+            "traced_qps": on_qps,
+        },
+    )
+    # Generous in-test ceiling (the CI gate against the committed
+    # baseline is the real watchdog): full tracing of a solver-bound
+    # batch must never cost half the throughput.
+    assert overhead_pct < 50.0, (
+        f"tracing cost {overhead_pct:.1f}% of throughput "
+        f"({off_qps:.1f} → {on_qps:.1f} q/s)"
+    )
 
 
 @pytest.mark.chaos

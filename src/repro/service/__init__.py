@@ -42,7 +42,15 @@ Architecture (**session → shards → pool → backend**):
   drain, and a queue-depth :class:`PoolAutoscaler`;
 * :mod:`repro.service.faults` — the :class:`FaultPlan` fault-injection
   harness (``REPRO_FAULTS``): deterministic worker kills, reply delays,
-  and dropped pipes for chaos-testing the supervision layer.
+  and dropped pipes for chaos-testing the supervision layer;
+* :mod:`repro.service.telemetry` — zero-dependency observability: a
+  :class:`Tracer` producing one span tree per request (``request →
+  shard → lease → worker:query → phase:*``, propagated across the
+  process boundary and re-parented on return), a
+  :class:`MetricsRegistry` of counters/gauges/histograms, and
+  exporters for Perfetto (Chrome trace JSON), JSONL, and Prometheus
+  text exposition — all off by default with a constant-cost disabled
+  path.
 
 Fault tolerance: replica failure is supervised and recoverable — a
 crashed or hung worker is quarantined, respawned in place (plans
@@ -102,6 +110,13 @@ from repro.service.shards import (
     get_planner,
     validate_partition,
 )
+from repro.service.telemetry import (
+    MetricsRegistry,
+    SpanContext,
+    Telemetry,
+    Tracer,
+    span_tree,
+)
 from repro.service.wire import QuerySpec, ResultSpec
 
 __all__ = [
@@ -116,6 +131,7 @@ __all__ = [
     "DeadlineExceeded",
     "Fault",
     "FaultPlan",
+    "MetricsRegistry",
     "Overloaded",
     "PoolAutoscaler",
     "PoolUnavailable",
@@ -135,9 +151,13 @@ __all__ = [
     "ShardPlanner",
     "ShardReport",
     "ShuttingDown",
+    "SpanContext",
     "StreamClient",
+    "Telemetry",
+    "Tracer",
     "Unavailable",
     "WorkerHandle",
     "get_planner",
+    "span_tree",
     "validate_partition",
 ]

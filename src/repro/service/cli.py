@@ -129,6 +129,27 @@ def _add_session_arguments(parser: argparse.ArgumentParser) -> None:
         help="replicas a shard may be attempted on across crashes before "
         "failing with PoolUnavailable (default 2: original + one retry)",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="enable span tracing and write the collected trace to FILE on "
+        "exit as Chrome trace JSON (open in Perfetto / chrome://tracing); "
+        "a .jsonl suffix writes raw span records instead",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        help="fraction of requests to trace when --trace-out is set "
+        "(deterministic 1-in-round(1/RATE) sampling; default 1.0: all)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the session's metrics in Prometheus text exposition "
+        "format on exit (counters, histograms, per-phase gauges)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -308,6 +329,13 @@ def build_session(args: argparse.Namespace, topology) -> AnalysisSession:
         raise SystemExit("--pool-size must be >= 1")
     if args.shard_attempts < 1:
         raise SystemExit("--shard-attempts must be >= 1")
+    if not 0.0 < args.trace_sample <= 1.0:
+        raise SystemExit("--trace-sample must be in (0, 1]")
+    from repro.service.telemetry import Telemetry
+
+    telemetry = Telemetry(
+        tracing=args.trace_out is not None, sample=args.trace_sample
+    )
     return AnalysisSession(
         model_factory=model_factory(topology, args),
         backend=args.backend,
@@ -317,7 +345,21 @@ def build_session(args: argparse.Namespace, topology) -> AnalysisSession:
         workers=args.workers,
         shard_timeout=args.shard_timeout,
         max_attempts=args.shard_attempts,
+        telemetry=telemetry,
     )
+
+
+def export_telemetry(session: AnalysisSession, args: argparse.Namespace) -> None:
+    """Write ``--trace-out`` / print ``--metrics`` output on the way out."""
+    if args.trace_out:
+        tracer = session.telemetry.tracer
+        if args.trace_out.endswith(".jsonl"):
+            count = tracer.export_jsonl(args.trace_out)
+        else:
+            count = tracer.export_chrome(args.trace_out)
+        print(f"trace written to {args.trace_out} ({count} span(s))")
+    if args.metrics:
+        print(session.metrics_text(), end="")
 
 
 def serve_main(
@@ -399,6 +441,7 @@ async def _run_server(args: argparse.Namespace, started_cb=None) -> int:
             f"{pool['restarts']} worker restart(s), "
             f"{stats['retried_shards']} shard(s) transparently retried"
         )
+    export_telemetry(session, args)
     return 0
 
 
@@ -462,6 +505,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.output:
             result.dump(args.output)
             print(f"results written to {args.output}")
+        export_telemetry(session, args)
     return 0
 
 

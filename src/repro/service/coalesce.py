@@ -53,6 +53,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.service.results import Query, QueryResult
+from repro.service.telemetry import Telemetry
 
 
 class QueryRejected(RuntimeError):
@@ -168,6 +169,13 @@ class BatchCoalescer:
         :class:`Overloaded`.
     clock:
         Monotonic time source (injectable for tests).
+    telemetry:
+        The serving telemetry hub (normally the session's own, passed
+        through by the server).  With tracing on, every admission window
+        becomes a ``coalesce-window`` span — per-query ``admitted``
+        events, a dispatch event naming why the window closed — and the
+        dispatched batch's ``request`` span is parented under it, so the
+        exported trace shows exactly which clients shared a solve.
     """
 
     def __init__(
@@ -178,6 +186,7 @@ class BatchCoalescer:
         max_batch: int = 256,
         max_pending: int = 1024,
         clock: Callable[[], float] = time.monotonic,
+        telemetry: Telemetry | bool | None = None,
     ):
         if window < 0:
             raise ValueError("window must be >= 0")
@@ -190,6 +199,20 @@ class BatchCoalescer:
         self.max_batch = max_batch
         self.max_pending = max_pending
         self._clock = clock
+        self._telemetry = Telemetry.coerce(telemetry)
+        self._window_span = None
+        metrics = self._telemetry.metrics
+        self._m_overloaded = metrics.counter(
+            "repro_coalescer_overloaded_total",
+            "Admissions refused because the admission queue was full",
+        )
+        self._m_deadline = metrics.counter(
+            "repro_coalescer_deadline_exceeded_total",
+            "Queries answered with a deadline error",
+        )
+        self._m_depth = metrics.gauge(
+            "repro_coalescer_depth", "Outstanding admitted-but-unanswered queries"
+        )
         self._pending: list[_Pending] = []
         self._timer: asyncio.TimerHandle | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -245,28 +268,51 @@ class BatchCoalescer:
             raise DeadlineExceeded("deadline expired before admission")
         if self._outstanding >= self.max_pending:
             self._overloaded += 1
+            self._m_overloaded.inc()
+            if self._window_span is not None:
+                self._window_span.event("overloaded", outstanding=self._outstanding)
             raise Overloaded(
                 f"admission queue is full ({self._outstanding} outstanding)"
             )
         future: asyncio.Future = self._loop.create_future()
+        if not self._pending and self._telemetry.tracer.enabled:
+            # First admission into an empty window roots the window span.
+            # Created un-entered: the event loop's ambient context must not
+            # leak into unrelated callbacks, so parentage is explicit.
+            self._window_span = self._telemetry.tracer.span(
+                "coalesce-window", window=self.window, max_batch=self.max_batch
+            )
+        if self._window_span is not None:
+            self._window_span.event("admitted", kind=query.kind, dest=query.dest)
         self._pending.append(_Pending(query, deadline, future, now))
         self._outstanding += 1
+        self._m_depth.set(self._outstanding)
         self._track(future)
-        if self.window <= 0 or len(self._pending) >= self.max_batch:
-            self._flush()
+        if self.window <= 0:
+            self._flush(reason="immediate")
+        elif len(self._pending) >= self.max_batch:
+            self._flush(reason="max-batch")
         elif self._timer is None:
             self._timer = self._loop.call_later(self.window, self._flush)
         return future
 
     # -- dispatch --------------------------------------------------------------
-    def _flush(self) -> None:
-        """Dispatch the current window as one coalesced batch."""
+    def _flush(self, reason: str = "window") -> None:
+        """Dispatch the current window as one coalesced batch.
+
+        ``reason`` records why the window closed — its timer expired
+        (``"window"``), it filled to ``max_batch`` (``"max-batch"``),
+        or coalescing is off (``"immediate"``) — as a span event.
+        """
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
         entries = self._pending
         self._pending = []
+        window_span, self._window_span = self._window_span, None
         if not entries:
+            if window_span is not None:
+                window_span.finish()
             return
         live: list[_Pending] = []
         now = self._clock()
@@ -276,16 +322,34 @@ class BatchCoalescer:
             else:
                 live.append(entry)
         if not live:
+            if window_span is not None:
+                window_span.set(admitted=len(entries), dispatched=0).finish()
             return
         self._batches += 1
         self._coalesced += len(live)
         self._max_batch_seen = max(self._max_batch_seen, len(live))
-        self._dispatch(live, isolate_on_error=True)
+        trace_parent = None
+        if window_span is not None:
+            window_span.event("dispatch", reason=reason, batch=len(live))
+            window_span.set(admitted=len(entries), dispatched=len(live))
+            trace_parent = window_span.context
+            window_span.finish()
+        self._dispatch(live, isolate_on_error=True, trace_parent=trace_parent)
 
-    def _dispatch(self, entries: list[_Pending], *, isolate_on_error: bool) -> None:
+    def _dispatch(
+        self,
+        entries: list[_Pending],
+        *,
+        isolate_on_error: bool,
+        trace_parent: object | None = None,
+    ) -> None:
         """Hand ``entries`` to the session's dispatch pool as one batch."""
         try:
-            handle = self._session.submit_batch([entry.query for entry in entries])
+            batch = [entry.query for entry in entries]
+            if trace_parent is not None:
+                handle = self._session.submit_batch(batch, trace_parent=trace_parent)
+            else:
+                handle = self._session.submit_batch(batch)
         except Exception as exc:  # closing session, executor torn down, ...
             self._fail_all(entries, exc)
             return
@@ -321,10 +385,13 @@ class BatchCoalescer:
             self._outstanding -= 1
             self._answered += 1
             entry.future.set_result(CoalescedAnswer(result, batch))
+        self._m_depth.set(self._outstanding)
 
     def _resolve_deadline(self, entry: _Pending, reason: str) -> None:
         self._deadline_exceeded += 1
+        self._m_deadline.inc()
         self._outstanding -= 1
+        self._m_depth.set(self._outstanding)
         if not entry.future.done():
             entry.future.set_exception(DeadlineExceeded(reason))
 
@@ -340,6 +407,7 @@ class BatchCoalescer:
                 if isinstance(mapped, Unavailable):
                     self._unavailable += 1
                 entry.future.set_exception(mapped)
+        self._m_depth.set(self._outstanding)
 
     def _track(self, future: asyncio.Future) -> None:
         self._inflight.add(future)

@@ -194,6 +194,14 @@ class BackendPool:
     owns_base:
         Whether closing the pool should also close replica 0 (forked
         replicas are always pool-owned and closed with it).
+    telemetry:
+        Optional :class:`~repro.service.telemetry.Telemetry` bundle.
+        When present, supervision transitions (quarantine, revive,
+        respawn) update its metrics and attach span events to whatever
+        span is current on the failing lease's thread; when tracing is
+        on, thread-hosted replica backends get a stopwatch listener so
+        solver phases appear as spans.  ``None`` keeps the pool entirely
+        telemetry-free (the historical behaviour).
     """
 
     #: How replicas are hosted: ``"thread"`` replicas share the process
@@ -202,7 +210,14 @@ class BackendPool:
     #: in their own worker process (full-pipeline parallelism).
     mode = "thread"
 
-    def __init__(self, backend: object, size: int = 1, *, owns_base: bool = False):
+    def __init__(
+        self,
+        backend: object,
+        size: int = 1,
+        *,
+        owns_base: bool = False,
+        telemetry=None,
+    ):
         if size < 1:
             raise ValueError("pool size must be >= 1")
         self._owns_base = owns_base
@@ -215,7 +230,22 @@ class BackendPool:
         self._restarts = 0
         # In-flight respawn threads (joined by close()).
         self._respawns: list[threading.Thread] = []
+        self._telemetry = telemetry
+        self._failure_counter = None
+        self._restart_counter = None
+        if telemetry is not None:
+            self._failure_counter = telemetry.metrics.counter(
+                "repro_replica_failures_total",
+                "Replica failures absorbed by pool supervision",
+                labelnames=("kind",),
+            )
+            self._restart_counter = telemetry.metrics.counter(
+                "repro_replica_restarts_total",
+                "Replica backends respawned in place",
+            )
         self.replicas: list[Replica] = self._create_replicas(backend, size)
+        for replica in self.replicas:
+            self._instrument_backend(replica.backend)
 
     def _create_replicas(self, backend: object, size: int) -> list[Replica]:
         """Build the replica list (subclass hook: process pools spawn here).
@@ -230,6 +260,25 @@ class BackendPool:
         for index in range(1, size):
             replicas.append(Replica(index, fork()))
         return replicas
+
+    def _instrument_backend(self, backend: object) -> object:
+        """Attach a phase-span listener to a backend's stopwatch (if traced).
+
+        Thread-hosted replicas are instrumented in the parent: each
+        measured backend section (``compile``/``build``/``solve``/...)
+        becomes a ``phase:<name>`` span under whatever span is current on
+        the leasing thread.  Process-hosted replicas are
+        :class:`~repro.service.procpool.WorkerHandle` objects without a
+        stopwatch — their phases are traced worker-side and shipped back,
+        so this hook is a no-op for them.
+        """
+        telemetry = self._telemetry
+        if telemetry is None or not telemetry.tracer.enabled:
+            return backend
+        watch = getattr(backend, "watch", None)
+        if watch is not None and hasattr(watch, "listener"):
+            watch.listener = telemetry.tracer.phase_listener()
+        return backend
 
     @property
     def size(self) -> int:
@@ -419,6 +468,16 @@ class BackendPool:
             replica.last_error = str(failure)
             self._failures += 1
             self._cv.notify_all()
+        if self._telemetry is not None:
+            self._failure_counter.labels(kind=kind).inc()
+            # Runs on the failing lease's thread, so the event lands on
+            # the caller's current (shard) span when tracing is on.
+            self._telemetry.tracer.event(
+                "replica-quarantined",
+                replica=replica.index,
+                kind=kind,
+                exit_code=replica.exit_code,
+            )
         alive = False
         if kind != "timeout":  # a watchdog-killed worker is dead by design
             probe = getattr(replica.backend, "ping", None)
@@ -432,6 +491,10 @@ class BackendPool:
             if alive:
                 replica.health = HEALTHY
                 self._cv.notify_all()
+                if self._telemetry is not None:
+                    self._telemetry.tracer.event(
+                        "replica-revived", replica=replica.index
+                    )
                 return
             replica.health = DEAD if self._closed else RESTARTING
             self._cv.notify_all()
@@ -478,10 +541,12 @@ class BackendPool:
                 close_new = backend is not None
                 close_old = current and self._owns_replica(replica)
             else:
-                replica.backend = backend
+                replica.backend = self._instrument_backend(backend)
                 replica.health = HEALTHY
                 replica.restarts += 1
                 self._restarts += 1
+                if self._restart_counter is not None:
+                    self._restart_counter.inc()
                 close_old = self._owns_replica(replica)
             self._cv.notify_all()
         if close_new:
@@ -566,7 +631,9 @@ class BackendPool:
                 if self._closed:
                     self._close_replica_backend(backend)
                     raise RuntimeError("pool is closed")
-                self.replicas.append(Replica(len(self.replicas), backend))
+                self.replicas.append(
+                    Replica(len(self.replicas), self._instrument_backend(backend))
+                )
                 self._cv.notify_all()
         # Shrink: retire tails once their leases drain (never replica 0).
         retired: list[Replica] = []

@@ -75,6 +75,7 @@ from typing import TYPE_CHECKING
 
 from repro.service.faults import FaultPlan
 from repro.service.pool import HEALTHY, BackendPool, Replica, ReplicaFailure
+from repro.service.telemetry import Telemetry, Tracer
 from repro.service.wire import QuerySpec, ResultSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -103,15 +104,26 @@ def _pick_start_method(requested: str | None) -> str:
     return "fork" if "fork" in available else "spawn"
 
 
-def _worker_stats(backend: "MatrixBackend", queries: int) -> dict:
-    """The introspection blob attached to every worker reply."""
-    return {
+def _worker_stats(
+    backend: "MatrixBackend", queries: int, spans: list[dict] | None = None
+) -> dict:
+    """The introspection blob attached to every worker reply.
+
+    ``spans`` — present only on traced queries — carries the worker-side
+    finished span records (already parented into the caller's trace via
+    the propagated :attr:`~repro.service.wire.QuerySpec.trace` context),
+    which the parent-side handle ingests into its tracer.
+    """
+    stats = {
         "pid": os.getpid(),
         "ast_compilations": backend.ast_compilations,
         "plans": backend.adopted_plans,
         "queries": queries,
         "timings": backend.timings(),
     }
+    if spans:
+        stats["spans"] = spans
+    return stats
 
 
 def worker_main(connection, index: int = 0) -> None:
@@ -153,6 +165,11 @@ def worker_main(connection, index: int = 0) -> None:
     backend = MatrixBackend()
     queries_served = 0
     requests_served = 0
+    # Worker-side tracer, built lazily on the first *traced* query (the
+    # untraced path never pays for it).  Always enabled once built: the
+    # sampling decision was made by the caller and travels in the
+    # propagated context.
+    tracer: Tracer | None = None
     while True:
         try:
             message = connection.recv()
@@ -175,13 +192,41 @@ def worker_main(connection, index: int = 0) -> None:
                 spec: QuerySpec = message[1]
                 if spec.kind != "distributions":
                     raise ValueError(f"unknown wire query kind {spec.kind!r}")
-                dists = backend.query_plan(spec.plan, spec.ingress_packets())
+                spans: list[dict] | None = None
+                if spec.trace is not None:
+                    # Traced query: wrap the solve in a worker span
+                    # parented to the propagated caller context, and turn
+                    # backend phase timings into child spans via the
+                    # stopwatch listener.  Finished records ship back in
+                    # the reply's stats blob.
+                    if tracer is None:
+                        tracer = Tracer(enabled=True)
+                    watch = getattr(backend, "watch", None)
+                    with tracer.span(
+                        "worker:query",
+                        parent=spec.trace,
+                        plan=spec.plan,
+                        packets=len(spec.ingress),
+                        worker=index,
+                    ):
+                        if watch is not None:
+                            watch.listener = tracer.phase_listener()
+                        try:
+                            dists = backend.query_plan(
+                                spec.plan, spec.ingress_packets()
+                            )
+                        finally:
+                            if watch is not None:
+                                watch.listener = None
+                    spans = tracer.take()
+                else:
+                    dists = backend.query_plan(spec.plan, spec.ingress_packets())
                 queries_served += len(spec.ingress)
                 result = ResultSpec.from_distributions(spec.plan, dists)
                 if faults is not None:
                     faults.delay_reply(requests_served)
                 connection.send(
-                    ("result", result, _worker_stats(backend, queries_served))
+                    ("result", result, _worker_stats(backend, queries_served, spans))
                 )
             elif op == "reset":
                 if message[1]:
@@ -290,10 +335,18 @@ class WorkerHandle:
         context,
         *,
         shard_timeout: float | None = None,
+        telemetry: Telemetry | None = None,
+        carry_timings: dict | None = None,
     ):
         self.index = index
         self._directory = directory
         self._timeout = shard_timeout
+        self._telemetry = telemetry
+        # Phase timings accumulated by this slot's *previous* worker
+        # incarnations (injected by the respawn path).  timings() adds the
+        # live worker's snapshot on top, so a restart never makes the
+        # slot's cumulative phase time go backwards.
+        self._carry_timings: dict[str, float] = dict(carry_timings or {})
         self._conn, child_conn = context.Pipe(duplex=True)
         self._process = context.Process(
             target=worker_main,
@@ -377,6 +430,14 @@ class WorkerHandle:
                     # a healthy replica instead of waiting forever.
                     self._process.kill()
                     self._process.join(timeout=5.0)
+                    if self._telemetry is not None:
+                        self._telemetry.tracer.event(
+                            "watchdog-kill",
+                            replica=self.index,
+                            pid=self.pid,
+                            op=op,
+                            budget=self._timeout,
+                        )
                     raise self._mark_dead(
                         "timeout",
                         f"did not answer {op!r} within {self._timeout:.3f}s "
@@ -430,10 +491,25 @@ class WorkerHandle:
         return self._directory.entry(policy)[3]
 
     def output_distributions(self, policy, inputs) -> dict:
-        """Per-ingress output distributions, computed in the worker."""
+        """Per-ingress output distributions, computed in the worker.
+
+        When the calling thread is inside a recording span (the lease
+        span), its context rides the :class:`QuerySpec` into the worker
+        and the worker's finished spans come back in the reply's stats
+        blob, where they are ingested into the caller's tracer — one
+        trace tree across the process boundary.
+        """
         plan_id = self._ensure_plan(policy)
-        spec = QuerySpec.distributions(plan_id, inputs)
-        _, result, _stats = self._request(("query", spec))
+        trace = None
+        telemetry = self._telemetry
+        if telemetry is not None and telemetry.tracer.enabled:
+            context = telemetry.tracer.current_context()
+            if context is not None:
+                trace = tuple(context)
+        spec = QuerySpec.distributions(plan_id, inputs, trace=trace)
+        _, result, stats = self._request(("query", spec))
+        if trace is not None:
+            telemetry.tracer.ingest(stats.get("spans") or ())
         return result.to_distributions()
 
     def certainly_delivers(self, model, tolerance: float = 1e-9) -> bool:
@@ -467,9 +543,22 @@ class WorkerHandle:
         self._shipped.clear()
 
     def timings(self) -> dict[str, float]:
-        """The worker backend's accumulated phase timings (last known)."""
+        """The replica slot's cumulative phase timings across incarnations.
+
+        The live worker's last-known snapshot *plus* the carry from every
+        previous worker that served this slot (injected on respawn) — so
+        a crashed-and-replaced worker never makes the slot's cumulative
+        phase time go backwards, and session-level ``backend_timings``
+        stay monotone under churn.  (Work a worker did after its last
+        reply and before dying is unavoidably lost; monotonicity is the
+        contract, not exactness.)
+        """
+        total = dict(self._carry_timings)
         timings = self.worker_stats.get("timings")
-        return dict(timings) if timings else {}
+        if timings:
+            for name, value in timings.items():
+                total[name] = total.get(name, 0.0) + value
+        return total
 
     def close(self) -> None:
         """Stop the worker and join it (idempotent)."""
@@ -549,6 +638,7 @@ class ProcessBackendPool(BackendPool):
         owns_base: bool = False,
         start_method: str | None = None,
         shard_timeout: float | None = None,
+        telemetry: Telemetry | None = None,
     ):
         if not hasattr(backend, "plan_payload") or not hasattr(backend, "plan_key"):
             raise TypeError(
@@ -561,11 +651,16 @@ class ProcessBackendPool(BackendPool):
         self._start_method = _pick_start_method(start_method)
         self._shard_timeout = shard_timeout
         self._directory = PlanDirectory(backend)
-        super().__init__(backend, size, owns_base=owns_base)
+        super().__init__(backend, size, owns_base=owns_base, telemetry=telemetry)
 
-    def _new_handle(self, index: int) -> WorkerHandle:
+    def _new_handle(self, index: int, carry_timings: dict | None = None) -> WorkerHandle:
         return WorkerHandle(
-            index, self._directory, self._context, shard_timeout=self._shard_timeout
+            index,
+            self._directory,
+            self._context,
+            shard_timeout=self._shard_timeout,
+            telemetry=self._telemetry,
+            carry_timings=carry_timings,
         )
 
     def _create_replicas(self, backend: object, size: int) -> list[Replica]:
@@ -591,10 +686,14 @@ class ProcessBackendPool(BackendPool):
         shipped, straight from the parent-side :class:`PlanDirectory` —
         as manager-independent specs, never as ASTs — so the respawned
         replica serves its destinations immediately and its
-        ``ast_compilations`` counter stays 0.
+        ``ast_compilations`` counter stays 0.  The corpse's cumulative
+        phase timings (its own carry plus its last snapshot) are handed
+        to the replacement as carry, so the slot's reported phase time
+        never resets across restarts.
         """
+        carry = dead.timings() if isinstance(dead, WorkerHandle) else None
         with _importable_package_path(self._start_method):
-            handle = self._new_handle(index)
+            handle = self._new_handle(index, carry_timings=carry)
         try:
             for plan_id in sorted(getattr(dead, "_shipped", ())):
                 payload = self._directory.payload(plan_id)

@@ -129,6 +129,14 @@ class ShardReport:
     each leased replica, in ``replicas`` order — in process mode,
     distinct pids on overlapping shard windows are direct evidence of
     cross-process parallel execution, carried into benchmark artifacts.
+
+    ``attempts`` counts the lease attempts the shard's solves took (0
+    for a fully cached shard, which never leases; > its destination
+    group count when replica failures forced retries) and
+    ``failed_replicas`` lists the replica indices the shard retried
+    *away from*, in failure order — per-shard retry history, visible in
+    :meth:`ResultSet.to_json` rather than only in the session's
+    aggregate ``retried_shards`` counter.
     """
 
     index: int
@@ -142,6 +150,8 @@ class ShardReport:
     workers: tuple[int, ...] = ()
     started: float = 0.0
     finished: float = 0.0
+    attempts: int = 0
+    failed_replicas: tuple[int, ...] = ()
 
     def overlaps(self, other: "ShardReport") -> bool:
         """Whether the two shards' wall-clock execution windows intersect."""
@@ -217,6 +227,8 @@ class ResultSet:
                     "replicas": list(report.replicas),
                     "pool_mode": report.pool_mode,
                     "workers": list(report.workers),
+                    "attempts": report.attempts,
+                    "failed_replicas": list(report.failed_replicas),
                 }
                 for report in self.shards
             ],

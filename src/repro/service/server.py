@@ -31,7 +31,9 @@ slow-down), ``unavailable`` (retryable — a backend replica crashed and
 the pool is respawning it), ``deadline-exceeded``, ``shutting-down``,
 and ``internal``.  :meth:`StreamClient.request` honours ``retry: true``
 with exponential backoff + full jitter when asked to
-(``retries=N``).  Control ops: ``ping``, ``stats``.
+(``retries=N``).  Control ops: ``ping``, ``stats``, ``metrics`` (the
+session's counters and histograms in Prometheus text exposition
+format, as one JSON string field).
 
 Shutdown is a lossless drain: :meth:`QueryServer.stop` stops accepting
 connections and admissions, flushes the pending admission window, waits
@@ -246,6 +248,7 @@ class QueryServer:
             window=window,
             max_batch=max_batch,
             max_pending=max_pending,
+            telemetry=getattr(session, "telemetry", None),
         )
         self.autoscaler: PoolAutoscaler | None = None
         if autoscale_max is not None:
@@ -427,6 +430,17 @@ class QueryServer:
             await self._send(conn, {"id": qid, "pong": True})
         elif op == "stats":
             await self._send(conn, {"id": qid, "stats": self.stats()})
+        elif op == "metrics":
+            # Prometheus text exposition over the query socket: one line
+            # of JSON carrying the whole scrape body, so a sidecar can
+            # poll metrics without a second listener.
+            metrics_fn = getattr(self.session, "metrics_text", None)
+            if metrics_fn is None:
+                await self._send_error(
+                    conn, qid, "bad-request", "session does not expose metrics"
+                )
+                return
+            await self._send(conn, {"id": qid, "metrics": metrics_fn()})
         else:
             await self._send_error(conn, qid, "bad-request", f"unknown op {op!r}")
 

@@ -66,6 +66,7 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
+from functools import partial
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.backends import resolve_backend
@@ -89,6 +90,7 @@ from repro.service.results import (
     merge_shard_results,
 )
 from repro.service.shards import Shard, ShardPlanner, get_planner, validate_partition
+from repro.service.telemetry import LATENCY_BUCKETS, SIZE_BUCKETS, Telemetry
 
 
 class AnalysisSession:
@@ -149,6 +151,15 @@ class AnalysisSession:
         fails with :class:`~repro.service.pool.PoolUnavailable`
         (default 2: the original attempt plus one retry).  Queries are
         pure, so retrying on a healthy replica is always sound.
+    telemetry:
+        Observability configuration: a
+        :class:`~repro.service.telemetry.Telemetry` instance, ``True``
+        (tracing on at full sampling), or ``None``/``False`` (the
+        default — metrics counters still work, tracing fully disabled).
+        With tracing on, every batch becomes one span tree — ``request →
+        shard → lease → worker:query → phase:*`` — spanning the process
+        boundary in process mode (worker-side spans ship back in reply
+        stats and are re-parented into the caller's trace).
     """
 
     def __init__(
@@ -165,9 +176,44 @@ class AnalysisSession:
         cache: bool = True,
         shard_timeout: float | None = None,
         max_attempts: int = 2,
+        telemetry: Telemetry | bool | None = None,
     ):
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        self._telemetry = Telemetry.coerce(telemetry)
+        metrics = self._telemetry.metrics
+        self._m_requests = metrics.counter(
+            "repro_requests_total", "Query batches served by the session"
+        )
+        self._m_queries = metrics.counter(
+            "repro_queries_total", "Individual queries answered"
+        )
+        self._m_cache_hits = metrics.counter(
+            "repro_cache_hits_total", "Queries answered from the session result cache"
+        )
+        self._m_retries = metrics.counter(
+            "repro_shard_retries_total",
+            "Shard attempts transparently retried after a replica failure",
+        )
+        self._m_latency = metrics.histogram(
+            "repro_request_latency_seconds",
+            "End-to-end query batch latency",
+            buckets=LATENCY_BUCKETS,
+        )
+        self._m_batch_size = metrics.histogram(
+            "repro_batch_size", "Queries per served batch", buckets=SIZE_BUCKETS
+        )
+        self._m_phase = metrics.gauge(
+            "repro_backend_phase_seconds",
+            "Cumulative backend phase time summed over all replicas",
+            labelnames=("phase",),
+        )
+        self._m_cached = metrics.gauge(
+            "repro_cached_distributions", "Entries in the session result cache"
+        )
+        self._m_pool = metrics.gauge(
+            "repro_pool_size", "Current number of backend replicas"
+        )
         engine = resolve_backend(backend)
         if engine is None:
             raise ValueError("a session needs a backend (name or instance)")
@@ -182,7 +228,12 @@ class AnalysisSession:
         # Forked replicas and worker processes are always pool-owned.
         self._owns_backend = isinstance(backend, str)
         if pool_mode == "thread":
-            self._pool = BackendPool(engine, pool_size, owns_base=self._owns_backend)
+            self._pool = BackendPool(
+                engine,
+                pool_size,
+                owns_base=self._owns_backend,
+                telemetry=self._telemetry,
+            )
         elif pool_mode == "process":
             from repro.service.procpool import ProcessBackendPool
 
@@ -191,6 +242,7 @@ class AnalysisSession:
                 pool_size,
                 owns_base=self._owns_backend,
                 shard_timeout=shard_timeout,
+                telemetry=self._telemetry,
             )
         else:
             raise ValueError(
@@ -325,6 +377,11 @@ class AnalysisSession:
         return bool(getattr(self._backend, "exact", False))
 
     @property
+    def telemetry(self) -> Telemetry:
+        """The session's telemetry hub (tracer + metrics registry)."""
+        return self._telemetry
+
+    @property
     def retried_shards(self) -> int:
         """How many shard attempts were transparently retried after a
         replica failure (each one a crash the caller never saw)."""
@@ -391,30 +448,60 @@ class AnalysisSession:
         self,
         queries: Iterable[Query | Mapping | tuple],
         planner: ShardPlanner | str | None = None,
+        *,
+        trace_parent: object | None = None,
     ) -> ResultSet:
         """Answer a batch of queries, sharded and executed concurrently.
 
         Returns a :class:`~repro.service.results.ResultSet` in the
         original query order with per-shard timing reports attached.
+        ``trace_parent`` (a span, span context, or wire tuple) parents
+        the batch's ``request`` span under an enclosing trace — the
+        coalescer passes its window span here so coalesced batches keep
+        their admission history.
         """
         with self._serving():
             batch = [Query.coerce(raw) for raw in queries]
             start = time.perf_counter()
             chosen = get_planner(planner) if planner is not None else self._planner
-            shards = chosen.plan(batch)
-            validate_partition(batch, shards)
-            outputs = self._executor.map(self._run_shard, shards)
-            result = merge_shard_results(batch, outputs, time.perf_counter() - start)
+            tracer = self._telemetry.tracer
+            with tracer.span(
+                "request", parent=trace_parent, queries=len(batch)
+            ) as span:
+                shards = chosen.plan(batch)
+                validate_partition(batch, shards)
+                context = span.context
+                runner = (
+                    self._run_shard
+                    if context is None
+                    else partial(self._run_shard, trace_parent=context)
+                )
+                outputs = self._executor.map(runner, shards)
+                result = merge_shard_results(
+                    batch, outputs, time.perf_counter() - start
+                )
+                span.set(
+                    shards=len(shards),
+                    cache_hits=result.cache_hits,
+                    seconds=round(result.seconds, 6),
+                )
             with self._state_lock:
                 self._queries_served += len(batch)
                 self._batches_served += 1
                 self._shards_run += len(shards)
+            self._m_requests.inc()
+            self._m_queries.inc(len(batch))
+            self._m_cache_hits.inc(result.cache_hits)
+            self._m_latency.observe(result.seconds)
+            self._m_batch_size.observe(len(batch))
             return result
 
     def submit_batch(
         self,
         queries: Iterable[Query | Mapping | tuple],
         planner: ShardPlanner | str | None = None,
+        *,
+        trace_parent: object | None = None,
     ):
         """Dispatch a batch asynchronously; returns a ``Future[ResultSet]``.
 
@@ -429,7 +516,12 @@ class AnalysisSession:
         batch = list(queries)
         with self._state_lock:
             self._check_open()
-        return self._executor.submit(self.query_batch, batch, planner)
+        if trace_parent is None:
+            return self._executor.submit(self.query_batch, batch, planner)
+        # The dispatch thread has no ambient span context, so the parent
+        # rides along explicitly (submit passes positionals only).
+        bound = partial(self.query_batch, trace_parent=trace_parent)
+        return self._executor.submit(bound, batch, planner)
 
     async def query_batch_async(
         self,
@@ -507,7 +599,9 @@ class AnalysisSession:
                 share = s.as_prob(1) / len(packets)
                 weighted = [(packet, share) for packet in packets]
             proper = [pk for pk, _ in weighted if not isinstance(pk, _DropType)]
-            dists, _hits, _replica = self._distributions(policy, proper)
+            dists, _hits, _replica, _attempts, _failed = self._distributions(
+                policy, proper
+            )
             parts: list[tuple[Dist[Outcome], object]] = []
             for outcome, mass in weighted:
                 if isinstance(outcome, _DropType):
@@ -523,7 +617,9 @@ class AnalysisSession:
         with self._serving():
             if isinstance(policy, NetworkModel):
                 policy = policy.policy
-            dists, _hits, _replica = self._distributions(policy, list(inputs))
+            dists, _hits, _replica, _attempts, _failed = self._distributions(
+                policy, list(inputs)
+            )
             return dists
 
     def certainly_delivers(self, model: NetworkModel) -> bool:
@@ -554,7 +650,8 @@ class AnalysisSession:
                         cached = self._verdicts.setdefault(key, verdict)
                 return cached
 
-            return self._with_lease(None, check)
+            verdict, _attempts, _failed = self._with_lease(None, check)
+            return verdict
 
     # -- introspection ---------------------------------------------------------
     def stats(self) -> dict[str, object]:
@@ -580,7 +677,24 @@ class AnalysisSession:
             "backend": type(self._backend).__name__,
             "backend_timings": timings,
             "pool": self._pool.stats(),
+            "telemetry": self._telemetry.summary(),
         }
+
+    def metrics_text(self) -> str:
+        """The session's metrics in Prometheus text exposition format.
+
+        Counters and histograms update at serve time; the gauges sampled
+        here (per-phase backend seconds summed over replicas, result
+        cache size, pool size) are refreshed from live state on every
+        call, so the output is always scrape-fresh.  This is what the
+        streaming server's ``metrics`` op returns.
+        """
+        snapshot = self.stats()
+        for name, value in snapshot["backend_timings"].items():
+            self._m_phase.labels(phase=name).set(round(value, 6))
+        self._m_cached.set(snapshot["cached_distributions"])
+        self._m_pool.set(self._pool.size)
+        return self._telemetry.metrics.to_prometheus()
 
     def warm(self, dest: int | None = None, solve: bool = True) -> "AnalysisSession":
         """Pre-plan one destination's model on every replica and pre-solve it.
@@ -649,24 +763,45 @@ class AnalysisSession:
                 if self._active_calls == 0:
                     self._idle.notify_all()
 
-    def _run_shard(self, shard: Shard) -> tuple[ShardReport, list[QueryResult]]:
+    def _run_shard(
+        self, shard: Shard, trace_parent: object | None = None
+    ) -> tuple[ShardReport, list[QueryResult]]:
         started = time.perf_counter()
         results: list[QueryResult] = []
         hits_total = 0
         replicas_used: list[int] = []
-        for dest, group in shard.dest_groups().items():
-            model = self.model_for(dest)
-            affinity = shard.affinity if shard.affinity is not None else ("dest", dest)
-            dists, hits, served_by = self._distributions(
-                model.policy, [query.ingress for query in group], affinity=affinity
+        attempts_total = 0
+        failed: list[int] = []
+        tracer = self._telemetry.tracer
+        with tracer.span(
+            "shard",
+            parent=trace_parent,
+            index=shard.index,
+            label=shard.label,
+            queries=len(shard.queries),
+        ) as span:
+            for dest, group in shard.dest_groups().items():
+                model = self.model_for(dest)
+                affinity = (
+                    shard.affinity if shard.affinity is not None else ("dest", dest)
+                )
+                dists, hits, served_by, attempts, group_failed = self._distributions(
+                    model.policy, [query.ingress for query in group], affinity=affinity
+                )
+                attempts_total += attempts
+                failed.extend(group_failed)
+                if served_by is not None and served_by not in replicas_used:
+                    replicas_used.append(served_by)
+                for query in group:
+                    cached = query.ingress in hits
+                    hits_total += 1 if cached else 0
+                    value = self._evaluate(query, model, dists[query.ingress])
+                    results.append(QueryResult(query, value, shard.index, cached))
+            span.set(
+                cache_hits=hits_total,
+                replicas=tuple(replicas_used),
+                attempts=attempts_total,
             )
-            if served_by is not None and served_by not in replicas_used:
-                replicas_used.append(served_by)
-            for query in group:
-                cached = query.ingress in hits
-                hits_total += 1 if cached else 0
-                value = self._evaluate(query, model, dists[query.ingress])
-                results.append(QueryResult(query, value, shard.index, cached))
         finished = time.perf_counter()
         report = ShardReport(
             index=shard.index,
@@ -687,6 +822,8 @@ class AnalysisSession:
             workers=tuple(self._pool.worker_id(index) for index in replicas_used),
             started=started,
             finished=finished,
+            attempts=attempts_total,
+            failed_replicas=tuple(failed),
         )
         return report, results
 
@@ -731,14 +868,17 @@ class AnalysisSession:
         policy: s.Policy,
         packets: Sequence[Packet],
         affinity: object | None = None,
-    ) -> tuple[dict[Packet, Dist[Outcome]], set[Packet], int | None]:
+    ) -> tuple[dict[Packet, Dist[Outcome]], set[Packet], int | None, int, tuple]:
         """Per-ingress distributions of ``policy``, via the session cache.
 
-        Returns ``(dists, hits, replica)`` where ``hits`` are the packets
-        answered from the cache and ``replica`` is the index of the
-        leased replica that solved the misses (``None`` when every packet
-        hit — fully cached calls never lease, so cached traffic runs with
-        no solver contention at all).
+        Returns ``(dists, hits, replica, attempts, failed)`` where
+        ``hits`` are the packets answered from the cache, ``replica`` is
+        the index of the leased replica that solved the misses (``None``
+        when every packet hit — fully cached calls never lease, so
+        cached traffic runs with no solver contention at all),
+        ``attempts`` counts the lease attempts taken (0 when fully
+        cached), and ``failed`` lists the replica indices retried away
+        from, in failure order.
         """
         if self._closed:
             # Every query surface funnels through here (query_batch via
@@ -763,13 +903,15 @@ class AnalysisSession:
                     out[packet] = found
                     hits.add(packet)
                 if complete:
-                    return out, hits, None
+                    return out, hits, None, 0, ()
 
         def solve(replica: Replica) -> tuple[dict[Packet, Dist[Outcome]], set[Packet], int]:
             dists, solved_hits = self._solve_on(replica, policy, packets)
             return dists, solved_hits, replica.index
 
-        return self._with_lease(affinity, solve)
+        result, attempts, failed = self._with_lease(affinity, solve)
+        dists, solved_hits, served_by = result
+        return dists, solved_hits, served_by, attempts, failed
 
     def _with_lease(self, affinity: object | None, body: Callable[[Replica], object]):
         """Run ``body`` under a pool lease, retrying replica failures.
@@ -783,14 +925,29 @@ class AnalysisSession:
         routes around it.  After ``max_attempts`` distinct failures the
         typed :class:`~repro.service.pool.PoolUnavailable` surfaces,
         chained to the last replica failure.
+
+        Returns ``(body's result, attempts taken, failed replica
+        indices)`` so callers can attach per-shard retry provenance to
+        their reports.
         """
         attempt = 0
+        failed: list[int] = []
+        tracer = self._telemetry.tracer
         while True:
             try:
                 with self._pool.lease(affinity) as replica:
-                    return body(replica)
+                    # The lease span lives *inside* the pool lease so a
+                    # body failure closes the span (with its error attr)
+                    # before the lease's exception path quarantines the
+                    # replica — quarantine events land on the outer span.
+                    with tracer.span(
+                        "lease", replica=replica.index, attempt=attempt + 1
+                    ):
+                        return body(replica), attempt + 1, tuple(failed)
             except ReplicaFailure as failure:
                 attempt += 1
+                if failure.replica is not None:
+                    failed.append(failure.replica)
                 if attempt >= self._max_attempts:
                     raise PoolUnavailable(
                         f"shard failed on {attempt} replica(s); "
@@ -798,6 +955,13 @@ class AnalysisSession:
                     ) from failure
                 with self._state_lock:
                     self._shard_retries += 1
+                self._m_retries.inc()
+                tracer.event(
+                    "shard-retry",
+                    attempt=attempt,
+                    replica=failure.replica,
+                    kind=getattr(failure, "kind", "crash"),
+                )
 
     def _solve_on(
         self, replica: Replica, policy: s.Policy, packets: Sequence[Packet]

@@ -139,18 +139,32 @@ class QuerySpec:
     params:
         Optional ``(name, value)`` pairs parameterising the computation;
         reserved for future kinds (must be picklable plain data).
+    trace:
+        Optional trace propagation context as a plain
+        ``(trace_id, span_id, sampled)`` tuple (see
+        :class:`~repro.service.telemetry.SpanContext`).  When present,
+        the worker traces its side of the query — plan adoption and
+        solver phases — parented under ``span_id``, and ships the
+        finished span records back in the reply's stats blob.  ``None``
+        (the default) keeps the untraced path entirely telemetry-free.
     """
 
     plan: int
     kind: str
     ingress: tuple
     params: tuple = ()
+    trace: tuple | None = None
 
     @classmethod
-    def distributions(cls, plan: int, packets: Iterable[Packet]) -> "QuerySpec":
+    def distributions(
+        cls, plan: int, packets: Iterable[Packet], trace: tuple | None = None
+    ) -> "QuerySpec":
         """The distribution query over concrete ingress packets."""
         return cls(
-            plan, "distributions", tuple(packet_to_spec(pk) for pk in packets)
+            plan,
+            "distributions",
+            tuple(packet_to_spec(pk) for pk in packets),
+            trace=trace,
         )
 
     def ingress_packets(self) -> list[Packet]:
