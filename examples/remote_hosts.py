@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Remote replica hosts: two daemons, one pool, one SIGKILL survived.
+
+Starts two worker-host daemons on ephemeral localhost ports (the same
+thing ``python -m repro.service host --bind HOST:PORT --workers N``
+runs, here via :func:`repro.service.host.start_host_process` so the
+example is self-contained), opens a ``pool_mode="remote"``
+:class:`repro.service.AnalysisSession` spread across both, and drives
+the FatTree k=4 all-pairs delivery workload:
+
+1. a clean batch — answers agree with per-call analysis to 1e-9, every
+   worker is remote (pids belong to the daemons' children), and all of
+   them stay spec-fed (``ast_compilations == 0``);
+2. the same batch with one daemon SIGKILLed mid-flight — shards held by
+   the dead host fail over to the surviving host (over-subscribing it),
+   the batch completes exactly, and the pool's stats/trace show the
+   failover.
+
+Run with::
+
+    python examples/remote_hosts.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+from repro.analysis.queries import delivery_probability
+from repro.failure.models import independent_failure_program
+from repro.network.model import build_model
+from repro.routing import downward_failable_ports, ecmp_policy
+from repro.service import AnalysisSession, Query, Telemetry
+from repro.service.host import start_host_process
+from repro.service.pool import HEALTHY
+from repro.topology import edge_switches, fat_tree
+
+FAILURE_PROBABILITY = 1 / 1000
+
+
+def build_workload():
+    topo = fat_tree(4)
+    failable = downward_failable_ports(topo)
+
+    def model_for(dest: int):
+        return build_model(
+            topo,
+            routing=ecmp_policy(topo, dest),
+            dest=dest,
+            failure=independent_failure_program(failable, FAILURE_PROBABILITY),
+            failable=failable,
+        )
+
+    models = {dest: model_for(dest) for dest in edge_switches(topo)}
+    batch = [
+        Query.delivery(packet, dest)
+        for dest, model in models.items()
+        for packet in model.ingress_packets
+    ]
+    return models, batch
+
+
+def open_session(models, hosts):
+    return AnalysisSession(
+        models=models.values(),
+        pool_size=4,
+        pool_mode="remote",
+        hosts=hosts,
+        workers=4,
+        max_attempts=4,
+        telemetry=Telemetry(tracing=True),
+        remote_options={"heartbeat_interval": 0.1, "reconnect_backoff": 0.05},
+    )
+
+
+def main() -> None:
+    models, batch = build_workload()
+    print(f"workload: {len(batch)} delivery queries over "
+          f"{len(models)} destinations (FatTree k=4 all-pairs)")
+
+    daemon_a, addr_a = start_host_process(workers=2)
+    daemon_b, addr_b = start_host_process(workers=2)
+    hosts = [f"{addr_a[0]}:{addr_a[1]}", f"{addr_b[0]}:{addr_b[1]}"]
+    print(f"host daemons: {hosts[0]} (pid {daemon_a.pid}), "
+          f"{hosts[1]} (pid {daemon_b.pid})")
+    try:
+        # 1. Clean run: remote answers are exact, workers are spec-fed.
+        with open_session(models, hosts) as session:
+            results = session.query_batch(batch)
+            worst = max(
+                abs(value - delivery_probability(
+                    models[query.dest], inputs=[query.ingress]))
+                for query, value in zip(batch, results.values)
+            )
+            print(f"[1] clean batch: {len(results)} answers in "
+                  f"{results.seconds:.2f}s, max |remote - per-call| = {worst:.1e}")
+            for report in session.pool.worker_reports():
+                print(f"    replica {report['index']} @ {report['host']}"
+                      f" pid {report['pid']}: {report['queries']} queries, "
+                      f"{report['ast_compilations']} AST compiles")
+
+        # 2. SIGKILL one daemon while the batch is in flight: shards on
+        #    the dead host fail over to the survivor mid-batch.
+        with open_session(models, hosts) as session:
+            for dest in models:
+                session.warm(dest, solve=False)
+
+            def kill_host_a_when_busy():
+                deadline = time.monotonic() + 30.0
+                while time.monotonic() < deadline:
+                    for replica in session.pool.replicas:
+                        busy_on_a = (replica.busy
+                                     and replica.health == HEALTHY
+                                     and replica.backend.host == hosts[0])
+                        if busy_on_a:
+                            os.kill(daemon_a.pid, signal.SIGKILL)
+                            print(f"    SIGKILLed daemon {hosts[0]} "
+                                  f"(pid {daemon_a.pid}) mid-batch")
+                            return
+                    time.sleep(0.001)
+
+            print(f"[2] re-running the batch, killing {hosts[0]} mid-flight ...")
+            killer = threading.Thread(target=kill_host_a_when_busy)
+            killer.start()
+            results = session.query_batch(batch)
+            killer.join()
+            worst = max(
+                abs(value - delivery_probability(
+                    models[query.dest], inputs=[query.ingress]))
+                for query, value in zip(batch, results.values)
+            )
+            stats = session.pool.stats()
+            print(f"  batch completed anyway: {len(results)} answers, "
+                  f"max error {worst:.1e}")
+            print(f"  supervision: {stats['failovers']} failover(s), "
+                  f"{stats['remote_reconnects']} reconnect(s), "
+                  f"{stats['failures']} replica failure(s), "
+                  f"placement now {stats['hosts']}")
+            incident_spans = sorted({
+                record["name"]
+                for record in session.telemetry.tracer.spans()
+                if record["name"] in ("host-failover", "remote-reconnect",
+                                      "remote-local-fallback",
+                                      "heartbeat-missed")
+            })
+            print(f"  trace timeline events: {incident_spans}")
+    finally:
+        for daemon in (daemon_a, daemon_b):
+            if daemon.is_alive():
+                daemon.terminate()
+            daemon.join(timeout=5.0)
+
+
+if __name__ == "__main__":
+    main()

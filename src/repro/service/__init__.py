@@ -40,9 +40,22 @@ Architecture (**session → shards → pool → backend**):
   ``python -m repro.service serve``, an asyncio JSON-lines-over-TCP
   streaming front end with per-reply correlation ids, graceful lossless
   drain, and a queue-depth :class:`PoolAutoscaler`;
+* :mod:`repro.service.transport` — the :class:`Transport` abstraction
+  under process-hosted replicas: :class:`PipeTransport` wraps today's
+  duplex pipe, :class:`SocketTransport` speaks length-prefixed,
+  CRC-checksummed frames over TCP, with typed failures
+  (:class:`TransportClosed`, :class:`FrameError`) instead of hangs or
+  pickle errors;
+* :mod:`repro.service.host` — the worker-host daemon
+  (``python -m repro.service host``): serves locally-supervised worker
+  replicas over TCP to a :class:`RemoteBackendPool`
+  (``pool_mode="remote"``), which runs the *same* lease/affinity/steal
+  protocol across machines with heartbeat-based partition detection,
+  reconnect with exponential backoff, and transparent host failover;
 * :mod:`repro.service.faults` — the :class:`FaultPlan` fault-injection
   harness (``REPRO_FAULTS``): deterministic worker kills, reply delays,
-  and dropped pipes for chaos-testing the supervision layer;
+  dropped pipes, and transport-level network faults (partitions,
+  garbled frames, stalls) for chaos-testing the supervision layer;
 * :mod:`repro.service.telemetry` — zero-dependency observability: a
   :class:`Tracer` producing one span tree per request (``request →
   shard → lease → worker:query → phase:*``, propagated across the
@@ -84,13 +97,20 @@ from repro.service.coalesce import (
 )
 from repro.service.executor import ShardExecutor
 from repro.service.faults import Fault, FaultPlan
+from repro.service.host import HostServer
 from repro.service.pool import (
     BackendPool,
     PoolUnavailable,
     Replica,
     ReplicaFailure,
 )
-from repro.service.procpool import ProcessBackendPool, WorkerHandle
+from repro.service.procpool import (
+    ProcessBackendPool,
+    RemoteBackendPool,
+    RemoteWorkerHandle,
+    ReplicaClient,
+    WorkerHandle,
+)
 from repro.service.results import (
     QUERY_KINDS,
     Query,
@@ -117,6 +137,14 @@ from repro.service.telemetry import (
     Tracer,
     span_tree,
 )
+from repro.service.transport import (
+    FrameError,
+    PipeTransport,
+    SocketTransport,
+    Transport,
+    TransportClosed,
+    TransportError,
+)
 from repro.service.wire import QuerySpec, ResultSpec
 
 __all__ = [
@@ -131,8 +159,11 @@ __all__ = [
     "DeadlineExceeded",
     "Fault",
     "FaultPlan",
+    "FrameError",
+    "HostServer",
     "MetricsRegistry",
     "Overloaded",
+    "PipeTransport",
     "PoolAutoscaler",
     "PoolUnavailable",
     "ProcessBackendPool",
@@ -141,7 +172,10 @@ __all__ = [
     "QueryResult",
     "QuerySpec",
     "QueryServer",
+    "RemoteBackendPool",
+    "RemoteWorkerHandle",
     "Replica",
+    "ReplicaClient",
     "ReplicaFailure",
     "ResultSet",
     "ResultSpec",
@@ -151,10 +185,14 @@ __all__ = [
     "ShardPlanner",
     "ShardReport",
     "ShuttingDown",
+    "SocketTransport",
     "SpanContext",
     "StreamClient",
     "Telemetry",
     "Tracer",
+    "Transport",
+    "TransportClosed",
+    "TransportError",
     "Unavailable",
     "WorkerHandle",
     "get_planner",

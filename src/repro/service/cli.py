@@ -27,6 +27,12 @@ streaming front end (:mod:`repro.service.server`): newline-delimited
 JSON queries over TCP, coalesced across concurrent clients by an
 admission window — see ``serve --help`` and the README's "Serving
 streams" section.
+
+``python -m repro.service host ...`` runs a worker-host daemon
+(:mod:`repro.service.host`): it serves replica capacity over TCP to
+sessions started elsewhere with ``--pool-mode remote --remote-host
+HOST:PORT`` — see ``host --help`` and the README's "Remote replica
+hosts" section.
 """
 
 from __future__ import annotations
@@ -101,18 +107,29 @@ def _add_session_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--pool-size",
         type=int,
-        default=1,
+        default=None,
         help="independent backend replicas; shards lease one each, so "
-        "N>1 enables true parallel solves (default 1)",
+        "N>1 enables true parallel solves (default 1; remote mode "
+        "defaults to two replicas per host)",
     )
     parser.add_argument(
         "--pool-mode",
         default="thread",
-        choices=("thread", "process"),
+        choices=("thread", "process", "remote"),
         help="replica hosting: 'thread' shares the process (parallel in the "
         "GIL-releasing splu phase); 'process' gives every replica its own "
         "worker process fed by spec shipping, parallelising plan rebuild + "
-        "matrix assembly + solve end-to-end (default thread)",
+        "matrix assembly + solve end-to-end; 'remote' leases replicas from "
+        "worker-host daemons over TCP (needs --remote-host) (default thread)",
+    )
+    parser.add_argument(
+        "--remote-host",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="worker-host daemon to lease replicas from (repeatable; "
+        "remote mode only — start daemons with `python -m repro.service "
+        "host --bind HOST:PORT`)",
     )
     parser.add_argument(
         "--shard-timeout",
@@ -234,6 +251,14 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="autoscaler target of outstanding queries per replica",
     )
     parser.add_argument(
+        "--max-line-kib",
+        type=int,
+        default=1024,
+        help="bound on one request line in KiB (default 1024); longer "
+        "lines get a non-retryable 'too-large' error instead of a "
+        "dropped connection",
+    )
+    parser.add_argument(
         "--warm",
         action="store_true",
         help="pre-solve each --dest before accepting connections",
@@ -325,8 +350,12 @@ def load_queries(args: argparse.Namespace, topology) -> list[Query]:
 
 def build_session(args: argparse.Namespace, topology) -> AnalysisSession:
     """Open the session both entry points (batch and serve) share."""
-    if args.pool_size < 1:
+    if args.pool_size is not None and args.pool_size < 1:
         raise SystemExit("--pool-size must be >= 1")
+    if args.pool_mode == "remote" and not args.remote_host:
+        raise SystemExit("--pool-mode remote needs at least one --remote-host")
+    if args.remote_host and args.pool_mode != "remote":
+        raise SystemExit("--remote-host only makes sense with --pool-mode remote")
     if args.shard_attempts < 1:
         raise SystemExit("--shard-attempts must be >= 1")
     if not 0.0 < args.trace_sample <= 1.0:
@@ -341,6 +370,7 @@ def build_session(args: argparse.Namespace, topology) -> AnalysisSession:
         backend=args.backend,
         pool_size=args.pool_size,
         pool_mode=args.pool_mode,
+        hosts=args.remote_host,
         planner=args.planner,
         workers=args.workers,
         shard_timeout=args.shard_timeout,
@@ -377,7 +407,7 @@ def serve_main(
     args = build_serve_parser().parse_args(argv)
     if args.window_ms < 0:
         raise SystemExit("--window-ms must be >= 0")
-    if args.autoscale_max is not None and args.autoscale_max < args.pool_size:
+    if args.autoscale_max is not None and args.autoscale_max < (args.pool_size or 1):
         raise SystemExit("--autoscale-max must be >= --pool-size")
     return asyncio.run(_run_server(args, started_cb))
 
@@ -407,6 +437,7 @@ async def _run_server(args: argparse.Namespace, started_cb=None) -> int:
         ),
         autoscale_max=args.autoscale_max,
         autoscale_target=args.autoscale_target,
+        max_line_bytes=args.max_line_kib * 1024,
         owns_session=True,
     )
     await server.start()
@@ -450,6 +481,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "serve":
         return serve_main(list(argv[1:]))
+    if argv and argv[0] == "host":
+        from repro.service.host import host_main
+
+        return host_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     if args.repeat < 1:
         raise SystemExit("--repeat must be >= 1")
@@ -490,6 +525,16 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"pool: {pool['size']} {pool['mode']}-hosted replicas "
                 f"(pids {workers}), leases {pool['leases']}, "
                 f"{pool['steals']} steal(s), {pool['restarts']} restart(s)"
+            )
+        if pool["mode"] == "remote":
+            placement = ",".join(
+                f"{host}/{transport}"
+                for host, transport in zip(pool["hosts"], pool["transports"])
+            )
+            print(
+                f"hosts: {placement} — {pool.get('failovers', 0)} failover(s), "
+                f"{pool.get('remote_reconnects', 0)} reconnect(s), "
+                f"{sum(pool['heartbeat_misses'])} heartbeat miss(es)"
             )
         if pool["failures"] or stats["retried_shards"]:
             print(

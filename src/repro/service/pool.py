@@ -769,7 +769,15 @@ class BackendPool:
         return os.getpid() if pid is None else pid
 
     def stats(self) -> dict[str, object]:
-        """Pool shape, health, per-replica lease counts, and the affinity map."""
+        """Pool shape, health, per-replica lease counts, and the affinity map.
+
+        The per-replica ``hosts`` / ``transports`` / ``reconnects`` /
+        ``heartbeat_misses`` columns are uniform across pool modes:
+        thread replicas report ``local``/``inproc`` and zeros, process
+        replicas ``local``/``pipe``, and remote replicas their
+        ``HOST:PORT`` and wire-liveness counters — so dashboards and the
+        CLI read one shape regardless of where replicas live.
+        """
         with self._cv:
             return {
                 "mode": self.mode,
@@ -780,6 +788,22 @@ class BackendPool:
                 "health": [replica.health for replica in self.replicas],
                 "leases": [replica.leases for replica in self.replicas],
                 "workers": [self.worker_id(i) for i in range(len(self.replicas))],
+                "hosts": [
+                    getattr(replica.backend, "host", "local")
+                    for replica in self.replicas
+                ],
+                "transports": [
+                    getattr(replica.backend, "transport_kind", "inproc")
+                    for replica in self.replicas
+                ],
+                "reconnects": [
+                    getattr(replica.backend, "reconnects", 0)
+                    for replica in self.replicas
+                ],
+                "heartbeat_misses": [
+                    getattr(replica.backend, "heartbeat_misses", 0)
+                    for replica in self.replicas
+                ],
                 "affinities": {
                     key: index for key, index in sorted(
                         self._affinity.items(), key=lambda item: repr(item[0])

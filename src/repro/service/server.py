@@ -29,6 +29,8 @@ relative deadline; error codes (see :mod:`repro.service.wire`) are
 ``bad-request``, ``overloaded`` (retryable — the backpressure
 slow-down), ``unavailable`` (retryable — a backend replica crashed and
 the pool is respawning it), ``deadline-exceeded``, ``shutting-down``,
+``too-large`` (non-retryable — the request line exceeded the server's
+``max_line_bytes``; the line is discarded and the connection survives),
 and ``internal``.  :meth:`StreamClient.request` honours ``retry: true``
 with exponential backoff + full jitter when asked to
 (``retries=N``).  Control ops: ``ping``, ``stats``, ``metrics`` (the
@@ -176,6 +178,19 @@ class PoolAutoscaler:
 #: reply path on kernel round-trips and dominate per-query latency.
 _DRAIN_THRESHOLD = 64 * 1024
 
+#: Default bound on one JSON line, both directions (server request lines
+#: and client reply lines).  asyncio's StreamReader default is 64 KiB,
+#: which a legitimate large batch request (or a distribution reply) can
+#: exceed — and past it ``readline``/``readuntil`` *raise*, killing the
+#: connection.  1 MiB admits any realistic query line; genuinely
+#: oversized lines are refused in-protocol with a non-retryable
+#: ``too-large`` error instead of a dropped connection.
+DEFAULT_MAX_LINE = 1024 * 1024
+
+#: :meth:`QueryServer._read_line` sentinel: an oversized line was
+#: consumed and refused; the connection lives on.
+_OVERSIZE = object()
+
 
 class _Connection:
     """One client connection: its writer, a write lock, and its tasks."""
@@ -220,6 +235,11 @@ class QueryServer:
     owns_session:
         Close the session when the server stops (the CLI sets this; an
         embedding application managing its own session does not).
+    max_line_bytes:
+        Bound on one request line (default 1 MiB).  A longer line is
+        answered with a non-retryable ``too-large`` error and discarded;
+        the connection — and every other in-flight query on it — keeps
+        working.
     """
 
     def __init__(
@@ -237,10 +257,15 @@ class QueryServer:
         autoscale_interval: float = 0.05,
         autoscale_patience: int = 4,
         owns_session: bool = False,
+        max_line_bytes: int = DEFAULT_MAX_LINE,
     ):
+        if max_line_bytes < 1024:
+            raise ValueError("max_line_bytes must be >= 1024")
         self.session = session
         self.host = host
         self._requested_port = port
+        self.max_line_bytes = max_line_bytes
+        self._oversize_refused = 0
         self.default_deadline = default_deadline
         self._owns_session = owns_session
         self.coalescer = BatchCoalescer(
@@ -274,7 +299,8 @@ class QueryServer:
         """Bind the listener (and the autoscaler); returns ``self``."""
         self._loop = asyncio.get_running_loop()
         self._server = await asyncio.start_server(
-            self._on_client, self.host, self._requested_port
+            self._on_client, self.host, self._requested_port,
+            limit=self.max_line_bytes,
         )
         if self.autoscaler is not None:
             self.autoscaler.start()
@@ -351,7 +377,9 @@ class QueryServer:
         self._connections_served += 1
         try:
             while True:
-                line = await reader.readline()
+                line = await self._read_line(conn, reader)
+                if line is _OVERSIZE:
+                    continue  # refused in-protocol; the connection lives on
                 if not line:
                     break
                 line = line.strip()
@@ -371,6 +399,49 @@ class QueryServer:
                 await asyncio.gather(*list(conn.tasks), return_exceptions=True)
             if not self._stopping:
                 await self._close_connection(conn)
+
+    async def _read_line(self, conn: _Connection, reader: asyncio.StreamReader):
+        """One request line, ``b""`` at EOF, or :data:`_OVERSIZE`.
+
+        ``readline`` past the stream limit *raises* (asyncio buffers the
+        partial line and ``LimitOverrunError``/``ValueError`` escapes),
+        which historically killed the whole connection at the default
+        64 KiB limit.  Here the limit is ``max_line_bytes`` (via
+        ``start_server(limit=...)``), and a line that still exceeds it is
+        handled in-protocol: answer a non-retryable ``too-large`` error,
+        discard bytes until the line's newline goes by, and keep serving
+        the connection.
+        """
+        try:
+            return await reader.readuntil(b"\n")
+        except asyncio.IncompleteReadError as exc:
+            return exc.partial  # unterminated final line (or b"" at EOF)
+        except asyncio.LimitOverrunError as exc:
+            self._oversize_refused += 1
+            await self._send_error(
+                conn,
+                None,
+                "too-large",
+                f"request line exceeds {self.max_line_bytes} bytes; "
+                "it was discarded (raise the server's max_line_bytes "
+                "to admit larger lines)",
+            )
+            overrun = exc.consumed
+            while True:
+                # Drain the buffered prefix, then look for the newline
+                # again; a very long line may overrun several times.
+                while overrun > 0:
+                    chunk = await reader.read(min(overrun, 1 << 16))
+                    if not chunk:
+                        return b""
+                    overrun -= len(chunk)
+                try:
+                    await reader.readuntil(b"\n")
+                    return _OVERSIZE
+                except asyncio.IncompleteReadError:
+                    return b""
+                except asyncio.LimitOverrunError as exc:
+                    overrun = exc.consumed
 
     async def _serve_line(self, conn: _Connection, line: bytes) -> None:
         try:
@@ -476,6 +547,7 @@ class QueryServer:
             "connections": len(self._connections),
             "connections_served": self._connections_served,
             "queries_answered": self._queries_admitted,
+            "oversize_refused": self._oversize_refused,
             "coalescer": self.coalescer.stats(),
             "pool": {
                 "mode": pool["mode"],
@@ -509,8 +581,13 @@ class StreamClient:
         self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "StreamClient":
-        reader, writer = await asyncio.open_connection(host, port)
+    async def connect(
+        cls, host: str, port: int, *, limit: int = DEFAULT_MAX_LINE
+    ) -> "StreamClient":
+        # Same raised line limit as the server: distribution replies (and
+        # metrics scrapes) can legitimately exceed asyncio's 64 KiB
+        # default, and past it the reader raises instead of returning.
+        reader, writer = await asyncio.open_connection(host, port, limit=limit)
         return cls(reader, writer)
 
     async def _read_loop(self) -> None:

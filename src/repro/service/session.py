@@ -114,7 +114,8 @@ class AnalysisSession:
         in process mode it stays in the parent as the planner backend
         that compiles policies once and ships their specs to workers.
     pool_size:
-        Number of independent backend replicas (default 1).  With N > 1
+        Number of independent backend replicas (default 1; in remote
+        mode the default is two replicas per host).  With N > 1
         the backend must support ``fork()`` (the matrix backend does);
         backends that cannot fork degrade to a single replica, which
         behaves exactly like the historical one-backend session.
@@ -127,6 +128,19 @@ class AnalysisSession:
         matrix assembly, factorization, solve — runs outside the
         parent's GIL, at the price of per-query IPC and per-worker
         memory.  Requires a spec-shipping backend (matrix).
+        ``"remote"`` leases replicas on worker-host daemons over TCP
+        (:class:`~repro.service.procpool.RemoteBackendPool`): same
+        lease/affinity/steal protocol, same spec shipping, plus
+        heartbeat-based partition detection, reconnect with backoff,
+        and host-level failover.  Requires ``hosts``.
+    hosts:
+        Remote mode only: the worker-host daemons to lease replicas on,
+        as ``"HOST:PORT"`` strings (start daemons with ``python -m
+        repro.service host --bind HOST:PORT``).
+    remote_options:
+        Remote mode only: extra keyword arguments forwarded to
+        :class:`~repro.service.procpool.RemoteBackendPool` (heartbeat
+        cadence, reconnect backoff, ``local_fallback``, ...).
     planner:
         Default shard planner: a name (``"destination"``, ``"ingress"``,
         ``"round-robin"``, optionally ``"name:arg"``) or a
@@ -169,8 +183,10 @@ class AnalysisSession:
         models: Iterable[NetworkModel] | Mapping[int, NetworkModel] | None = None,
         model_factory: Callable[[int], NetworkModel] | None = None,
         backend: object | str | None = "matrix",
-        pool_size: int = 1,
+        pool_size: int | None = None,
         pool_mode: str = "thread",
+        hosts: Iterable[str] | None = None,
+        remote_options: Mapping[str, object] | None = None,
         planner: ShardPlanner | str | None = None,
         workers: int | None = None,
         cache: bool = True,
@@ -230,7 +246,7 @@ class AnalysisSession:
         if pool_mode == "thread":
             self._pool = BackendPool(
                 engine,
-                pool_size,
+                1 if pool_size is None else pool_size,
                 owns_base=self._owns_backend,
                 telemetry=self._telemetry,
             )
@@ -239,14 +255,32 @@ class AnalysisSession:
 
             self._pool = ProcessBackendPool(
                 engine,
-                pool_size,
+                1 if pool_size is None else pool_size,
                 owns_base=self._owns_backend,
                 shard_timeout=shard_timeout,
                 telemetry=self._telemetry,
             )
+        elif pool_mode == "remote":
+            from repro.service.procpool import RemoteBackendPool
+
+            if not hosts:
+                raise ValueError(
+                    "pool_mode='remote' needs hosts=['HOST:PORT', ...] "
+                    "(start them with `python -m repro.service host`)"
+                )
+            self._pool = RemoteBackendPool(
+                engine,
+                list(hosts),
+                pool_size,
+                owns_base=self._owns_backend,
+                shard_timeout=shard_timeout,
+                telemetry=self._telemetry,
+                **dict(remote_options or {}),
+            )
         else:
             raise ValueError(
-                f"unknown pool_mode {pool_mode!r}; expected 'thread' or 'process'"
+                f"unknown pool_mode {pool_mode!r}; expected 'thread', "
+                "'process', or 'remote'"
             )
         self._planner = get_planner(planner)
         self._executor = ShardExecutor(workers)

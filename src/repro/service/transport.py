@@ -1,0 +1,387 @@
+"""Transports: the worker wire protocol over pipes and TCP sockets.
+
+The worker protocol of :mod:`repro.service.procpool` is a sequence of
+plain picklable messages (``("plan", ...)`` / ``("query", QuerySpec)`` /
+``("result", ResultSpec, stats)`` ...).  Historically those messages
+travelled over one duplex :class:`multiprocessing.connection.Connection`
+per worker; remote replica hosts need the same conversation over TCP.
+This module abstracts the carrier:
+
+* :class:`PipeTransport` wraps today's duplex ``Pipe`` — zero framing of
+  its own (the ``Connection`` already length-prefixes), it only maps the
+  pipe's failure modes onto the typed :class:`TransportError` hierarchy;
+* :class:`SocketTransport` speaks **length-prefixed framed messages with
+  per-frame checksums** over a stream socket::
+
+      | magic "RPF1" | length u32 | crc32 u32 | pickled payload ... |
+
+  Big-endian header, CRC-32 over the payload bytes.  The magic makes
+  stream desynchronisation detectable, the length bounds allocation
+  (frames above ``max_frame_bytes`` are refused *before* reading the
+  body), and the checksum catches corruption that TCP's 16-bit checksum
+  misses — a garbled frame surfaces as a typed :class:`FrameError`, not
+  a pickle exception deep inside the unpickler.
+
+Failure taxonomy (what supervision keys off):
+
+* :class:`TransportClosed` — the peer is gone (EOF at a frame boundary,
+  reset, closed socket).  Subclasses :class:`EOFError` on purpose, so a
+  worker loop written against a raw ``Connection`` (``except (EOFError,
+  OSError)``) keeps working unmodified over any transport.
+* :class:`FrameError` — the stream is *corrupt* (truncated mid-frame,
+  checksum mismatch, bad magic, oversize declaration).  The connection
+  is unusable after this: framing cannot be trusted to resynchronise,
+  so callers tear the transport down and reconnect.
+* :class:`TransportTimeout` — ``recv(timeout=...)`` expired.
+
+All three map to ``ReplicaFailure(kind="transport")`` (or ``"crash"``
+for a clean close) in the remote worker handle, so the pool's
+quarantine/respawn machinery treats wire trouble exactly like local
+worker death.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import select
+import socket
+import struct
+import threading
+import time
+import zlib
+
+#: Frame header: magic, payload length, CRC-32 of the payload (big-endian).
+HEADER = struct.Struct("!4sII")
+
+#: Stream-desync canary at the start of every frame.
+MAGIC = b"RPF1"
+
+#: Default refusal bound for a single frame's payload (64 MiB).
+DEFAULT_MAX_FRAME = 64 * 1024 * 1024
+
+
+class TransportError(RuntimeError):
+    """Base class: the transport failed (closed, corrupt, or timed out)."""
+
+
+class TransportClosed(TransportError, EOFError):
+    """The peer closed the connection (EOF at a frame boundary, reset)."""
+
+
+class FrameError(TransportError):
+    """The framed stream is corrupt; ``reason`` is one of ``"truncated"``,
+    ``"checksum"``, ``"magic"``, or ``"oversize"``.  The connection cannot
+    be resynchronised and must be torn down."""
+
+    def __init__(self, message: str, *, reason: str):
+        super().__init__(message)
+        self.reason = reason
+
+
+class TransportTimeout(TransportError):
+    """``recv(timeout=...)`` expired before a complete frame arrived."""
+
+
+def encode_message(message: object, *, max_frame_bytes: int = DEFAULT_MAX_FRAME) -> bytes:
+    """One wire frame: header + pickled ``message``."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > max_frame_bytes:
+        raise FrameError(
+            f"outgoing frame of {len(payload)} bytes exceeds the "
+            f"{max_frame_bytes}-byte frame bound",
+            reason="oversize",
+        )
+    return HEADER.pack(MAGIC, len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_header(header: bytes, *, max_frame_bytes: int = DEFAULT_MAX_FRAME) -> tuple[int, int]:
+    """Validate a frame header; returns ``(payload_length, crc32)``."""
+    magic, length, crc = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise FrameError(
+            f"bad frame magic {magic!r} (stream desynchronised)", reason="magic"
+        )
+    if length > max_frame_bytes:
+        raise FrameError(
+            f"frame declares {length} bytes, above the {max_frame_bytes}-byte "
+            "bound (refusing to allocate)",
+            reason="oversize",
+        )
+    return length, crc
+
+
+def decode_payload(payload: bytes, crc: int) -> object:
+    """Checksum-verify and unpickle one frame payload."""
+    if zlib.crc32(payload) != crc:
+        raise FrameError(
+            "frame checksum mismatch (payload corrupted in transit)",
+            reason="checksum",
+        )
+    return pickle.loads(payload)
+
+
+def decode_message(frame: bytes, *, max_frame_bytes: int = DEFAULT_MAX_FRAME) -> object:
+    """Decode one complete frame (the in-memory inverse of
+    :func:`encode_message`; used by the codec tests)."""
+    if len(frame) < HEADER.size:
+        raise FrameError("truncated frame header", reason="truncated")
+    length, crc = decode_header(frame[: HEADER.size], max_frame_bytes=max_frame_bytes)
+    payload = frame[HEADER.size : HEADER.size + length]
+    if len(payload) < length:
+        raise FrameError(
+            f"truncated frame: header declares {length} bytes, got {len(payload)}",
+            reason="truncated",
+        )
+    return decode_payload(payload, crc)
+
+
+class Transport:
+    """The carrier protocol: blocking message send/recv plus liveness.
+
+    Both implementations expose ``fileno()`` so transports can sit in
+    ``select``/``multiprocessing.connection.wait`` sets next to process
+    sentinels — death detection stays select-driven, never poll-driven.
+    """
+
+    kind = "abstract"
+
+    def send(self, message: object) -> None:
+        raise NotImplementedError
+
+    def recv(self, timeout: float | None = None) -> object:
+        raise NotImplementedError
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        raise NotImplementedError
+
+    def fileno(self) -> int:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class PipeTransport(Transport):
+    """Today's duplex ``Pipe``, behind the transport surface.
+
+    The wrapped :class:`~multiprocessing.connection.Connection` already
+    frames and pickles; this class only translates its failure modes
+    (``EOFError``/``OSError``/``BrokenPipeError``) into the typed
+    transport errors the supervision layer switches on.
+    """
+
+    kind = "pipe"
+
+    def __init__(self, connection):
+        self.connection = connection
+
+    def send(self, message: object) -> None:
+        try:
+            self.connection.send(message)
+        except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as exc:
+            raise TransportClosed(f"pipe closed while sending: {exc}") from exc
+
+    def recv(self, timeout: float | None = None) -> object:
+        try:
+            if timeout is not None and not self.connection.poll(timeout):
+                raise TransportTimeout(f"no pipe message within {timeout:.3f}s")
+            return self.connection.recv()
+        except (EOFError, ConnectionResetError, OSError) as exc:
+            raise TransportClosed(f"pipe closed while receiving: {exc}") from exc
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        try:
+            return self.connection.poll(timeout)
+        except (EOFError, OSError):
+            return True  # readable-and-broken: let recv surface the close
+
+    def fileno(self) -> int:
+        return self.connection.fileno()
+
+    def close(self) -> None:
+        try:
+            self.connection.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+
+class SocketTransport(Transport):
+    """Length-prefixed, checksummed frames over a stream socket.
+
+    ``send`` is thread-safe (a lock serialises whole frames onto the
+    stream, so a heartbeat writer and a request writer never interleave
+    bytes); ``recv`` is single-consumer by design — exactly one reader
+    thread owns the inbound side, mirroring the one-outstanding-request
+    discipline of the pipe protocol.
+
+    Every inbound frame is bounded by ``max_frame_bytes`` *before* its
+    body is read, checksum-verified before unpickling, and magic-checked
+    against stream desynchronisation; any violation raises
+    :class:`FrameError` and poisons the connection (framing can no
+    longer be trusted, so the owner tears it down and reconnects).
+    """
+
+    kind = "tcp"
+
+    def __init__(self, sock: socket.socket, *, max_frame_bytes: int = DEFAULT_MAX_FRAME):
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # not TCP (e.g. an AF_UNIX socketpair in tests)
+        self._sock = sock
+        self._max_frame = max_frame_bytes
+        self._send_lock = threading.Lock()
+        self._closed = False
+
+    @classmethod
+    def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        timeout: float | None = 5.0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME,
+    ) -> "SocketTransport":
+        """Dial ``host:port`` and wrap the connection."""
+        sock = socket.create_connection((host, port), timeout=timeout)
+        sock.settimeout(None)
+        return cls(sock, max_frame_bytes=max_frame_bytes)
+
+    @property
+    def max_frame_bytes(self) -> int:
+        return self._max_frame
+
+    def send(self, message: object) -> None:
+        data = encode_message(message, max_frame_bytes=self._max_frame)
+        self._send_bytes(data)
+
+    def send_corrupted(self, message: object) -> None:
+        """Send ``message`` with one payload byte flipped (fault injection).
+
+        The frame header (and its declared length) stays intact, so the
+        receiver reads a complete, well-delimited frame whose checksum
+        does not match — exercising exactly the ``garble`` failure mode
+        the CRC exists to catch.
+        """
+        data = bytearray(encode_message(message, max_frame_bytes=self._max_frame))
+        data[HEADER.size] ^= 0xFF
+        self._send_bytes(bytes(data))
+
+    def _send_bytes(self, data: bytes) -> None:
+        with self._send_lock:
+            if self._closed:
+                raise TransportClosed("socket transport is closed")
+            try:
+                self._sock.sendall(data)
+            except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+                raise TransportClosed(f"socket closed while sending: {exc}") from exc
+
+    def recv(self, timeout: float | None = None) -> object:
+        header = self._recv_exact(HEADER.size, timeout, at_boundary=True)
+        length, crc = decode_header(header, max_frame_bytes=self._max_frame)
+        payload = self._recv_exact(length, timeout, at_boundary=False)
+        return decode_payload(payload, crc)
+
+    def _recv_exact(self, n: int, timeout: float | None, *, at_boundary: bool) -> bytes:
+        """Read exactly ``n`` bytes.
+
+        EOF before the first byte of a frame is an orderly close
+        (:class:`TransportClosed`); EOF anywhere else truncates a frame
+        (:class:`FrameError`).  The timeout, when given, bounds the whole
+        read.
+        """
+        buffer = io.BytesIO()
+        got = 0
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while got < n:
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TransportTimeout(
+                        f"no complete frame within {timeout:.3f}s"
+                    )
+                self._sock.settimeout(remaining)
+            try:
+                chunk = self._sock.recv(min(n - got, 1 << 20))
+            except socket.timeout as exc:
+                raise TransportTimeout(
+                    f"no complete frame within {timeout:.3f}s"
+                ) from exc
+            except (ConnectionResetError, OSError) as exc:
+                raise TransportClosed(f"socket closed while receiving: {exc}") from exc
+            finally:
+                if deadline is not None:
+                    try:
+                        self._sock.settimeout(None)
+                    except OSError:
+                        pass
+            if not chunk:
+                if at_boundary and got == 0:
+                    raise TransportClosed("peer closed the connection")
+                raise FrameError(
+                    f"truncated frame: expected {n} bytes, got {got} before EOF",
+                    reason="truncated",
+                )
+            buffer.write(chunk)
+            got += len(chunk)
+        return buffer.getvalue()
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        if self._closed:
+            return True
+        try:
+            ready, _, _ = select.select([self._sock], [], [], timeout)
+        except (OSError, ValueError):
+            return True
+        return bool(ready)
+
+    def peer_closed(self) -> bool:
+        """Whether the peer has closed, *without* consuming stream bytes.
+
+        Used by the host relay during an injected ``partition`` (which
+        must not read) to still notice an abandoned connection.
+        """
+        if self._closed:
+            return True
+        try:
+            chunk = self._sock.recv(1, socket.MSG_PEEK | socket.MSG_DONTWAIT)
+        except (BlockingIOError, InterruptedError):
+            return False
+        except OSError:
+            return True
+        return chunk == b""
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+
+__all__ = [
+    "DEFAULT_MAX_FRAME",
+    "HEADER",
+    "MAGIC",
+    "FrameError",
+    "PipeTransport",
+    "SocketTransport",
+    "Transport",
+    "TransportClosed",
+    "TransportError",
+    "TransportTimeout",
+    "decode_header",
+    "decode_message",
+    "decode_payload",
+    "encode_message",
+]

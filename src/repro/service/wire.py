@@ -56,6 +56,10 @@ ERROR_UNAVAILABLE = "unavailable"
 ERROR_DEADLINE_EXCEEDED = "deadline-exceeded"
 ERROR_SHUTTING_DOWN = "shutting-down"
 ERROR_INTERNAL = "internal"
+# Not retryable: resending the same oversized line fails identically
+# (the server refuses it before parsing; raise the server's
+# max_line_bytes instead).
+ERROR_TOO_LARGE = "too-large"
 
 #: Codes a client should retry after backing off: transient conditions
 #: (admission queue full; replica pool healing after a worker crash) —
@@ -212,6 +216,7 @@ __all__ = [
     "ERROR_INTERNAL",
     "ERROR_OVERLOADED",
     "ERROR_SHUTTING_DOWN",
+    "ERROR_TOO_LARGE",
     "ERROR_UNAVAILABLE",
     "RETRYABLE_ERROR_CODES",
     "DistSpec",

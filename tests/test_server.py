@@ -684,3 +684,73 @@ class TestClientBackoff:
         assert reply["error"]["code"] == "bad-request"
         assert retries == 0
         assert len(attempts) == 1
+
+
+# ---------------------------------------------------------------------------
+# Line limits: large requests served, oversize refused in-protocol
+# ---------------------------------------------------------------------------
+class TestLineLimits:
+    def test_request_line_over_64k_is_served(
+        self, session, all_pairs, per_call_values
+    ):
+        """Regression: a >64 KiB request line must be served, not dropped.
+
+        asyncio's default StreamReader limit is 64 KiB and ``readline``
+        *raises* past it, which used to kill the connection for any
+        large-but-valid line; the server now raises the stream limit to
+        ``max_line_bytes`` (default 1 MiB).
+        """
+        message = wire(all_pairs[0])
+        message["pad"] = "x" * (128 * 1024)  # ignored extra field
+        assert len(str(message)) > 64 * 1024
+
+        async def run():
+            async with QueryServer(session, window=0.0) as server:
+                conn = await StreamClient.connect("127.0.0.1", server.port)
+                reply = await conn.request(message)
+                await conn.aclose()
+                return reply
+
+        reply = asyncio.run(run())
+        assert "error" not in reply
+        assert reply["value"] == pytest.approx(per_call_values[0], abs=1e-9)
+
+    def test_oversize_line_refused_without_dropping_connection(
+        self, session, all_pairs, per_call_values
+    ):
+        """Past ``max_line_bytes`` the server answers a non-retryable
+        ``too-large`` error and keeps serving the same connection."""
+        import json
+
+        query = wire(all_pairs[0])
+
+        async def run():
+            async with QueryServer(
+                session, window=0.0, max_line_bytes=4096
+            ) as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                big = dict(query, id=1, pad="x" * (64 * 1024))
+                writer.write(json.dumps(big).encode() + b"\n")
+                await writer.drain()
+                refused = json.loads(await reader.readline())
+                # The same connection still serves ordinary queries.
+                writer.write(json.dumps(dict(query, id=2)).encode() + b"\n")
+                await writer.drain()
+                served = json.loads(await reader.readline())
+                stats = server.stats()
+                writer.close()
+                await writer.wait_closed()
+                return refused, served, stats
+
+        refused, served, stats = asyncio.run(run())
+        assert refused["error"]["code"] == "too-large"
+        assert refused["error"]["retry"] is False
+        assert served["id"] == 2
+        assert served["value"] == pytest.approx(per_call_values[0], abs=1e-9)
+        assert stats["oversize_refused"] == 1
+
+    def test_max_line_bytes_is_validated(self, session):
+        with pytest.raises(ValueError, match="max_line_bytes"):
+            QueryServer(session, max_line_bytes=100)
