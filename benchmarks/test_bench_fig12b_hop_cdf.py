@@ -99,8 +99,9 @@ def test_matrix_backend_batched_query(benchmark):
         cold_runs.append((time.perf_counter() - start, backend))
     cold_s, backend = min(cold_runs, key=lambda run: run[0])
     compile_s = backend.timings().get("compile", 0.0)
-    # "query" is the end-to-end query phase (its "build"/"solve" sub-phases
-    # are nested inside it, so they must not be summed on top).
+    # "query" is the end-to-end query phase (its "assemble"/"factorize"/
+    # "solve" sub-phases are nested inside it, so they must not be summed
+    # on top).
     query_s = min(
         candidate.timings().get("query", 0.0) for _, candidate in cold_runs
     )
@@ -123,7 +124,8 @@ def test_matrix_backend_batched_query(benchmark):
             ["compiled_native_query_s", round(compiled_s, 4)],
             ["matrix_compile_s", round(compile_s, 4)],
             ["matrix_query_s", round(query_s, 4)],
-            ["matrix_build_s", round(backend.timings().get("build", 0.0), 4)],
+            ["matrix_assemble_s", round(backend.timings().get("assemble", 0.0), 4)],
+            ["matrix_factorize_s", round(backend.timings().get("factorize", 0.0), 4)],
             ["matrix_solve_s", round(backend.timings().get("solve", 0.0), 4)],
             ["matrix_cold_total_s", round(cold_s, 4)],
             ["matrix_warm_query_s", round(warm_s, 4)],

@@ -904,6 +904,132 @@ def test_service_speedup(benchmark):
     )
 
 
+#: Synthetic growth workload of the Schur-update benchmark: a solved
+#: ``GROWTH_BASE``-state absorbing chain grows by ``GROWTH_STEP`` states
+#: per step, ``GROWTH_STEPS`` times.
+GROWTH_BASE = 2000
+GROWTH_STEP = 40
+GROWTH_STEPS = 12
+GROWTH_ROUNDS = 3
+
+
+def _growth_transitions(n: int):
+    """A prefix-closed layered absorbing chain with 8 shared sinks.
+
+    Each state couples to a few earlier states (so growth steps only add
+    border rows, the contract of the incremental solver) and sheds 30% of
+    its mass into the absorbing sinks.
+    """
+    import random
+
+    rng = random.Random(7)
+    transitions = {0: {"out0": 1.0}}
+    for i in range(1, n):
+        preds = sorted(rng.sample(range(max(0, i - 40), i), k=min(3, i)))
+        row = {p: 0.7 / len(preds) for p in preds}
+        row[f"out{rng.randrange(8)}"] = 0.25
+        sink = f"out{(i + 1) % 8}"
+        row[sink] = row.get(sink, 0.0) + 0.05
+        transitions[i] = row
+    return transitions
+
+
+def test_growth_update_speedup(benchmark):
+    """Schur-complement growth updates vs forced full refactorization.
+
+    A solved 2000-state absorbing chain grows by 40 states twelve times.
+    The :class:`IncrementalAbsorptionSolver` answers each step with a
+    Schur-complement border solve — factorizing only the 40x40 growth
+    block against the cached gateway rows — while the comparator is what
+    any non-incremental solver must do: re-factorize the full
+    ``(I - Q)`` of every state seen so far on every step.  The wall-clock
+    ratio is recorded as the ``growth_update_speedup`` metric of
+    ``BENCH_service.json`` and gated by CI against the committed
+    baseline; the Schur pass must additionally agree with the
+    from-scratch solves to 1e-9 and perform zero full factorizations
+    after its warmup solve (asserted via the solver's counters).
+    """
+    from repro.core.markov import IncrementalAbsorptionSolver, solve_absorption
+
+    total = GROWTH_BASE + GROWTH_STEP * GROWTH_STEPS
+    transitions = _growth_transitions(total)
+    targets = sorted({t for row in transitions.values() for t in row if isinstance(t, str)})
+
+    def measure():
+        with _quiesced_gc():
+            schur_times, scratch_times = [], []
+            for _ in range(GROWTH_ROUNDS):
+                solver = IncrementalAbsorptionSolver()
+                solver.solve(list(range(GROWTH_BASE)), transitions)  # untimed warmup
+                warm_factorizations = solver.factorizations
+                start = time.perf_counter()
+                for step in range(GROWTH_STEPS):
+                    upto = GROWTH_BASE + (step + 1) * GROWTH_STEP
+                    grown = solver.solve(list(range(upto)), transitions)
+                schur_times.append(time.perf_counter() - start)
+
+                start = time.perf_counter()
+                for step in range(GROWTH_STEPS):
+                    upto = GROWTH_BASE + (step + 1) * GROWTH_STEP
+                    scratch = solve_absorption(list(range(upto)), targets, transitions)
+                scratch_times.append(time.perf_counter() - start)
+            return min(schur_times), min(scratch_times), solver, warm_factorizations, grown, scratch
+
+    schur_s, scratch_s, solver, warm_factorizations, grown, scratch = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    # The growth steps ran as pure Schur updates: no full factorization
+    # after warmup, one border solve per step.
+    assert solver.factorizations == warm_factorizations
+    assert solver.schur_updates == GROWTH_STEPS
+    # ... and they agree with the from-scratch solves.
+    for state in range(total):
+        expected = scratch[state]
+        row = grown[state]
+        for outcome in set(expected) | set(row):
+            assert row.get(outcome, 0.0) == pytest.approx(
+                expected.get(outcome, 0.0), abs=1e-9
+            )
+    speedup = scratch_s / schur_s if schur_s else float("inf")
+    MEASURED["growth_update_speedup"] = speedup
+    RESULTS.append(
+        [
+            "growth: full refactorize",
+            GROWTH_STEPS,
+            f"{scratch_s:.3f}s",
+            f"{GROWTH_STEPS / scratch_s:.1f}",
+            f"{total} states",
+        ]
+    )
+    RESULTS.append(
+        [
+            "growth: schur updates",
+            GROWTH_STEPS,
+            f"{schur_s:.3f}s",
+            f"{GROWTH_STEPS / schur_s:.1f}",
+            f"{speedup:.1f}x, {GROWTH_STEP} states/step",
+        ]
+    )
+    record(
+        "service",
+        "Service throughput — sharded session vs naive per-call analysis (FatTree k=4)",
+        ["path", "queries", "time", "q/s", "notes"],
+        RESULTS,
+        metrics={
+            "growth_update_speedup": speedup,
+            "growth_schur_s": schur_s,
+            "growth_refactorize_s": scratch_s,
+        },
+    )
+    # Generous in-test floor (the CI gate against the committed baseline
+    # is the real watchdog): a 40-row border solve must beat twelve
+    # 2000+-state refactorizations by a wide margin.
+    assert speedup >= 5.0, (
+        f"Schur growth updates ({schur_s:.3f}s) not ≥5x faster than forced "
+        f"refactorization ({scratch_s:.3f}s) over the growth schedule"
+    )
+
+
 def test_report_service(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     print_table(

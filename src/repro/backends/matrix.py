@@ -34,6 +34,7 @@ from typing import Iterable, Sequence
 from repro.core import syntax as s
 from repro.core.compiler import Compiler, ops_evaluate_bool
 from repro.core.distributions import Dist
+from repro.core.fdd.evaluator import ClassRow
 from repro.core.fdd.matrix import (
     SymbolicPacket,
     TransitionMatrix,
@@ -60,7 +61,8 @@ class _LoopStage:
 
     The stage owns three caches that persist across queries:
 
-    * ``row_cache`` — symbolic class → one-step body transition row;
+    * ``row_cache`` — symbolic class → one-step body transition row
+      (:class:`~repro.core.fdd.evaluator.ClassRow` array segments);
     * ``solutions`` — transient class → absorption distribution;
     * ``matrix`` — the most recent reachable :class:`TransitionMatrix`.
 
@@ -69,7 +71,10 @@ class _LoopStage:
     classes act as absorbing gateways whose final distributions are
     composed in (:class:`~repro.core.markov.IncrementalAbsorptionSolver`)
     — so subsequent queries are pure cache hits and no class ever
-    participates in more than one factorization.
+    participates in more than one factorization.  Small growth steps
+    (below ``schur_crossover`` of the solved space) skip even that and
+    run the solver's Schur-complement low-rank update, counted by
+    :attr:`schur_updates` instead of :attr:`factorizations`.
     """
 
     def __init__(
@@ -79,6 +84,8 @@ class _LoopStage:
         body_fdd: FddNode,
         domains: dict[str, tuple[int, ...]],
         manager: FddManager,
+        schur_crossover: float = 0.25,
+        watch: Stopwatch | None = None,
     ):
         #: The source AST of the loop, when this stage was built from one.
         #: Purely informational: query evaluation only ever consults the
@@ -90,10 +97,14 @@ class _LoopStage:
         self.body_fdd = body_fdd
         self.domains = domains
         self.manager = manager
-        self.row_cache: dict[SymbolicPacket, Dist] = {}
+        self.schur_crossover = schur_crossover
+        self.watch = watch
+        self.row_cache: dict[SymbolicPacket, ClassRow] = {}
         self.solutions: dict[SymbolicPacket, Dist] = {}
         self.matrix: TransitionMatrix | None = None
-        self.solver = IncrementalAbsorptionSolver()
+        self.solver = IncrementalAbsorptionSolver(
+            schur_crossover=schur_crossover, watch=watch
+        )
         self._guard_cache: dict[SymbolicPacket, bool] = {}
         self._seeds: set[SymbolicPacket] = set()
         # Seeds kept in class order incrementally (one bisect per *new*
@@ -111,8 +122,13 @@ class _LoopStage:
 
     @property
     def factorizations(self) -> int:
-        """Linear-system factorizations performed so far (one per growth step)."""
+        """Full subsystem factorizations performed so far."""
         return self.solver.factorizations
+
+    @property
+    def schur_updates(self) -> int:
+        """Growth steps answered by the low-rank Schur update instead."""
+        return self.solver.schur_updates
 
     def guard_holds(self, cls: SymbolicPacket) -> bool:
         cached = self._guard_cache.get(cls)
@@ -256,10 +272,15 @@ class MatrixBackend:
         Accepted for registry symmetry with the native backend but must
         stay ``False``: the batched solver is float64 by design (use the
         native backend for exact rational loop solving).
+    schur_crossover:
+        Growth fraction above which a loop's incremental solver prefers a
+        fresh subsystem factorization over the Schur-complement low-rank
+        update (see :class:`~repro.core.markov.IncrementalAbsorptionSolver`).
     """
 
     exact: bool = False
     class_limit: int = 1_000_000
+    schur_crossover: float = 0.25
     watch: Stopwatch = field(default_factory=Stopwatch)
 
     def __post_init__(self) -> None:
@@ -270,6 +291,10 @@ class MatrixBackend:
             )
         self.manager = FddManager()
         self._compiler = Compiler(manager=self.manager, class_limit=self.class_limit)
+        #: Class rows written into transition matrices by this backend
+        #: (the vectorized-assembly work counter exported via
+        #: :meth:`solver_stats` and worker reports).
+        self.assembly_rows = 0
         #: How many plans this backend built by *compiling an AST* (the
         #: expensive path).  Plans rebuilt from published specs and adopted
         #: plans do not count — worker processes assert this stays 0.
@@ -308,8 +333,9 @@ class MatrixBackend:
         fdd = self.compile(policy)
         cached = self._matrices.get(fdd)
         if cached is None:
-            with self.watch.measure("build"):
+            with self.watch.measure("assemble"):
                 cached = fdd_to_matrix(fdd, limit=self.class_limit)
+            self.assembly_rows += cached.assembled_rows
             self._matrices[fdd] = cached
         return cached
 
@@ -355,7 +381,11 @@ class MatrixBackend:
             store = self._spec_store = PlanSpecStore()
             for policy, plan in self._plans.values():
                 store.publish(policy, self.manager.fields, self._stage_specs(plan))
-        replica = MatrixBackend(exact=self.exact, class_limit=self.class_limit)
+        replica = MatrixBackend(
+            exact=self.exact,
+            class_limit=self.class_limit,
+            schur_crossover=self.schur_crossover,
+        )
         replica._spec_store = store
         replica.manager.register_fields(self.manager.fields)
         return replica
@@ -423,6 +453,8 @@ class MatrixBackend:
                         node_from_spec(self.manager, body_spec),
                         dict(domains),
                         self.manager,
+                        schur_crossover=self.schur_crossover,
+                        watch=self.watch,
                     )
                 )
         return QueryPlan(policy, stages, specs=stage_specs)
@@ -501,6 +533,8 @@ class MatrixBackend:
                         body_fdd,
                         {f: tuple(sorted(v)) for f, v in domains.items()},
                         self.manager,
+                        schur_crossover=self.schur_crossover,
+                        watch=self.watch,
                     )
                 )
             else:
@@ -594,11 +628,37 @@ class MatrixBackend:
 
         ``"compile"`` covers FDD compilation and plan building;
         ``"query"`` is end-to-end query time, *inclusive* of its
-        ``"build"`` (reachable-matrix construction) and ``"solve"``
-        (factorization + batched solve) sub-phases, which are also
-        reported separately.
+        ``"assemble"`` (vectorized reachable-matrix construction),
+        ``"factorize"`` (``splu`` of a growth step's ``I − Q`` block),
+        and ``"solve"`` (batched right-hand-side solves) sub-phases,
+        which are also reported separately.
         """
         return dict(self.watch.sections)
+
+    def solver_stats(self) -> dict[str, int]:
+        """Cumulative numeric-kernel counters for introspection.
+
+        ``factorizations``/``schur_updates`` aggregate over every loop
+        stage of every cached or adopted plan (see
+        :class:`~repro.core.markov.IncrementalAbsorptionSolver`);
+        ``assembly_rows`` counts class rows written into transition
+        matrices by the vectorized assembly pass.  Worker processes ship
+        this dict home in their stats blob, so pool ``worker_reports()``
+        and CLI stats can show where replica time goes.
+        """
+        factorizations = 0
+        schur_updates = 0
+        plans = [plan for _policy, plan in self._plans.values()]
+        plans.extend(self._adopted.values())
+        for plan in plans:
+            for stage in plan.loop_stages:
+                factorizations += stage.factorizations
+                schur_updates += stage.schur_updates
+        return {
+            "factorizations": factorizations,
+            "schur_updates": schur_updates,
+            "assembly_rows": self.assembly_rows,
+        }
 
     @property
     def compiler(self) -> Compiler:
@@ -672,6 +732,8 @@ class MatrixBackend:
                         stage.body_fdd,
                         stage.domains,
                         stage.manager,
+                        schur_crossover=stage.schur_crossover,
+                        watch=stage.watch,
                     )
 
     # -- stage application ---------------------------------------------------------
@@ -744,7 +806,7 @@ class MatrixBackend:
         if entry_classes <= stage.solutions.keys():
             return
         stage.add_seeds(entry_classes)
-        with self.watch.measure("build"):
+        with self.watch.measure("assemble"):
             matrix = fdd_to_matrix(
                 stage.body_fdd,
                 extra_values=stage.domains,
@@ -753,6 +815,7 @@ class MatrixBackend:
                 absorbing_when=lambda cls: not stage.guard_holds(cls),
                 row_cache=stage.row_cache,
             )
+        self.assembly_rows += matrix.assembled_rows
         stage.matrix = matrix
         transient = [cls for cls in matrix.classes if stage.guard_holds(cls)]
         # The incremental solver only reads rows of not-yet-solved states
@@ -766,8 +829,10 @@ class MatrixBackend:
         }
         if not transitions:
             return
-        with self.watch.measure("solve"):
-            result = stage.solver.solve(transient, transitions)
+        # The solver reports its own "factorize"/"solve" sections on this
+        # backend's stopwatch (it was constructed with watch=self.watch),
+        # so no outer measurement wraps it — the phases stay disjoint.
+        result = stage.solver.solve(transient, transitions)
         for cls in transient:
             if cls in stage.solutions:
                 continue

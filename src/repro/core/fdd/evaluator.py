@@ -30,6 +30,8 @@ from __future__ import annotations
 
 from fractions import Fraction
 
+import numpy as np
+
 from repro.core import syntax as s
 from repro.core.distributions import Dist
 from repro.core.fdd.actions import ActionOrDrop, apply_action
@@ -64,6 +66,168 @@ def _leaf_of(node: FddNode, packet: Packet) -> Leaf:
             current = current.lo
     assert isinstance(current, Leaf)
     return current
+
+
+#: Leaf-uid -> (prepared actions tuple, float64 weight array); the
+#: vectorized analogue of :data:`_LeafCache`, used by the matrix-assembly
+#: hot path.  Each prepared action is ``None`` (identity), :data:`DROP`,
+#: or ``(action, mods_dict, len(mods))`` ready for in-place substitution
+#: over a class's sorted field pairs.  Uids are only unique within one
+#: :class:`FddManager`, so callers must scope a cache to a single FDD
+#: (``fdd_to_matrix`` keeps one per call).
+ClassRowCache = dict[int, tuple[tuple, "np.ndarray"]]
+
+
+class ClassRow:
+    """A transition row as parallel array segments instead of a ``Dist``.
+
+    ``outcomes[k]`` is the symbolic class (or :data:`DROP`) reached with
+    probability ``probs[k]`` (float64).  Duplicate outcomes are merged at
+    construction, so ``dict(row.items())`` is lossless — the property the
+    matrix backend relies on when handing rows to the absorption solver.
+    The :class:`~repro.core.distributions.Dist` API remains available for
+    callers that want it via :meth:`to_dist`.
+    """
+
+    __slots__ = ("outcomes", "probs")
+
+    def __init__(self, outcomes: tuple, probs: np.ndarray):
+        self.outcomes = outcomes
+        self.probs = probs
+
+    @classmethod
+    def from_items(cls, items) -> ClassRow:
+        """Build (merging duplicates) from ``(outcome, prob)`` pairs."""
+        merged: dict = {}
+        for outcome, prob in items:
+            value = float(prob)
+            if outcome in merged:
+                merged[outcome] += value
+            else:
+                merged[outcome] = value
+        return cls(
+            tuple(merged),
+            np.fromiter(merged.values(), dtype=np.float64, count=len(merged)),
+        )
+
+    def items(self):
+        """Iterate ``(outcome, float)`` pairs, mirroring ``Dist.items``."""
+        return zip(self.outcomes, self.probs.tolist())
+
+    def support(self):
+        return self.outcomes
+
+    def to_dist(self) -> Dist:
+        return Dist(dict(self.items()), check=False)
+
+
+def materialize_class_row(node: FddNode, cls, leaf_cache: ClassRowCache) -> ClassRow:
+    """Vectorized one-step transition row of symbolic class ``cls``.
+
+    Walks ``node`` to the leaf selected by the class (one dict lookup per
+    branch over the class's sorted ``values`` pairs), converts the leaf's
+    weight tuple to a cached float64 array plus *prepared* actions once
+    per distinct leaf, and applies those actions by in-place substitution
+    over the field pairs — no intermediate ``Dist``, no ``Fraction``
+    arithmetic, and no per-action dict rebuild on the hot path.
+    """
+    # The branch walk is the innermost loop of matrix assembly.  Ordered
+    # FDDs test one field as a linear chain of value branches (one per
+    # mentioned value — e.g. one per switch), so the descent is walked
+    # through per-chain jump tables: each maximal same-field chain costs
+    # one dict lookup instead of one comparison per value.  Tables are
+    # memoized on the manager (uids are unique per manager, diagrams are
+    # immutable).  A wildcard (``None``) class value misses every table
+    # key and falls through to the chain's default continuation, exactly
+    # like failing each test in sequence.
+    jumps = getattr(node.manager, "_jump_memo", None)
+    if jumps is None:
+        jumps = node.manager._jump_memo = {}
+    current = node
+    lookup = dict(cls.values).get
+    while type(current) is Branch:
+        entry = jumps.get(current.uid)
+        if entry is None:
+            field = current.field
+            table = {}
+            chain = current
+            while type(chain) is Branch and chain.field == field:
+                if chain.value not in table:
+                    table[chain.value] = chain.hi
+                chain = chain.lo
+            entry = jumps[current.uid] = (field, table, chain)
+        field, table, default = entry
+        current = table.get(lookup(field), default)
+    cached = leaf_cache.get(current.uid)
+    if cached is None:
+        pairs = list(current.dist.items())
+        prepared = []
+        for action, _ in pairs:
+            if isinstance(action, _DropType):
+                prepared.append(DROP)
+            elif action.is_identity():
+                prepared.append(None)
+            else:
+                # [action, substitution] — the substitution slot starts
+                # unset (None) and is filled on first application: every
+                # class in one assembly shares the same sorted field
+                # sequence, so each modified field sits at a fixed index.
+                prepared.append([action, None])
+        cached = (
+            tuple(prepared),
+            np.array([float(prob) for _, prob in pairs], dtype=np.float64),
+        )
+        leaf_cache[current.uid] = cached
+    prepared_actions, probs = cached
+    values = cls.values
+    outcome_type = type(cls)
+    outcomes_list = []
+    append = outcomes_list.append
+    for prep in prepared_actions:
+        if prep is None:
+            append(cls)
+            continue
+        if prep is DROP:
+            append(DROP)
+            continue
+        action, subst = prep
+        if subst is None:
+            names = [field for field, _ in values]
+            positions = []
+            for field, modded in dict(action.mods).items():
+                if field in names:
+                    positions.append((names.index(field), (field, modded)))
+                else:
+                    positions = None  # a mod outside the class's fields
+                    break
+            subst = prep[1] = False if positions is None else tuple(positions)
+        if subst is False:
+            append(cls.apply_action(action))
+            continue
+        updated = list(values)
+        valid = True
+        for i, pair in subst:
+            if updated[i][0] != pair[0]:
+                valid = False  # field layout changed: generic fallback
+                break
+            updated[i] = pair
+        if not valid:
+            append(cls.apply_action(action))
+            continue
+        outcome = object.__new__(outcome_type)
+        object.__setattr__(outcome, "values", tuple(updated))
+        append(outcome)
+    outcomes = tuple(outcomes_list)
+    if len(outcomes) > 1 and len(set(outcomes)) != len(outcomes):
+        merged: dict = {}
+        for outcome, prob in zip(outcomes, probs):
+            if outcome in merged:
+                merged[outcome] += prob
+            else:
+                merged[outcome] = prob
+        outcomes = tuple(merged)
+        probs = np.fromiter(merged.values(), dtype=np.float64, count=len(merged))
+    return ClassRow(outcomes, probs)
 
 
 class _Segment:

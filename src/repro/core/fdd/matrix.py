@@ -15,19 +15,31 @@ The main entry points are:
 * :func:`matrix_to_fdd` — convert class-indexed transition rows back into
   a canonical FDD (used after solving loops);
 * :func:`enumerate_classes` — enumerate the symbolic domain.
+
+Assembly is *vectorized*: BFS exploration and matrix assembly share one
+pass, each class's transition row is materialized once as array segments
+(:func:`class_row`, backed by
+:func:`repro.core.fdd.evaluator.materialize_class_row`), and the COO
+triplets accumulate in geometrically grown flat numpy buffers so the
+sparse matrix is built with a single ``csr_matrix((data, (rows, cols)))``
+call — no Python-level ``list.append`` per nonzero.  The pre-vectorization
+per-row path survives as :func:`fdd_to_matrix_reference` for equivalence
+tests and the ``assembly_speedup`` benchmark.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Callable, Iterable, Mapping, MutableMapping, Sequence
 
+import numpy as np
 from scipy.sparse import csr_matrix
 
 from repro.core.distributions import Dist
 from repro.core.fdd.actions import Action, ActionOrDrop
+from repro.core.fdd.evaluator import ClassRow, ClassRowCache, materialize_class_row
 from repro.core.fdd.node import Branch, FddManager, FddNode, Leaf, mentioned_values
 from repro.core.packet import DROP, Packet, _DropType
 
@@ -196,8 +208,30 @@ def evaluate_class(node: FddNode, cls: SymbolicPacket) -> Dist[ActionOrDrop]:
 
 
 def class_transition(node: FddNode, cls: SymbolicPacket) -> Dist["SymbolicPacket | _DropType"]:
-    """The distribution over successor classes induced by an FDD."""
+    """The distribution over successor classes induced by an FDD.
+
+    Returns a :class:`Dist` (exact weights preserved) — the API exact-mode
+    callers rely on.  The float matrix-assembly hot path uses
+    :func:`class_row` instead.
+    """
     return evaluate_class(node, cls).map(cls.apply_action)
+
+
+def class_row(
+    node: FddNode,
+    cls: SymbolicPacket,
+    leaf_cache: ClassRowCache | None = None,
+) -> ClassRow:
+    """The float64 transition row of ``cls`` as array segments.
+
+    The vectorized counterpart of :func:`class_transition`: one FDD walk,
+    the leaf's weights converted to a cached float64 array, and the
+    class's action applications materialized as parallel outcome/prob
+    arrays with duplicates merged.  ``leaf_cache`` (keyed by leaf uid, so
+    it must not be shared across FDD managers) amortises the weight
+    conversion across the classes of one assembly pass.
+    """
+    return materialize_class_row(node, cls, {} if leaf_cache is None else leaf_cache)
 
 
 @dataclass
@@ -205,12 +239,16 @@ class TransitionMatrix:
     """A sparse right-stochastic matrix over symbolic packet classes.
 
     The last column/row index (``len(classes)``) represents the drop
-    outcome, which is absorbing by convention.
+    outcome, which is absorbing by convention.  ``assembled_rows`` counts
+    the class rows materialized while building this matrix (rows served
+    from a caller's ``row_cache`` count too — they still had to be written
+    into the triplet buffers).
     """
 
     classes: list[SymbolicPacket]
     matrix: csr_matrix
     domains: dict[str, tuple[int, ...]]
+    assembled_rows: int = field(default=0, compare=False)
 
     @property
     def drop_index(self) -> int:
@@ -239,12 +277,32 @@ class TransitionMatrix:
         return bool(abs(sums - 1.0).max() <= tolerance)
 
 
+def _mentioned_values_memo(node: FddNode) -> dict[str, set[int]]:
+    """Per-manager memo of :func:`mentioned_values` (FDDs are immutable).
+
+    Incremental exploration re-assembles the same body FDD on every
+    growth step; the diagram walk collecting mentioned values is pure, so
+    it runs once per distinct node per manager.  The memo lives on the
+    manager (uids are only unique within one), and dies with it.
+    """
+    manager = node.manager
+    memo = getattr(manager, "_mentioned_memo", None)
+    if memo is None:
+        memo = manager._mentioned_memo = {}
+    cached = memo.get(node.uid)
+    if cached is None:
+        cached = memo[node.uid] = mentioned_values(node)
+    return cached
+
+
 def matrix_domains(
     node: FddNode,
     extra_values: Mapping[str, Iterable[int]] | None = None,
 ) -> dict[str, set[int]]:
     """The symbolic field domains induced by an FDD (plus extra values)."""
-    domains: dict[str, set[int]] = {f: set(v) for f, v in mentioned_values(node).items()}
+    domains: dict[str, set[int]] = {
+        f: set(v) for f, v in _mentioned_values_memo(node).items()
+    }
     for field, values in (extra_values or {}).items():
         domains.setdefault(field, set()).update(values)
     return domains
@@ -257,11 +315,64 @@ def project_class(cls: SymbolicPacket, domains: Mapping[str, Iterable[int]]) -> 
     the target domain collapse to the wildcard.  Used to align seed
     classes produced against one FDD's domain with another's.
     """
+    lookup = dict(cls.values).get
     values: dict[str, int | None] = {}
     for field, mentioned in domains.items():
-        value = cls.value(field)
+        value = lookup(field)
         values[field] = value if value in mentioned else WILDCARD
     return SymbolicPacket(values)
+
+
+class _TripletBuffer:
+    """Flat COO triplet buffers grown geometrically (the assembly arena).
+
+    Row/column indices and probabilities are written by slice assignment
+    into preallocated int64/float64 arrays; the arrays double when full.
+    One :func:`csr_matrix` call consumes them at the end of assembly.
+    """
+
+    __slots__ = ("rows", "cols", "data", "size")
+
+    def __init__(self, capacity: int = 1024):
+        self.rows = np.empty(capacity, dtype=np.int64)
+        self.cols = np.empty(capacity, dtype=np.int64)
+        self.data = np.empty(capacity, dtype=np.float64)
+        self.size = 0
+
+    def _reserve(self, extra: int) -> None:
+        need = self.size + extra
+        capacity = self.rows.shape[0]
+        if need <= capacity:
+            return
+        while capacity < need:
+            capacity *= 2
+        for name in ("rows", "cols", "data"):
+            old = getattr(self, name)
+            grown = np.empty(capacity, dtype=old.dtype)
+            grown[: self.size] = old[: self.size]
+            setattr(self, name, grown)
+
+    def append_row(self, row_index: int, cols: np.ndarray, probs: np.ndarray) -> None:
+        count = len(cols)
+        self._reserve(count)
+        start, end = self.size, self.size + count
+        self.rows[start:end] = row_index
+        self.cols[start:end] = cols
+        self.data[start:end] = probs
+        self.size = end
+
+    def append_one(self, row_index: int, col_index: int, value: float) -> None:
+        self._reserve(1)
+        self.rows[self.size] = row_index
+        self.cols[self.size] = col_index
+        self.data[self.size] = value
+        self.size += 1
+
+
+#: Column sentinel for the drop outcome while its index (``len(classes)``)
+#: is still unknown during seeded BFS; patched in bulk before the final
+#: ``csr_matrix`` call.
+_DROP_SENTINEL = -1
 
 
 def fdd_to_matrix(
@@ -270,7 +381,7 @@ def fdd_to_matrix(
     limit: int | None = 1_000_000,
     seeds: Iterable[SymbolicPacket] | None = None,
     absorbing_when: Callable[[SymbolicPacket], bool] | None = None,
-    row_cache: MutableMapping[SymbolicPacket, Dist] | None = None,
+    row_cache: MutableMapping[SymbolicPacket, ClassRow] | None = None,
 ) -> TransitionMatrix:
     """Convert an FDD to a sparse stochastic matrix over symbolic classes.
 
@@ -285,7 +396,117 @@ def fdd_to_matrix(
     ``absorbing_when`` marks classes that should not be expanded further
     — they receive a self-loop row, turning the matrix into the absorbing
     chain of a loop whose exit condition is the predicate.  ``row_cache``
-    memoises class transition rows across repeated (incremental) calls.
+    memoises class transition rows (:class:`ClassRow` values) across
+    repeated incremental calls.
+
+    Exploration and assembly share one pass: each class's row is
+    materialized exactly once (via :func:`class_row`), written straight
+    into flat triplet buffers, and its previously unseen outcomes join
+    the BFS frontier.  Drop outcomes are recorded under a ``-1`` sentinel
+    column and patched to the final drop index in one vectorized store.
+    """
+    domains = matrix_domains(node, extra_values)
+    leaf_cache: ClassRowCache = {}
+    buffer = _TripletBuffer()
+
+    def row_of(cls: SymbolicPacket) -> ClassRow:
+        row = row_cache.get(cls) if row_cache is not None else None
+        if row is None:
+            row = class_row(node, cls, leaf_cache)
+            if row_cache is not None:
+                row_cache[cls] = row
+        elif not isinstance(row, ClassRow):
+            # A caller-populated cache may hold legacy Dist rows.
+            row = ClassRow.from_items(row.items())
+            row_cache[cls] = row
+        return row
+
+    if seeds is None:
+        classes = enumerate_classes(domains, limit=limit)
+        index = {cls: i for i, cls in enumerate(classes)}
+        for i, cls in enumerate(classes):
+            if absorbing_when is not None and absorbing_when(cls):
+                buffer.append_one(i, i, 1.0)
+                continue
+            row = row_of(cls)
+            outcomes = row.outcomes
+            cols = np.empty(len(outcomes), dtype=np.int64)
+            for k, outcome in enumerate(outcomes):
+                cols[k] = (
+                    _DROP_SENTINEL
+                    if isinstance(outcome, _DropType)
+                    else index[outcome]
+                )
+            buffer.append_row(i, cols, row.probs)
+    else:
+        frontier = [project_class(cls, domains) for cls in seeds]
+        index = {}
+        classes = []
+        for cls in frontier:
+            if cls not in index:
+                index[cls] = len(classes)
+                classes.append(cls)
+        cursor = 0
+        while cursor < len(classes):
+            cls = classes[cursor]
+            i = cursor
+            cursor += 1
+            if absorbing_when is not None and absorbing_when(cls):
+                buffer.append_one(i, i, 1.0)
+                continue
+            row = row_of(cls)
+            outcomes = row.outcomes
+            cols = np.empty(len(outcomes), dtype=np.int64)
+            for k, outcome in enumerate(outcomes):
+                if isinstance(outcome, _DropType):
+                    cols[k] = _DROP_SENTINEL
+                    continue
+                j = index.get(outcome)
+                if j is None:
+                    j = index[outcome] = len(classes)
+                    classes.append(outcome)
+                cols[k] = j
+            buffer.append_row(i, cols, row.probs)
+            if limit is not None and len(classes) > limit:
+                raise DomainTooLargeError(
+                    f"reachable symbolic space exceeds the limit {limit}"
+                )
+
+    drop_index = len(classes)
+    # The drop row is absorbing.
+    buffer.append_one(drop_index, drop_index, 1.0)
+
+    rows_arr = buffer.rows[: buffer.size]
+    cols_arr = buffer.cols[: buffer.size]
+    data_arr = buffer.data[: buffer.size]
+    cols_arr[cols_arr < 0] = drop_index
+
+    size = len(classes) + 1
+    matrix = csr_matrix((data_arr, (rows_arr, cols_arr)), shape=(size, size))
+    return TransitionMatrix(
+        classes=classes,
+        matrix=matrix,
+        domains={f: tuple(sorted(v)) for f, v in domains.items()},
+        assembled_rows=len(classes),
+    )
+
+
+def fdd_to_matrix_reference(
+    node: FddNode,
+    extra_values: Mapping[str, Iterable[int]] | None = None,
+    limit: int | None = 1_000_000,
+    seeds: Iterable[SymbolicPacket] | None = None,
+    absorbing_when: Callable[[SymbolicPacket], bool] | None = None,
+    row_cache: MutableMapping[SymbolicPacket, Dist] | None = None,
+) -> TransitionMatrix:
+    """Pre-vectorization assembly, kept verbatim as a reference oracle.
+
+    Two passes (BFS exploration, then per-row assembly), ``Dist``-valued
+    rows via :func:`class_transition`, and per-nonzero ``list.append`` —
+    including the historical quirk that without a ``row_cache`` every
+    class's row is computed twice.  Used by the equivalence property
+    tests and the ``assembly_speedup`` benchmark; production callers use
+    :func:`fdd_to_matrix`.
     """
     domains = matrix_domains(node, extra_values)
 

@@ -329,16 +329,21 @@ class Interpreter:
     def loop_stats(self) -> dict[str, int]:
         """Aggregate statistics over every loop this interpreter has solved.
 
-        ``factorizations`` counts actual linear-system factorizations
+        ``factorizations`` counts full linear-system factorizations
         (growth events); repeated seeds over an already-solved state
-        space do not increase it.  ``compiled_loops`` counts loops whose
-        bodies run on the compiled-FDD fast path.
+        space do not increase it, and small growth steps answered by the
+        Schur-complement low-rank path count under ``schur_updates``
+        instead.  ``compiled_loops`` counts loops whose bodies run on
+        the compiled-FDD fast path.
         """
         return {
             "loops": len(self._loop_nodes),
             "states": sum(len(rows) for rows in self._loop_rows.values()),
             "factorizations": sum(
                 solver.factorizations for solver in self._loop_solvers.values()
+            ),
+            "schur_updates": sum(
+                solver.schur_updates for solver in self._loop_solvers.values()
             ),
             "compiled_loops": sum(
                 1

@@ -18,6 +18,12 @@ Three solvers are provided:
   for small systems (mirrors the paper's use of exact arithmetic in the
   frontend and is used by the reference semantics and unit tests).
 
+On top of these, :class:`IncrementalAbsorptionSolver` solves a chain that
+*grows* over time: each growth step factorizes only the newly discovered
+states, and small steps (m new states on n solved, m ≪ n) skip the full
+subsystem machinery entirely via a Schur-complement low-rank update that
+factors just the m×m block ``I − Q_new``.
+
 All accept the chain in a sparse "dict of rows" form; the dict-returning
 solvers produce dense row dictionaries mapping absorbing states to
 probabilities.  Probability mass that cannot reach any absorbing state
@@ -27,11 +33,13 @@ drop outcome, which is the correct limit semantics for guarded loops.
 
 from __future__ import annotations
 
+import warnings
+from contextlib import nullcontext
 from fractions import Fraction
 from typing import Hashable, Mapping, Sequence, TypeVar
 
 import numpy as np
-from scipy.sparse import csc_matrix, identity
+from scipy.sparse import csc_matrix, csr_matrix, identity
 from scipy.sparse.linalg import splu
 
 State = TypeVar("State", bound=Hashable)
@@ -282,23 +290,60 @@ class IncrementalAbsorptionSolver:
     small — factorization, instead of the whole chain being re-solved
     from scratch on every new seed.
 
+    Small growth steps go further: when m new states join an n-state
+    solved chain with ``m <= schur_crossover * n``, the float path runs a
+    *Schur-complement growth update* (:meth:`_schur_update`) instead of a
+    fresh subsystem factorization.  Because exploration closes forward
+    reachability, the old→new coupling block ``C`` of the bordered system
+    is structurally zero, so the Schur complement
+    ``I − Q_new − B·(I−Q_old)^{-1}·C`` collapses to the m×m block
+    ``I − Q_new``; the update factors only that block and composes the
+    gateway distributions by one dense matrix product ``B·G`` rather than
+    per-entry Python dict loops.  Successful updates increment
+    :attr:`schur_updates` and leave :attr:`factorizations` untouched — the
+    counter pair backends and telemetry export.  When a solve shows
+    degraded conditioning (negative mass or row sums above one beyond the
+    LU tolerance), the solver warns once and falls back to a fresh
+    subsystem factorization for that step.
+
     Attributes
     ----------
     factorizations:
-        Number of linear-system factorizations performed (one per growth
-        step).  Callers use this to assert that repeated seeds over an
-        already-solved state space perform no linear algebra at all.
+        Number of full subsystem factorizations performed.  Callers use
+        this to assert that repeated seeds over an already-solved state
+        space perform no linear algebra at all, and that small growth
+        steps avoid full factorizations entirely.
+    schur_updates:
+        Number of growth steps answered by the low-rank Schur path.
+    schur_crossover:
+        Growth fraction above which a fresh factorization is cheaper than
+        the Schur update (default ``0.25``): the update runs only while
+        ``m <= schur_crossover * n_solved``.
     system:
-        The :class:`AbsorptionSystem` of the most recent float subsystem
-        solve (``None`` before the first solve and in exact mode).
+        The :class:`AbsorptionSystem` of the most recent full subsystem
+        solve (``None`` before the first solve and in exact mode; Schur
+        updates do not replace it).
     """
 
-    def __init__(self, exact: bool = False):
+    def __init__(
+        self,
+        exact: bool = False,
+        schur_crossover: float = 0.25,
+        watch=None,
+    ):
         self.exact = exact
+        self.schur_crossover = schur_crossover
+        self.watch = watch
         self.factorizations = 0
+        self.schur_updates = 0
         self.system: AbsorptionSystem | None = None
         self._solutions: dict[State, dict[State, Fraction | float]] = {}
         self._lost: dict[State, Fraction | float] = {}
+        self._schur_warned = False
+
+    def _measure(self, name: str):
+        """A ``watch.measure`` section, or a no-op without a stopwatch."""
+        return self.watch.measure(name) if self.watch is not None else nullcontext()
 
     @property
     def solved_states(self) -> frozenset:
@@ -362,14 +407,35 @@ class IncrementalAbsorptionSolver:
                 elif successor not in target_set:
                     target_set.add(successor)
                     targets.append(successor)
+        if (
+            not self.exact
+            and solutions
+            and len(new) <= self.schur_crossover * len(solutions)
+        ):
+            if self._schur_update(new, transitions, gateways, targets):
+                return
+            if not self._schur_warned:
+                self._schur_warned = True
+                warnings.warn(
+                    "Schur-complement growth update detected degraded "
+                    "conditioning; falling back to a fresh subsystem "
+                    "factorization",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
         sub_absorbing = targets + gateways
         sub_transitions = {state: transitions[state] for state in new}
         if self.exact:
-            result = solve_absorption_exact(new, sub_absorbing, sub_transitions)
+            with self._measure("factorize"):
+                result = solve_absorption_exact(new, sub_absorbing, sub_transitions)
             self.system = None
         else:
-            self.system = solve_absorption_batched(new, sub_absorbing, sub_transitions)
-            result = self.system.result()
+            with self._measure("factorize"):
+                self.system = solve_absorption_batched(
+                    new, sub_absorbing, sub_transitions
+                )
+            with self._measure("solve"):
+                result = self.system.result()
         self.factorizations += 1
 
         zero: Fraction | float = Fraction(0) if self.exact else 0.0
@@ -388,6 +454,148 @@ class IncrementalAbsorptionSolver:
                     final[target] = final.get(target, zero) + probability
             solutions[state] = final
             self._lost[state] = lost
+
+    def _schur_update(
+        self,
+        new: list[State],
+        transitions: Mapping[State, Mapping[State, float | Fraction]],
+        gateways: list[State],
+        targets: list[State],
+    ) -> bool:
+        """Solve a small growth step via the Schur complement, in place.
+
+        Forward exploration closes reachability, so solved states never
+        point back into the growth block: the old→new coupling ``C`` of
+        the bordered system is structurally zero and the Schur complement
+        ``I − Q_new − B·(I−Q_old)^{-1}·C`` is just the m×m block
+        ``I − Q_new``.  The final absorption rows are then
+
+            ``A_new = (I − Q_new)^{-1} · (R_new + B · G)``
+
+        where ``B`` couples new states to solved gateways and ``G``
+        stacks the gateways' (final) absorption rows — one sparse-dense
+        product instead of per-entry dict composition.  Lost mass falls
+        out of the same algebra: a gateway's divergence shrinks its row
+        sum of ``G``, so each new state's deficit ``1 − Σ A_new`` already
+        includes mass forwarded into diverging gateways.
+
+        Returns ``True`` after committing solutions for every new state.
+        Returns ``False`` — leaving the solver untouched — when the solve
+        shows degraded conditioning, so the caller can redo the step with
+        a fresh full factorization.
+        """
+        solutions = self._solutions
+        sub_transitions = {state: transitions[state] for state in new}
+        reaching = _states_reaching_absorption(
+            new, targets + gateways, sub_transitions
+        )
+        live = [state for state in new if state in reaching]
+        doomed = [state for state in new if state not in reaching]
+        doomed_set = set(doomed)
+
+        outcome_index: dict[State, int] = {}
+        outcomes: list[State] = []
+
+        def outcome_id(outcome: State) -> int:
+            j = outcome_index.get(outcome)
+            if j is None:
+                j = outcome_index[outcome] = len(outcomes)
+                outcomes.append(outcome)
+            return j
+
+        m = len(live)
+        if m == 0:
+            for state in doomed:
+                solutions[state] = {}
+                self._lost[state] = 1.0
+            self.schur_updates += 1
+            return True
+
+        t_index = {state: i for i, state in enumerate(live)}
+        g_index = {gateway: k for k, gateway in enumerate(gateways)}
+        q_rows: list[int] = []
+        q_cols: list[int] = []
+        q_data: list[float] = []
+        b_rows: list[int] = []
+        b_cols: list[int] = []
+        b_data: list[float] = []
+        r_entries: list[tuple[int, int, float]] = []
+        for state in live:
+            i = t_index[state]
+            for succ, prob in transitions[state].items():
+                p = float(prob)
+                if p == 0.0:
+                    continue
+                if succ in t_index:
+                    q_rows.append(i)
+                    q_cols.append(t_index[succ])
+                    q_data.append(p)
+                elif succ in g_index:
+                    b_rows.append(i)
+                    b_cols.append(g_index[succ])
+                    b_data.append(p)
+                elif succ in doomed_set:
+                    continue  # mass entering a doomed state can never be absorbed
+                else:
+                    r_entries.append((i, outcome_id(succ), p))
+
+        # Gateway absorption rows register their outcomes too, so the
+        # outcome index is complete only after this pass.
+        gateway_rows = [
+            [(outcome_id(outcome), float(weight)) for outcome, weight in solutions[g].items()]
+            for g in gateways
+        ]
+        n_out = len(outcomes)
+
+        rhs = np.zeros((m, n_out))
+        for i, j, p in r_entries:
+            rhs[i, j] += p
+        if gateways:
+            g_dense = np.zeros((len(gateways), n_out))
+            for k, row in enumerate(gateway_rows):
+                for j, weight in row:
+                    g_dense[k, j] += weight
+            b_mat = csr_matrix(
+                (b_data, (b_rows, b_cols)), shape=(m, len(gateways))
+            )
+            rhs += b_mat @ g_dense
+
+        i_minus_q = (
+            identity(m, format="csc")
+            - csc_matrix((q_data, (q_rows, q_cols)), shape=(m, m))
+        ).tocsc()
+        try:
+            with self._measure("factorize"):
+                lu = splu(i_minus_q)
+            with self._measure("solve"):
+                absorption = lu.solve(rhs) if n_out else np.zeros((m, 0))
+        except RuntimeError:
+            return False
+
+        # Validate before committing anything: a detected deficit means
+        # the update is numerically untrustworthy for this step.
+        if n_out and absorption.min(initial=0.0) < -1e-6:
+            return False
+        row_sums = absorption.sum(axis=1) if n_out else np.zeros(m)
+        if row_sums.max(initial=0.0) > 1.0 + 1e-6:
+            return False
+        if n_out:
+            np.clip(absorption, 0.0, 1.0, out=absorption)
+
+        for state in live:
+            i = t_index[state]
+            row = absorption[i]
+            final: dict[State, float] = {
+                outcomes[j]: float(row[j]) for j in np.nonzero(row)[0]
+            }
+            deficit = 1.0 - float(row.sum())
+            solutions[state] = final
+            self._lost[state] = deficit if deficit > SOLVER_TOLERANCE else 0.0
+        for state in doomed:
+            solutions[state] = {}
+            self._lost[state] = 1.0
+        self.schur_updates += 1
+        return True
 
 
 def solve_absorption(

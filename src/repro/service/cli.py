@@ -546,6 +546,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         if timings:
             phases = ", ".join(f"{name}={value:.3f}s" for name, value in sorted(timings.items()))
             print(f"backend phases: {phases}")
+        solver = stats.get("backend_solver") or {}
+        if solver:
+            print(
+                f"solver: {solver.get('factorizations', 0)} factorization(s), "
+                f"{solver.get('schur_updates', 0)} Schur update(s), "
+                f"{solver.get('assembly_rows', 0)} row(s) assembled"
+            )
 
         if args.output:
             result.dump(args.output)

@@ -758,6 +758,50 @@ class BackendPool:
             index += 1
 
     # -- introspection ---------------------------------------------------------
+    def worker_reports(self) -> list[dict]:
+        """Per-replica introspection snapshots, uniform across pool modes.
+
+        Thread-hosted replicas are sampled in-process under their lease:
+        each report carries ``index``, ``health``, ``pid``, the backend's
+        phase ``timings`` and — for backends that expose it — the
+        ``solver`` counter dict (``factorizations`` / ``schur_updates`` /
+        ``assembly_rows``).  Process and remote pools override this with
+        a wire probe that returns the same shape, so CLI stats and tests
+        read one format regardless of where replicas live.
+        """
+        reports: list[dict] = []
+        index = 0
+        while True:
+            with self._cv:
+                if index >= len(self.replicas):
+                    break
+            report: dict = {"health": DEAD}
+            try:
+                with self.lease_replica(index) as replica:
+                    backend = replica.backend
+                    report = {
+                        "health": replica.health,
+                        "pid": self.worker_id(index),
+                        "host": getattr(backend, "host", "local"),
+                        "transport": getattr(backend, "transport_kind", "inproc"),
+                        "reconnects": getattr(backend, "reconnects", 0),
+                        "heartbeat_misses": getattr(backend, "heartbeat_misses", 0),
+                    }
+                    timer = getattr(backend, "timings", None)
+                    if timer is not None:
+                        report["timings"] = timer()
+                    solver = getattr(backend, "solver_stats", None)
+                    if solver is not None:
+                        report["solver"] = solver()
+            except ReplicaFailure:
+                pass  # quarantined under the probe; report the bare health
+            except RuntimeError:
+                break  # pool closed (or shrank past index) mid-walk
+            report["index"] = index
+            reports.append(report)
+            index += 1
+        return reports
+
     def worker_id(self, index: int) -> int:
         """The OS pid hosting replica ``index``.
 

@@ -136,6 +136,7 @@ def _worker_stats(
         "plans": backend.adopted_plans,
         "queries": queries,
         "timings": backend.timings(),
+        "solver": backend.solver_stats(),
     }
     if spans:
         stats["spans"] = spans
@@ -473,6 +474,17 @@ class ReplicaClient:
             for name, value in timings.items():
                 total[name] = total.get(name, 0.0) + value
         return total
+
+    def solver_stats(self) -> dict[str, int]:
+        """The worker's last-known numeric-kernel counters.
+
+        ``factorizations``/``schur_updates``/``assembly_rows`` from the
+        stats blob of the most recent reply (see
+        :meth:`~repro.backends.matrix.MatrixBackend.solver_stats`).
+        Counters restart with the worker: a respawned replica reports its
+        own work, not its predecessor's.
+        """
+        return dict(self.worker_stats.get("solver") or {})
 
     def close(self) -> None:
         raise NotImplementedError

@@ -693,14 +693,22 @@ class AnalysisSession:
 
         ``backend_timings`` sums each phase over all replicas (total CPU
         work, which can exceed wall-clock when replicas run in parallel);
-        ``pool`` reports per-replica lease counts and the affinity map.
+        ``backend_solver`` sums the numeric-kernel counters
+        (``factorizations`` / ``schur_updates`` / ``assembly_rows``) the
+        same way; ``pool`` reports per-replica lease counts and the
+        affinity map.
         """
         timings: dict[str, float] = {}
+        solver_totals: dict[str, int] = {}
         for replica in self._pool.replicas:
             timer = getattr(replica.backend, "timings", None)
             if timer is not None:
                 for name, value in timer().items():
                     timings[name] = timings.get(name, 0.0) + value
+            solver = getattr(replica.backend, "solver_stats", None)
+            if solver is not None:
+                for name, value in solver().items():
+                    solver_totals[name] = solver_totals.get(name, 0) + int(value)
         return {
             "queries": self._queries_served,
             "batches": self._batches_served,
@@ -710,6 +718,7 @@ class AnalysisSession:
             "destinations": self.destinations,
             "backend": type(self._backend).__name__,
             "backend_timings": timings,
+            "backend_solver": solver_totals,
             "pool": self._pool.stats(),
             "telemetry": self._telemetry.summary(),
         }

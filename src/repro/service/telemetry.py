@@ -7,7 +7,8 @@ query's 50 ms go?".  This module is the observability layer threaded
 through all of them:
 
 * **Span tracing** — a :class:`Tracer` produces nested spans
-  (``request → shard → lease → worker:query → phase:solve``) carrying a
+  (``request → shard → lease → worker:query → phase:assemble`` /
+  ``phase:factorize`` / ``phase:solve``) carrying a
   shared trace id, wall-clock start/end stamps, attributes, and point
   events.  Nesting is tracked per thread via a :class:`~contextvars.ContextVar`
   for same-thread callees, and by *explicit* :class:`SpanContext`

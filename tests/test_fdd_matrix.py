@@ -2,21 +2,31 @@
 
 from fractions import Fraction
 
+import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
+from repro.core import syntax as s
+from repro.core.compiler import compile_policy
 from repro.core.distributions import Dist
+from repro.core.fdd import matrix as matrix_module
 from repro.core.fdd import ops
 from repro.core.fdd.actions import Action
+from repro.core.fdd.evaluator import ClassRow
 from repro.core.fdd.matrix import (
     DomainTooLargeError,
     SymbolicPacket,
+    class_row,
     class_transition,
     classify,
     domain_size,
     enumerate_classes,
     evaluate_class,
     fdd_to_matrix,
+    fdd_to_matrix_reference,
     fresh_values,
+    matrix_domains,
     matrix_to_fdd,
 )
 from repro.core.fdd.node import FddManager, output_distribution
@@ -144,3 +154,150 @@ class TestConversion:
             {SymbolicPacket({"pt": 1}): Dist.point(SymbolicPacket({"pt": 1}))},
         )
         assert output_distribution(rebuilt, Packet({"pt": 9})) == Dist.point(DROP)
+
+
+class TestClassRow:
+    def test_class_row_matches_class_transition(self):
+        manager = FddManager()
+        fdd = TestConversion().make_example_fdd(manager)
+        for cls in enumerate_classes({"pt": [1, 2, 3]}):
+            row = class_row(fdd, cls)
+            dist = class_transition(fdd, cls)
+            assert dict(row.items()) == pytest.approx(
+                {outcome: float(prob) for outcome, prob in dist.items()}
+            )
+
+    def test_duplicate_outcomes_merge_at_construction(self):
+        # A class whose two distinct actions collapse to the same outcome
+        # class: both halves must merge into one entry so dict(row.items())
+        # is lossless.
+        manager = FddManager()
+        split = ops.convex(
+            manager,
+            [
+                (manager.from_assign("pt", 2), Fraction(1, 2)),
+                (manager.from_assign("pt", 2), Fraction(1, 4)),
+                (manager.false_leaf, Fraction(1, 4)),
+            ],
+        )
+        row = class_row(split, SymbolicPacket({"pt": 2}))
+        weights = dict(row.items())
+        assert len(weights) == len(row.outcomes)
+        assert weights[SymbolicPacket({"pt": 2})] == pytest.approx(0.75)
+        assert weights[DROP] == pytest.approx(0.25)
+        assert dict(row.to_dist().items()) == pytest.approx(weights)
+
+    def test_from_items_merges(self):
+        cls = SymbolicPacket({"pt": 1})
+        row = ClassRow.from_items([(cls, 0.25), (cls, 0.25), (DROP, 0.5)])
+        assert dict(row.items()) == {cls: 0.5, DROP: 0.5}
+        assert row.support() == (cls, DROP)
+
+
+class TestSinglePassAssembly:
+    """The seeded rewrite evaluates every class exactly once (the old
+    two-pass path computed each row twice when no row_cache was given)."""
+
+    def test_each_class_evaluated_exactly_once_without_row_cache(self, monkeypatch):
+        manager = FddManager()
+        fdd = TestConversion().make_example_fdd(manager)
+        calls: dict[SymbolicPacket, int] = {}
+        real = class_row
+
+        def counting(node, cls, leaf_cache=None):
+            calls[cls] = calls.get(cls, 0) + 1
+            return real(node, cls, leaf_cache)
+
+        monkeypatch.setattr(matrix_module, "class_row", counting)
+        matrix = fdd_to_matrix(fdd, seeds=[SymbolicPacket({"pt": 1})])
+        assert matrix.assembled_rows == len(matrix.classes) > 0
+        assert calls  # the seeded path went through the kernel
+        assert all(count == 1 for count in calls.values()), calls
+
+    def test_row_cache_skips_reevaluation_across_calls(self, monkeypatch):
+        manager = FddManager()
+        fdd = TestConversion().make_example_fdd(manager)
+        calls: dict[SymbolicPacket, int] = {}
+        real = class_row
+
+        def counting(node, cls, leaf_cache=None):
+            calls[cls] = calls.get(cls, 0) + 1
+            return real(node, cls, leaf_cache)
+
+        monkeypatch.setattr(matrix_module, "class_row", counting)
+        cache: dict = {}
+        fdd_to_matrix(fdd, seeds=[SymbolicPacket({"pt": 1})], row_cache=cache)
+        first = dict(calls)
+        fdd_to_matrix(fdd, seeds=[SymbolicPacket({"pt": 1})], row_cache=cache)
+        assert calls == first  # second assembly served entirely from the cache
+
+
+def _matrices_identical(vectorized, reference, tolerance=1e-12):
+    """Entry-identical as functions of (source class, target class).
+
+    Seeded class *discovery order* is not part of the contract: the
+    reference BFS expands ``Dist.support()`` (a frozenset, hash-ordered)
+    while the vectorized pass expands outcomes in row order, so the same
+    class set may be indexed differently.  Align the reference onto the
+    vectorized indexing (drop column last in both) before demanding
+    entry-identity within ``tolerance``.
+    """
+    assert set(vectorized.classes) == set(reference.classes)
+    assert vectorized.domains == reference.domains
+    assert vectorized.matrix.shape == reference.matrix.shape
+    ref_index = {cls: i for i, cls in enumerate(reference.classes)}
+    perm = [ref_index[cls] for cls in vectorized.classes] + [len(reference.classes)]
+    aligned = reference.matrix[perm, :][:, perm]
+    delta = (vectorized.matrix - aligned).toarray()
+    assert np.abs(delta).max(initial=0.0) <= tolerance
+
+
+_FIELDS = ["f", "g"]
+_VALUES = [0, 1, 2]
+_tests_st = st.builds(s.test, st.sampled_from(_FIELDS), st.sampled_from(_VALUES))
+_assigns_st = st.builds(s.assign, st.sampled_from(_FIELDS), st.sampled_from(_VALUES))
+
+
+def _programs(depth: int = 2):
+    base = st.one_of(_assigns_st, _tests_st, st.just(s.skip()), st.just(s.drop()))
+    if depth == 0:
+        return base
+    sub = _programs(depth - 1)
+    predicates = st.one_of(_tests_st, st.just(s.skip()), st.just(s.drop()))
+    probability = st.sampled_from([Fraction(1, 4), Fraction(1, 2), Fraction(3, 4)])
+    return st.one_of(
+        base,
+        st.builds(lambda a, b: s.seq(a, b), sub, sub),
+        st.builds(lambda a, b, r: s.choice((a, r), (b, 1 - r)), sub, sub, probability),
+        st.builds(s.ite, predicates, sub, sub),
+    )
+
+
+class TestVectorizedAssemblyEquivalence:
+    """Vectorized single-pass assembly ≡ the old per-row reference path."""
+
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(policy=_programs(2))
+    def test_full_domain_assembly_identical(self, policy):
+        fdd = compile_policy(policy, exact=True)
+        _matrices_identical(fdd_to_matrix(fdd), fdd_to_matrix_reference(fdd))
+
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(policy=_programs(2), data=st.data())
+    def test_seeded_assembly_identical(self, policy, data):
+        fdd = compile_policy(policy, exact=True)
+        domains = matrix_domains(fdd)
+        classes = enumerate_classes(domains)
+        seeds = data.draw(
+            st.lists(st.sampled_from(classes), min_size=1, max_size=4, unique=True)
+        )
+        absorb_value = data.draw(st.sampled_from([None, 0, 1, 2]))
+
+        def absorbing(cls):
+            return cls.value("f") == absorb_value
+
+        predicate = None if absorb_value is None else absorbing
+        _matrices_identical(
+            fdd_to_matrix(fdd, seeds=seeds, absorbing_when=predicate),
+            fdd_to_matrix_reference(fdd, seeds=seeds, absorbing_when=predicate),
+        )

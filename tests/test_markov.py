@@ -3,7 +3,7 @@
 from fractions import Fraction
 
 import pytest
-from hypothesis import given
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.markov import (
@@ -188,3 +188,154 @@ class TestIncrementalAbsorptionSolver:
         result = solver.solve([0, 1, 2], transitions)
         assert result[0]["out"] == Fraction(1, 2)
         assert result.lost_mass[0] == Fraction(1, 2)
+
+
+class TestSchurGrowthUpdates:
+    """Small growth steps run the Schur-complement low-rank path."""
+
+    chain = TestIncrementalAbsorptionSolver.chain
+
+    def test_small_growth_uses_schur_not_factorization(self):
+        from repro.core.markov import IncrementalAbsorptionSolver
+
+        transitions = self.chain(40)
+        solver = IncrementalAbsorptionSolver()
+        solver.solve(list(range(8, 40)), transitions)  # 32 states solved
+        assert solver.factorizations == 1
+        assert solver.schur_updates == 0
+        # Growing by 8 on 32 solved states is exactly the 25% crossover:
+        # the step must be answered by the Schur update, with zero full
+        # factorizations.
+        result = solver.solve(list(range(40)), transitions)
+        assert solver.factorizations == 1
+        assert solver.schur_updates == 1
+        reference = solve_absorption(list(range(40)), ["win"], transitions)
+        for state in range(40):
+            assert result[state]["win"] == pytest.approx(
+                reference[state]["win"], abs=1e-9
+            )
+        # Re-solving is a pure cache hit on both counters.
+        solver.solve(list(range(40)), transitions)
+        assert solver.factorizations == 1
+        assert solver.schur_updates == 1
+
+    def test_large_growth_falls_back_to_fresh_factorization(self):
+        from repro.core.markov import IncrementalAbsorptionSolver
+
+        transitions = self.chain(12)
+        solver = IncrementalAbsorptionSolver()
+        solver.solve(list(range(8, 12)), transitions)
+        # 8 new on 4 solved exceeds the crossover: full factorization.
+        solver.solve(list(range(12)), transitions)
+        assert solver.factorizations == 2
+        assert solver.schur_updates == 0
+
+    def test_crossover_zero_disables_schur(self):
+        from repro.core.markov import IncrementalAbsorptionSolver
+
+        transitions = self.chain(30)
+        solver = IncrementalAbsorptionSolver(schur_crossover=0.0)
+        solver.solve(list(range(29, 30)), transitions)
+        solver.solve(list(range(30)), transitions)
+        assert solver.factorizations == 2
+        assert solver.schur_updates == 0
+
+    def test_schur_lost_mass_through_diverging_gateway(self):
+        from repro.core.markov import IncrementalAbsorptionSolver
+
+        # Gateway 1 diverges into 2; new state 0 splits between it and "out".
+        transitions = {
+            2: {2: 1.0},
+            1: {2: 1.0},
+            0: {1: 0.5, "out": 0.5},
+        }
+        solver = IncrementalAbsorptionSolver(schur_crossover=1.0)
+        first = solver.solve([1, 2], transitions)
+        assert first.lost_mass[1] == pytest.approx(1.0)
+        result = solver.solve([0, 1, 2], transitions)
+        assert solver.schur_updates == 1
+        assert solver.factorizations == 1
+        assert result[0]["out"] == pytest.approx(0.5)
+        assert result.lost_mass[0] == pytest.approx(0.5)
+
+    def test_schur_doomed_new_state(self):
+        from repro.core.markov import IncrementalAbsorptionSolver
+
+        transitions = self.chain(20)
+        transitions["stuck"] = {"stuck": Fraction(1)}
+        solver = IncrementalAbsorptionSolver()
+        solver.solve(list(range(20)), transitions)
+        result = solver.solve(list(range(20)) + ["stuck"], transitions)
+        assert solver.schur_updates == 1
+        assert solver.factorizations == 1
+        assert result["stuck"] == {}
+        assert result.lost_mass["stuck"] == pytest.approx(1.0)
+
+    def test_schur_update_preserves_solved_rows(self):
+        from repro.core.markov import IncrementalAbsorptionSolver
+
+        transitions = self.chain(40)
+        solver = IncrementalAbsorptionSolver()
+        solver.solve(list(range(8, 40)), transitions)
+        before = {state: solver.solution(state) for state in range(8, 40)}
+        solver.solve(list(range(40)), transitions)
+        assert solver.schur_updates == 1
+        for state, row in before.items():
+            assert solver.solution(state) is row
+
+
+@given(data=st.data())
+@settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_incremental_growth_matches_from_scratch(data):
+    """Randomized growth schedules ≡ a from-scratch batched solve (≤1e-9).
+
+    Chains include sub-stochastic rows (lost mass) and states that cannot
+    reach absorption (doomed), across crossover settings that force the
+    Schur path, the legacy path, and the default mix.
+    """
+    from repro.core.markov import IncrementalAbsorptionSolver
+
+    n = data.draw(st.integers(min_value=4, max_value=18), label="states")
+    targets = ["a", "b"]
+    transitions = {}
+    for i in range(n):
+        # Later states may reference earlier ones (the growth contract:
+        # exploration closes forward reachability, so solved states never
+        # point at states added later).
+        choices = list(range(i + 1)) + targets
+        successors = data.draw(
+            st.lists(st.sampled_from(choices), min_size=1, max_size=3),
+            label=f"succ[{i}]",
+        )
+        weights = data.draw(
+            st.lists(
+                st.integers(min_value=1, max_value=4),
+                min_size=len(successors),
+                max_size=len(successors),
+            ),
+            label=f"weights[{i}]",
+        )
+        denominator = max(
+            sum(weights), data.draw(st.integers(min_value=1, max_value=12))
+        )
+        row: dict = {}
+        for successor, weight in zip(successors, weights):
+            row[successor] = row.get(successor, 0.0) + weight / denominator
+        transitions[i] = row
+    crossover = data.draw(st.sampled_from([0.0, 0.25, 1.0]), label="crossover")
+    solver = IncrementalAbsorptionSolver(schur_crossover=crossover)
+    cursor = 0
+    while cursor < n:
+        step = data.draw(st.integers(min_value=1, max_value=n - cursor))
+        cursor += step
+        solver.solve(list(range(cursor)), transitions)
+    result = solver.solve(list(range(n)), transitions)
+    reference = solve_absorption(list(range(n)), targets, transitions)
+    for state in range(n):
+        for target in targets:
+            assert result[state].get(target, 0.0) == pytest.approx(
+                reference[state].get(target, 0.0), abs=1e-9
+            )
+        assert result.lost_mass[state] == pytest.approx(
+            reference.lost_mass[state], abs=1e-9
+        )

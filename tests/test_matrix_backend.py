@@ -297,7 +297,7 @@ class TestMatrixBackendEquivalence:
         factorize at all.
         """
         model = fattree_model(1 / 1000)
-        backend = MatrixBackend()
+        backend = MatrixBackend(schur_crossover=0.0)  # pin the legacy path
         first = model.ingress_packets[:1]
         backend.output_distributions(model.policy, first)
         stage = backend.plan(model.policy).loop_stages[0]
@@ -322,6 +322,39 @@ class TestMatrixBackendEquivalence:
         assert stage.factorizations == 2  # pure cache hits, no new factorization
         for packet in model.ingress_packets:
             assert expected[packet].close_to(actual[packet], tolerance=1e-9)
+
+    def test_small_growth_runs_schur_update_without_factorizing(self):
+        """Growing a warmed plan is a Schur update, not a fresh
+        factorization, and agrees with a from-scratch backend."""
+        model = fattree_model(1 / 1000)
+        backend = MatrixBackend(schur_crossover=1e9)  # any growth goes Schur
+        backend.output_distributions(model.policy, model.ingress_packets[:1])
+        stage = backend.plan(model.policy).loop_stages[0]
+        factorizations = stage.factorizations
+        assert factorizations >= 1
+        solved = len(stage.solver.solved_states)
+
+        actual = backend.output_distributions(model.policy, model.ingress_packets)
+        assert len(stage.solver.solved_states) > solved  # genuine growth
+        assert stage.factorizations == factorizations  # zero full factorizations
+        assert stage.schur_updates >= 1
+
+        fresh = MatrixBackend()
+        expected = fresh.output_distributions(model.policy, model.ingress_packets)
+        for packet in model.ingress_packets:
+            assert expected[packet].close_to(actual[packet], tolerance=1e-9)
+
+    def test_solver_stats_aggregates_counters(self):
+        model = fattree_model(1 / 1000)
+        backend = MatrixBackend(schur_crossover=1e9)
+        backend.output_distributions(model.policy, model.ingress_packets[:1])
+        stats = backend.solver_stats()
+        assert stats["factorizations"] >= 1
+        assert stats["assembly_rows"] > 0
+        backend.output_distributions(model.policy, model.ingress_packets)
+        grown = backend.solver_stats()
+        assert grown["schur_updates"] > stats["schur_updates"]
+        assert grown["factorizations"] == stats["factorizations"]
 
     def test_uniform_and_dist_inputs(self, example):
         model = example.models_resilient["f2"]

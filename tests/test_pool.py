@@ -337,6 +337,31 @@ class TestSolverReset:
             # ...but no plan was recompiled (compile time did not move).
             assert session.stats()["backend_timings"].get("compile", 0.0) == compiled
 
+    def test_worker_reports_surface_schur_updates(self, models):
+        """A repeated-growth workload shows up in per-replica solver
+        counters: after warmup, growth steps are Schur updates and the
+        factorization count stays put."""
+        dest, model = next(iter(models.items()))
+        backend = MatrixBackend(schur_crossover=1e9)  # any growth goes Schur
+        with AnalysisSession(model, backend=backend, pool_size=1, workers=1) as session:
+            session.query_batch([Query.delivery(model.ingress_packets[0], dest)])
+            (report,) = session.pool.worker_reports()
+            warm = report["solver"]
+            assert warm["factorizations"] >= 1
+            assert warm["assembly_rows"] > 0
+
+            session.query_batch(
+                [Query.delivery(packet, dest) for packet in model.ingress_packets]
+            )
+            (report,) = session.pool.worker_reports()
+            grown = report["solver"]
+            assert grown["schur_updates"] >= 1
+            assert grown["factorizations"] == warm["factorizations"]
+            # The session-level aggregate mirrors the per-replica counters.
+            totals = session.stats()["backend_solver"]
+            assert totals["schur_updates"] == grown["schur_updates"]
+            assert totals["factorizations"] == grown["factorizations"]
+
     def test_loop_stage_memoisation(self, models):
         from repro.backends.matrix import _class_sort_key
 

@@ -181,6 +181,9 @@ class TestProcessPool:
                 assert len(reports) == 4
                 assert all(report["ast_compilations"] == 0 for report in reports)
                 assert sum(report["queries"] for report in reports) >= len(all_pairs)
+                # Solver counters cross the process boundary per replica.
+                assert all(report["solver"]["factorizations"] >= 1 for report in reports)
+                assert all(report["solver"]["assembly_rows"] > 0 for report in reports)
 
     def test_shards_carry_worker_pids(self, all_models, all_pairs):
         with AnalysisSession(

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import re
 
 import pytest
 
@@ -574,7 +575,17 @@ class TestServiceCli:
             result["value"] == pytest.approx(1.0, abs=1e-6)
             for result in payload["results"]
         )
-        assert "served 14 queries" in capsys.readouterr().out
+        printed = capsys.readouterr().out
+        assert "served 14 queries" in printed
+        # The stats line surfaces the solver counters of the replica pool.
+        match = re.search(
+            r"solver: (\d+) factorization\(s\), (\d+) Schur update\(s\), "
+            r"(\d+) row\(s\) assembled",
+            printed,
+        )
+        assert match is not None
+        assert int(match.group(1)) >= 1
+        assert int(match.group(3)) > 0
 
     def test_batch_file_run(self, tmp_path):
         batch = tmp_path / "batch.json"
